@@ -1,0 +1,87 @@
+"""Microbenchmarks — simulation-kernel and channel-model hot paths.
+
+Unlike the figure benches these are true latency benchmarks (many
+rounds): the event loop and the lazy channel samplers are the two hot
+paths that bound how large a network the simulator can carry.
+"""
+
+import numpy as np
+
+from repro.channel import RayleighFading
+from repro.config import ChannelConfig, PhyConfig
+from repro.channel import Link, LinkBudget
+from repro.phy import AbicmTable
+from repro.rng import RngRegistry
+from repro.sim import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule+dispatch cost of the event heap (10k-event batches)."""
+
+    def run_batch():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.call_in(0.001, tick)
+
+        sim.call_in(0.001, tick)
+        sim.run()
+        return count
+
+    result = benchmark(run_batch)
+    assert result == 10_000
+
+
+def test_fading_sampling_rate(benchmark):
+    """Lazy AR(1) fading queries (1k-sample batches)."""
+    fading = RayleighFading(0.1, RngRegistry(1).stream("bench"))
+    state = {"t": 0.0}
+
+    def sample_block():
+        t = state["t"]
+        acc = 0.0
+        for _ in range(1000):
+            t += 0.01
+            acc += fading.power_gain(t)
+        state["t"] = t
+        return acc
+
+    total = benchmark(sample_block)
+    assert total > 0
+
+
+def test_link_snr_query_rate(benchmark):
+    """Full link SNR queries: pathloss + shadowing + fading (1k batches)."""
+    cfg = ChannelConfig()
+    link = Link(35.0, LinkBudget.from_config(cfg), cfg,
+                RngRegistry(2).stream("bench"), "bench")
+    state = {"t": 0.0}
+
+    def sample_block():
+        t = state["t"]
+        acc = 0.0
+        for _ in range(1000):
+            t += 0.05
+            acc += link.snr_db(t)
+        state["t"] = t
+        return acc
+
+    benchmark(sample_block)
+
+
+def test_abicm_mode_selection(benchmark):
+    """Mode staircase lookups across the SNR range (vector of 10k)."""
+    table = AbicmTable.from_config(PhyConfig())
+    snrs = np.linspace(-5.0, 35.0, 10_000)
+
+    def select_all():
+        return sum(
+            (table.mode_for_snr(float(s)) or table.lowest).index for s in snrs
+        )
+
+    result = benchmark(select_all)
+    assert result > 0

@@ -1,0 +1,24 @@
+"""Table I — tone-channel pulse pattern per data-channel state.
+
+Regenerates the paper's Table I from the live ToneConfig and checks the
+protocol-defined relationships (idle 1 ms/50 ms, receive 0.5 ms/10 ms,
+single collision pulse).
+"""
+
+from repro.experiments import table1_tone_spec
+
+from conftest import run_once
+
+
+def test_table1_tone_spec(benchmark):
+    result = run_once(benchmark, table1_tone_spec)
+    print()
+    print(result.render())
+
+    states = result.series("state")
+    durations = result.series("pulse duration (ms)")
+    periods = result.series("pulse period (ms)")
+    spec = dict(zip(states, zip(durations, periods)))
+    assert spec["idle"] == (1.0, 50.0)
+    assert spec["receive"] == (0.5, 10.0)
+    assert spec["collision"][0] == 0.5 and spec["collision"][1] is None

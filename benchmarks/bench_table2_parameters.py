@@ -1,0 +1,27 @@
+"""Table II — physical simulation parameters.
+
+Regenerates the parameter table from the live defaults and asserts the
+values the scan preserves unambiguously.
+"""
+
+from repro.experiments import table2_parameters
+
+from conftest import run_once
+
+
+def test_table2_parameters(benchmark):
+    result = run_once(benchmark, table2_parameters)
+    print()
+    print(result.render())
+
+    rows = dict(zip(result.series("parameter"), result.series("value")))
+    assert rows["Number of nodes"] == 100
+    assert rows["Percentage of CH"] == "5%"
+    assert rows["Transmit power (data)"] == "0.66 W"
+    assert rows["Receive power (data)"] == "0.305 W"
+    assert rows["Packet length"] == "2 kbit"
+    assert rows["Contention window size"] == 10
+    assert rows["Buffer size"] == "50 packets"
+    assert rows["Initial battery energy"] == "10 J"
+    assert "2 Mbps" in rows["Bandwidth (ABICM modes)"]
+    assert "250 kbps" in rows["Bandwidth (ABICM modes)"]

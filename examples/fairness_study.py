@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Fairness study: why Scheme 2 starves far-away sensors (Fig. 12).
+
+Runs Scheme 1 and Scheme 2 with effectively unbounded buffers, then shows
+per-node queue lengths against each node's distance to its current
+cluster head.  Scheme 2's fixed 2 Mbps gate leaves distant (low mean SNR)
+nodes waiting for fades that rarely come; Scheme 1's controller lets a
+growing queue buy a lower gate.
+
+Run:  python examples/fairness_study.py
+"""
+
+import numpy as np
+
+from repro import NetworkConfig, Protocol, SensorNetwork
+from repro.metrics import jain_index, queue_length_std
+
+
+def run(protocol: Protocol, seed: int = 11):
+    cfg = NetworkConfig(
+        n_nodes=24, protocol=protocol, seed=seed
+    ).with_traffic(packets_per_second=10.0, buffer_packets=1_000_000)
+    net = SensorNetwork(cfg)
+    net.run_until(45.0)
+    return net
+
+
+def report(net: SensorNetwork) -> None:
+    rows = []
+    for node in net.nodes:
+        if node.mac.link is not None:
+            rows.append((node.id, node.mac.link.distance_m, len(node.buffer)))
+    rows.sort(key=lambda r: r[1])
+    print("  node  dist(m)  queue")
+    for nid, d, q in rows:
+        bar = "#" * min(q // 2, 50)
+        print(f"  {nid:4d}  {d:6.1f}  {q:5d} {bar}")
+    queues = [len(n.buffer) for n in net.nodes if n.alive]
+    served = [n.mac.stats.packets_sent for n in net.nodes]
+    print(f"  σ(queue) = {queue_length_std(queues):.2f}   "
+          f"Jain(service) = {jain_index(served):.3f}")
+
+
+def main() -> None:
+    for proto in (Protocol.CAEM_FIXED, Protocol.CAEM_ADAPTIVE):
+        print(f"\n=== {proto.label} ===")
+        report(run(proto))
+    print(
+        "\nreading: under Scheme 2 the queue column correlates with distance"
+        "\n(starved far nodes); Scheme 1 flattens it by lowering the gate"
+        "\nwhere queues build — the paper's short-term fairness result."
+    )
+
+
+if __name__ == "__main__":
+    main()

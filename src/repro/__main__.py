@@ -1,0 +1,6 @@
+"""``python -m repro`` — same as the ``repro-caem`` console script."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Time-varying wireless channel substrate (paper §II-B).
+
+Composition: :class:`LinkBudget` (path loss, powers, noise) +
+:class:`GaussMarkovShadowing` + :class:`RayleighFading` make a
+:class:`Link` whose ``snr_db(t)`` is the CSI the protocols act on;
+:class:`DataChannel` is the per-cluster shared medium with collision
+detection; :class:`CsiEstimator` models the tone-based measurement.
+"""
+
+from .budget import LinkBudget, calibrate_noise_floor
+from .csi import CsiEstimator, CsiSample
+from .fading import RayleighFading
+from .link import Link
+from .medium import ChannelState, DataChannel, TransmissionRecord
+from .pathloss import FreeSpace, LogDistance, PathLossModel, TwoRayGround
+from .shadowing import GaussMarkovShadowing
+
+__all__ = [
+    "LinkBudget",
+    "calibrate_noise_floor",
+    "CsiEstimator",
+    "CsiSample",
+    "RayleighFading",
+    "Link",
+    "ChannelState",
+    "DataChannel",
+    "TransmissionRecord",
+    "FreeSpace",
+    "LogDistance",
+    "PathLossModel",
+    "TwoRayGround",
+    "GaussMarkovShadowing",
+]

@@ -1,0 +1,88 @@
+"""CSI measurement from the tone channel.
+
+§III-A: *"By measuring the attenuation of the received tone signal, each
+sensor can continuously monitor the CSI change of the data channel"* —
+possible because tone and data channels share propagation (assumption 1)
+and the link is reciprocal (assumption 2).
+
+:class:`CsiEstimator` turns a true link SNR into the *measured* CSI a
+sensor acts on.  The paper treats the measurement as perfect; we default to
+that, but expose pilot-noise (Gaussian error in dB) and staleness (the
+sensor only refreshes CSI when a tone pulse arrives) so that robustness
+ablations can quantify how CAEM degrades with imperfect estimation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ChannelError
+from .link import Link
+
+__all__ = ["CsiEstimator", "CsiSample"]
+
+
+class CsiSample:
+    """One CSI observation: measured SNR (dB) and when it was taken."""
+
+    __slots__ = ("snr_db", "time_s")
+
+    def __init__(self, snr_db: float, time_s: float) -> None:
+        self.snr_db = snr_db
+        self.time_s = time_s
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CsiSample({self.snr_db:.2f} dB @ {self.time_s:.4f}s)"
+
+
+class CsiEstimator:
+    """Produces measured CSI samples for one link.
+
+    Parameters
+    ----------
+    link:
+        The true channel.
+    error_sigma_db:
+        Std-dev of zero-mean Gaussian measurement error in dB (0 = the
+        paper's perfect-measurement assumption).
+    rng:
+        Generator for the measurement noise (required if error > 0).
+    """
+
+    __slots__ = ("link", "error_sigma_db", "_rng", "_last")
+
+    def __init__(
+        self,
+        link: Link,
+        error_sigma_db: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if error_sigma_db < 0:
+            raise ChannelError("CSI error sigma must be >= 0")
+        if error_sigma_db > 0 and rng is None:
+            raise ChannelError("CSI error requires an rng")
+        self.link = link
+        self.error_sigma_db = float(error_sigma_db)
+        self._rng = rng
+        self._last: Optional[CsiSample] = None
+
+    def measure(self, t: float) -> CsiSample:
+        """Take a fresh CSI measurement at time ``t`` (a tone-pulse arrival)."""
+        snr = self.link.snr_db(t)
+        if self.error_sigma_db > 0.0:
+            snr += float(self._rng.normal(0.0, self.error_sigma_db))
+        self._last = CsiSample(snr, t)
+        return self._last
+
+    @property
+    def last(self) -> Optional[CsiSample]:
+        """Most recent measurement, or None before the first pulse."""
+        return self._last
+
+    def staleness(self, now: float) -> float:
+        """Seconds since the last measurement (inf before the first)."""
+        if self._last is None:
+            return float("inf")
+        return now - self._last.time_s

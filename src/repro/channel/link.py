@@ -1,0 +1,93 @@
+"""A time-varying wireless link: path loss ∘ shadowing ∘ fading → SNR(t).
+
+One :class:`Link` instance models the (reciprocal) channel between a sensor
+and its cluster head.  Reciprocity — the paper's assumption (2),
+``G_ab = G_ba`` — holds structurally because both directions read the same
+shadowing and fading processes; the tone (downlink) measurement therefore
+predicts the data (uplink) quality exactly, up to optional CSI estimation
+error modelled in :mod:`repro.channel.csi`.
+
+Assumption (3) — gain stationary over one packet — is realised by querying
+the SNR once per MAC transaction time-point; identical-time queries return
+identical values by construction of the lazy processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ChannelConfig
+from ..errors import ChannelError
+from .budget import LinkBudget
+from .fading import RayleighFading
+from .shadowing import GaussMarkovShadowing
+
+__all__ = ["Link"]
+
+
+class Link:
+    """Sensor ↔ cluster-head channel with lazily sampled dynamics.
+
+    Parameters
+    ----------
+    distance_m:
+        Euclidean distance between the endpoints (fixed; nodes are static).
+    budget:
+        Shared :class:`LinkBudget` (path loss + powers).
+    cfg:
+        Channel configuration (shadowing/fading parameters).
+    rng:
+        Dedicated numpy generator for this link's stochastic processes.
+    name:
+        Label for diagnostics.
+    """
+
+    __slots__ = ("name", "distance_m", "_mean_snr_db", "shadowing", "fading")
+
+    def __init__(
+        self,
+        distance_m: float,
+        budget: LinkBudget,
+        cfg: ChannelConfig,
+        rng: np.random.Generator,
+        name: str = "link",
+        start_time_s: float = 0.0,
+    ) -> None:
+        if distance_m < 0:
+            raise ChannelError("distance must be >= 0")
+        self.name = name
+        self.distance_m = float(distance_m)
+        self._mean_snr_db = float(budget.mean_snr_db(distance_m))
+        self.shadowing = GaussMarkovShadowing(
+            cfg.shadowing_sigma_db, cfg.shadowing_tau_s, rng, start_time_s
+        )
+        self.fading = RayleighFading(
+            cfg.fading_coherence_s,
+            rng,
+            kernel=cfg.fading_kernel,
+            rician_k=cfg.rician_k,
+            start_time_s=start_time_s,
+        )
+
+    @property
+    def mean_snr_db(self) -> float:
+        """Distance-only (local average) SNR in dB."""
+        return self._mean_snr_db
+
+    def snr_db(self, t: float) -> float:
+        """Instantaneous SNR in dB at simulation time ``t``.
+
+        Queries must be non-decreasing in time (enforced by the underlying
+        processes); equal-time queries are free and identical.
+        """
+        return (
+            self._mean_snr_db
+            + self.shadowing.value_db(t)
+            + self.fading.gain_db(t)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Link({self.name!r}, d={self.distance_m:.1f} m, "
+            f"mean SNR={self._mean_snr_db:.1f} dB)"
+        )

@@ -1,0 +1,157 @@
+"""The shared data channel of one cluster: a transmission ledger.
+
+§III-A: all sensors in a cluster share a single data channel to the
+cluster head ("the traffics are from sensors to the sink"); different
+clusters use orthogonal frequencies, so each cluster owns an independent
+:class:`DataChannel` and there is no inter-cluster interference.
+
+The ledger tracks concurrently active transmissions.  Any temporal overlap
+of two transmissions corrupts *both* ("collision — more than two nodes are
+using the data channel ... causing packet collision at the cluster head").
+Observers (the cluster-head MAC) are notified on three transitions so they
+can drive the tone channel:
+
+* ``on_busy(record)``   — channel left idle state (a reception started);
+* ``on_collision(records)`` — overlap detected (once per collision episode);
+* ``on_idle()``         — the last transmission ended/aborted.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional
+
+from ..errors import MacError
+from ..sim import Simulator
+
+__all__ = ["ChannelState", "TransmissionRecord", "DataChannel"]
+
+
+class ChannelState(enum.Enum):
+    """Data-channel states as listed in §III-A."""
+
+    IDLE = "idle"
+    RECEIVE = "receive"
+    COLLISION = "collision"
+
+
+class TransmissionRecord:
+    """One sensor's ongoing burst on the data channel."""
+
+    __slots__ = ("sender_id", "start_s", "duration_s", "corrupted", "active", "meta")
+
+    def __init__(self, sender_id: int, start_s: float, duration_s: float) -> None:
+        self.sender_id = sender_id
+        self.start_s = start_s
+        self.duration_s = duration_s
+        #: Set as soon as this record overlaps another.
+        self.corrupted = False
+        #: False once ended or aborted.
+        self.active = True
+        #: Free-form slot for MAC bookkeeping (burst composition etc.).
+        self.meta: Optional[object] = None
+
+    @property
+    def planned_end_s(self) -> float:
+        """When the burst would end if not aborted."""
+        return self.start_s + self.duration_s
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flag = "corrupted" if self.corrupted else "clean"
+        return (
+            f"<Tx sender={self.sender_id} t={self.start_s:.4f}"
+            f"+{self.duration_s * 1e3:.2f}ms [{flag}]>"
+        )
+
+
+class DataChannel:
+    """Collision-detecting transmission ledger for one cluster."""
+
+    def __init__(self, sim: Simulator, name: str = "data") -> None:
+        self.sim = sim
+        self.name = name
+        self._active: Dict[int, TransmissionRecord] = {}
+        self._in_collision = False
+        #: Observer hooks (set by the cluster-head MAC).
+        self.on_busy: Optional[Callable[[TransmissionRecord], None]] = None
+        self.on_collision: Optional[Callable[[List[TransmissionRecord]], None]] = None
+        self.on_idle: Optional[Callable[[], None]] = None
+        # Statistics.
+        self.total_transmissions = 0
+        self.total_collisions = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def state(self) -> ChannelState:
+        """Current channel state (IDLE / RECEIVE / COLLISION)."""
+        if not self._active:
+            return ChannelState.IDLE
+        if self._in_collision:
+            return ChannelState.COLLISION
+        return ChannelState.RECEIVE
+
+    @property
+    def is_idle(self) -> bool:
+        """True iff nothing is on the air."""
+        return not self._active
+
+    @property
+    def active_senders(self) -> List[int]:
+        """Sender ids currently on the air."""
+        return list(self._active)
+
+    # -- transitions ----------------------------------------------------------
+
+    def begin(self, sender_id: int, duration_s: float) -> TransmissionRecord:
+        """Start a transmission; detects collision with anything active."""
+        if duration_s <= 0:
+            raise MacError("transmission duration must be > 0")
+        if sender_id in self._active:
+            raise MacError(f"sender {sender_id} is already transmitting")
+        record = TransmissionRecord(sender_id, self.sim.now, duration_s)
+        was_idle = not self._active
+        self._active[sender_id] = record
+        self.total_transmissions += 1
+
+        if was_idle:
+            if self.on_busy is not None:
+                self.on_busy(record)
+            return record
+
+        # Overlap: corrupt everything on the air (including the newcomer).
+        colliders = [r for r in self._active.values() if not r.corrupted]
+        for r in self._active.values():
+            r.corrupted = True
+        if not self._in_collision:
+            self._in_collision = True
+            self.total_collisions += 1
+            if self.on_collision is not None:
+                self.on_collision(colliders)
+        return record
+
+    def end(self, record: TransmissionRecord) -> None:
+        """Finish a transmission normally (reception complete if clean)."""
+        self._remove(record)
+
+    def abort(self, record: TransmissionRecord) -> None:
+        """Abort mid-burst (sender heard the collision tone and stopped)."""
+        self._remove(record)
+
+    def _remove(self, record: TransmissionRecord) -> None:
+        if not record.active:
+            raise MacError("transmission already ended")
+        record.active = False
+        stored = self._active.pop(record.sender_id, None)
+        if stored is not record:  # pragma: no cover - defensive
+            raise MacError("foreign transmission record")
+        if not self._active:
+            self._in_collision = False
+            if self.on_idle is not None:
+                self.on_idle()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DataChannel {self.name!r} state={self.state.value} "
+            f"active={len(self._active)}>"
+        )

@@ -1,0 +1,151 @@
+"""Path-loss models (macroscopic distance-dependent attenuation).
+
+The paper (§II-B) lists path loss as the first of the three propagation
+effects.  The default for experiments is :class:`LogDistance` with exponent
+3, appropriate for near-ground sensor deployments; :class:`FreeSpace` and
+:class:`TwoRayGround` are provided for sensitivity studies.
+
+All models return loss in **dB** (positive numbers; received power =
+transmit power − loss).  They accept scalar or numpy-array distances.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..constants import DEFAULT_CARRIER_HZ, SPEED_OF_LIGHT
+from ..errors import ChannelError
+
+__all__ = ["PathLossModel", "FreeSpace", "LogDistance", "TwoRayGround"]
+
+
+class PathLossModel(ABC):
+    """Interface: distance (m) → path loss (dB)."""
+
+    #: Smallest distance accepted; closer queries are clamped here so a
+    #: sensor dropped on top of its cluster head cannot yield negative loss.
+    min_distance_m: float = 1.0
+
+    @abstractmethod
+    def loss_db(self, distance_m):
+        """Path loss in dB at ``distance_m`` (scalar or array)."""
+
+    def _clamp(self, distance_m):
+        if isinstance(distance_m, np.ndarray):
+            return np.maximum(distance_m, self.min_distance_m)
+        if distance_m != distance_m or distance_m < 0:
+            raise ChannelError(f"invalid distance {distance_m!r}")
+        return max(float(distance_m), self.min_distance_m)
+
+
+class FreeSpace(PathLossModel):
+    """Friis free-space loss: ``20·log10(4πd/λ)``."""
+
+    def __init__(self, carrier_hz: float = DEFAULT_CARRIER_HZ,
+                 min_distance_m: float = 1.0) -> None:
+        if carrier_hz <= 0:
+            raise ChannelError("carrier frequency must be > 0")
+        self.carrier_hz = carrier_hz
+        self.min_distance_m = min_distance_m
+        self._wavelength_m = SPEED_OF_LIGHT / carrier_hz
+
+    def loss_db(self, distance_m):
+        d = self._clamp(distance_m)
+        ratio = 4.0 * math.pi / self._wavelength_m
+        if isinstance(d, np.ndarray):
+            return 20.0 * np.log10(ratio * d)
+        return 20.0 * math.log10(ratio * d)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FreeSpace(carrier={self.carrier_hz/1e6:.0f} MHz)"
+
+
+class LogDistance(PathLossModel):
+    """Log-distance model: ``PL(d) = PL0 + 10·n·log10(d/d0)``.
+
+    Parameters
+    ----------
+    exponent:
+        Path-loss exponent *n* (2 free space … 4 heavy clutter).
+    ref_loss_db:
+        Loss at the reference distance ``d0``.
+    ref_distance_m:
+        Reference distance ``d0`` in metres.
+    """
+
+    def __init__(
+        self,
+        exponent: float = 3.0,
+        ref_loss_db: float = 40.0,
+        ref_distance_m: float = 1.0,
+        min_distance_m: float = 1.0,
+    ) -> None:
+        if exponent <= 0:
+            raise ChannelError("path-loss exponent must be > 0")
+        if ref_distance_m <= 0:
+            raise ChannelError("reference distance must be > 0")
+        self.exponent = exponent
+        self.ref_loss_db = ref_loss_db
+        self.ref_distance_m = ref_distance_m
+        self.min_distance_m = min_distance_m
+
+    def loss_db(self, distance_m):
+        d = self._clamp(distance_m)
+        if isinstance(d, np.ndarray):
+            return self.ref_loss_db + 10.0 * self.exponent * np.log10(
+                d / self.ref_distance_m
+            )
+        return self.ref_loss_db + 10.0 * self.exponent * math.log10(
+            d / self.ref_distance_m
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LogDistance(n={self.exponent}, PL0={self.ref_loss_db} dB "
+            f"@ {self.ref_distance_m} m)"
+        )
+
+
+class TwoRayGround(PathLossModel):
+    """Two-ray ground-reflection model with free-space crossover.
+
+    Below the crossover distance ``d_c = 4π·h_t·h_r/λ`` the model follows
+    free space; beyond it, ``PL = 40·log10(d) − 20·log10(h_t·h_r)``.
+    """
+
+    def __init__(
+        self,
+        tx_height_m: float = 0.5,
+        rx_height_m: float = 0.5,
+        carrier_hz: float = DEFAULT_CARRIER_HZ,
+        min_distance_m: float = 1.0,
+    ) -> None:
+        if tx_height_m <= 0 or rx_height_m <= 0:
+            raise ChannelError("antenna heights must be > 0")
+        self.tx_height_m = tx_height_m
+        self.rx_height_m = rx_height_m
+        self.carrier_hz = carrier_hz
+        self.min_distance_m = min_distance_m
+        self._free_space = FreeSpace(carrier_hz, min_distance_m)
+        wavelength = SPEED_OF_LIGHT / carrier_hz
+        self.crossover_m = 4.0 * math.pi * tx_height_m * rx_height_m / wavelength
+
+    def loss_db(self, distance_m):
+        d = self._clamp(distance_m)
+        hh = self.tx_height_m * self.rx_height_m
+        if isinstance(d, np.ndarray):
+            far = 40.0 * np.log10(d) - 20.0 * math.log10(hh)
+            near = self._free_space.loss_db(d)
+            return np.where(d > self.crossover_m, far, near)
+        if d > self.crossover_m:
+            return 40.0 * math.log10(d) - 20.0 * math.log10(hh)
+        return self._free_space.loss_db(d)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TwoRayGround(ht={self.tx_height_m}, hr={self.rx_height_m}, "
+            f"crossover={self.crossover_m:.1f} m)"
+        )

@@ -1,0 +1,101 @@
+"""Correlated log-normal shadowing (macroscopic fading).
+
+The paper (§II-B): *"Shadowing loss refers to the change in received signal
+strength due to variations in terrain structure and transmission
+conditions.  These two factors fluctuate in macroscopic time scale (2-5
+seconds)."*
+
+We model the shadowing term S(t) in dB as a stationary Ornstein-Uhlenbeck
+(Gauss-Markov) process with standard deviation σ and exponential
+autocorrelation ``ρ(Δ) = exp(−Δ/τ)`` — the time-domain analogue of
+Gudmundson's classic spatial model.  The process is sampled **lazily and
+exactly**: for any query gap Δ the bridge
+
+    S(t+Δ) = ρ(Δ)·S(t) + σ·sqrt(1−ρ(Δ)²)·ξ,   ξ ~ N(0,1)
+
+has the exact conditional distribution, so cost scales with the number of
+queries, not with any fixed sampling grid, and queries at arbitrary
+(strictly non-decreasing) times are statistically consistent.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ChannelError
+
+__all__ = ["GaussMarkovShadowing"]
+
+
+class GaussMarkovShadowing:
+    """Lazily-sampled Gauss-Markov shadowing process (values in dB).
+
+    Parameters
+    ----------
+    sigma_db:
+        Stationary standard deviation in dB (0 disables shadowing).
+    tau_s:
+        Decorrelation time constant in seconds.
+    rng:
+        Numpy generator (from :class:`repro.rng.RngRegistry`).
+    start_time_s:
+        Simulation time of the initial draw.
+    """
+
+    __slots__ = ("sigma_db", "tau_s", "_rng", "_time", "_value")
+
+    def __init__(
+        self,
+        sigma_db: float,
+        tau_s: float,
+        rng: np.random.Generator,
+        start_time_s: float = 0.0,
+    ) -> None:
+        if sigma_db < 0:
+            raise ChannelError("shadowing sigma must be >= 0")
+        if tau_s <= 0:
+            raise ChannelError("shadowing tau must be > 0")
+        self.sigma_db = float(sigma_db)
+        self.tau_s = float(tau_s)
+        self._rng = rng
+        self._time = float(start_time_s)
+        # Stationary initial draw.
+        self._value = float(rng.normal(0.0, self.sigma_db)) if sigma_db > 0 else 0.0
+
+    @property
+    def last_time(self) -> float:
+        """Time of the most recent sample."""
+        return self._time
+
+    def value_db(self, t: float) -> float:
+        """Shadowing in dB at time ``t`` (must be >= the previous query).
+
+        Queries at the exact same time return the cached value, which is
+        what "the channel gain remains stationary for the duration of a
+        packet" needs when several modules look at the link within one
+        MAC transaction.
+        """
+        if t < self._time:
+            raise ChannelError(
+                f"shadowing queried backwards in time: {t} < {self._time}"
+            )
+        if self.sigma_db == 0.0:
+            self._time = t
+            return 0.0
+        dt = t - self._time
+        if dt > 0.0:
+            rho = math.exp(-dt / self.tau_s)
+            noise = self._rng.normal(0.0, 1.0)
+            self._value = rho * self._value + self.sigma_db * math.sqrt(
+                1.0 - rho * rho
+            ) * noise
+            self._time = t
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GaussMarkovShadowing(sigma={self.sigma_db} dB, tau={self.tau_s} s, "
+            f"t={self._time:.3f})"
+        )

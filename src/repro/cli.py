@@ -1,0 +1,105 @@
+"""Command-line entry point: regenerate any paper artefact.
+
+Usage::
+
+    repro-caem table1
+    repro-caem fig8  --preset quick --seeds 1 2
+    repro-caem fig10 --preset full  --out results/
+    repro-caem all   --preset quick
+
+(or ``python -m repro ...``).  Every command prints the paper-style table
+and optionally writes CSV next to it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .experiments import (
+    ext_performance,
+    fig8_remaining_energy,
+    fig9_nodes_alive,
+    fig10_lifetime_vs_load,
+    fig11_energy_per_packet,
+    fig12_queue_stddev,
+    table1_tone_spec,
+    table2_parameters,
+)
+
+__all__ = ["main", "build_parser"]
+
+_STATIC = {
+    "table1": lambda args: table1_tone_spec(),
+    "table2": lambda args: table2_parameters(),
+}
+
+_DYNAMIC: Dict[str, Callable] = {
+    "fig8": lambda args: fig8_remaining_energy(args.preset, args.seeds),
+    "fig9": lambda args: fig9_nodes_alive(args.preset, args.seeds),
+    "fig10": lambda args: fig10_lifetime_vs_load(args.preset, args.seeds, args.loads),
+    "fig11": lambda args: fig11_energy_per_packet(args.preset, args.seeds, args.loads),
+    "fig12": lambda args: fig12_queue_stddev(args.preset, args.seeds, args.loads),
+    "ext-perf": lambda args: ext_performance(args.preset, args.seeds, args.loads),
+}
+
+_ALL = list(_STATIC) + list(_DYNAMIC)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-caem",
+        description="Regenerate the CAEM paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=_ALL + ["all"],
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--preset",
+        default="quick",
+        choices=("full", "quick", "smoke"),
+        help="scale tier (full = paper's Table II, quick = CI scale)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[1],
+        help="replication seeds",
+    )
+    parser.add_argument(
+        "--loads",
+        type=float,
+        nargs="+",
+        default=[5.0, 10.0, 15.0, 20.0, 25.0, 30.0],
+        help="traffic loads (packets/s per node) for the sweep figures",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="directory to also write <figure>.csv into",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI body; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    names: List[str] = _ALL if args.experiment == "all" else [args.experiment]
+    for name in names:
+        fn = _STATIC.get(name) or _DYNAMIC[name]
+        figure = fn(args)
+        sys.stdout.write(figure.render())
+        sys.stdout.write("\n")
+        if args.out:
+            path = figure.save_csv(args.out)
+            sys.stdout.write(f"wrote {path}\n\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""LEACH clustering substrate: topology, election, membership."""
+
+from .leach import ClusterAssignment, LeachElection
+from .topology import Topology
+
+__all__ = ["Topology", "LeachElection", "ClusterAssignment"]

@@ -1,0 +1,98 @@
+"""Field topology: node placement and distance geometry.
+
+The paper deploys 100 static nodes in a square testing field (Table II;
+edge length scan-damaged, 100 m assumed — DESIGN.md §2).  Placement is
+uniform-random (the usual LEACH setting); a deterministic grid is provided
+for tests and worked examples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ClusterError
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """Static node positions in a square field, with distance queries."""
+
+    def __init__(self, positions: np.ndarray, field_size_m: float) -> None:
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ClusterError("positions must be an (n, 2) array")
+        if positions.shape[0] < 1:
+            raise ClusterError("need at least one node")
+        if field_size_m <= 0:
+            raise ClusterError("field size must be > 0")
+        if np.any(positions < 0) or np.any(positions > field_size_m):
+            raise ClusterError("positions must lie inside the field")
+        self.positions = positions
+        self.field_size_m = float(field_size_m)
+        # Pairwise distances, vectorised once (n is small: 100 nodes).
+        diff = positions[:, None, :] - positions[None, :, :]
+        self._dist = np.sqrt((diff ** 2).sum(axis=2))
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def uniform(
+        cls, n_nodes: int, field_size_m: float, rng: np.random.Generator
+    ) -> "Topology":
+        """Uniform-random placement (the paper's deployment model)."""
+        if n_nodes < 1:
+            raise ClusterError("need at least one node")
+        pos = rng.uniform(0.0, field_size_m, size=(n_nodes, 2))
+        return cls(pos, field_size_m)
+
+    @classmethod
+    def grid(cls, n_nodes: int, field_size_m: float) -> "Topology":
+        """Deterministic near-square grid (tests/examples)."""
+        if n_nodes < 1:
+            raise ClusterError("need at least one node")
+        cols = int(math.ceil(math.sqrt(n_nodes)))
+        rows = int(math.ceil(n_nodes / cols))
+        xs = np.linspace(field_size_m * 0.05, field_size_m * 0.95, cols)
+        ys = np.linspace(field_size_m * 0.05, field_size_m * 0.95, rows)
+        pts = [(x, y) for y in ys for x in xs][:n_nodes]
+        return cls(np.array(pts), field_size_m)
+
+    # -- queries ---------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes placed."""
+        return self.positions.shape[0]
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between nodes ``a`` and ``b``."""
+        return float(self._dist[a, b])
+
+    def distances_from(self, node: int) -> np.ndarray:
+        """Vector of distances from ``node`` to every node."""
+        return self._dist[node]
+
+    def nearest(self, node: int, candidates: Sequence[int]) -> int:
+        """The candidate closest to ``node`` (ties broken by lower id).
+
+        With a distance-monotone path-loss model this is also the
+        strongest-received-power cluster head, which is how LEACH sensors
+        pick their cluster.
+        """
+        if len(candidates) == 0:
+            raise ClusterError("no candidates")
+        cand = np.asarray(candidates, dtype=int)
+        row = self._dist[node, cand]
+        return int(cand[int(np.argmin(row))])
+
+    def centroid(self) -> Tuple[float, float]:
+        """Mean position (diagnostics)."""
+        c = self.positions.mean(axis=0)
+        return float(c[0]), float(c[1])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Topology(n={self.n_nodes}, field={self.field_size_m} m)"

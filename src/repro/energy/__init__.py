@@ -1,0 +1,7 @@
+"""Energy accounting substrate: model (Table II), battery, meter."""
+
+from .battery import Battery
+from .meter import ContinuousDraw, EnergyMeter
+from .model import CAUSES, RadioEnergyModel
+
+__all__ = ["Battery", "EnergyMeter", "ContinuousDraw", "RadioEnergyModel", "CAUSES"]

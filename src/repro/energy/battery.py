@@ -1,0 +1,101 @@
+"""Battery: finite energy store with depletion notification.
+
+"Normally, a sensor node in the network is battery powered ... The
+depletion of the battery energy means the failure of the node and partial
+partitioning of the network."  Each node owns one battery (10 J in the
+paper's runs); when it hits zero the node dies and the network notes a
+potential "blind area".
+
+Draws never take the level below zero: the final draw is truncated to the
+remaining charge (a radio browns out mid-activity), and the depletion
+callback fires exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import EnergyError
+
+__all__ = ["Battery"]
+
+
+class Battery:
+    """Finite energy store.
+
+    Parameters
+    ----------
+    capacity_j:
+        Initial (and maximum) energy in joules.
+    on_depleted:
+        Called once, with no arguments, when the level first reaches zero.
+    """
+
+    __slots__ = ("capacity_j", "_level_j", "_on_depleted", "_depleted", "drawn_j")
+
+    def __init__(
+        self,
+        capacity_j: float,
+        on_depleted: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if capacity_j <= 0:
+            raise EnergyError("battery capacity must be > 0")
+        self.capacity_j = float(capacity_j)
+        self._level_j = float(capacity_j)
+        self._on_depleted = on_depleted
+        self._depleted = False
+        #: Lifetime total drawn (== capacity - level).
+        self.drawn_j = 0.0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def level_j(self) -> float:
+        """Remaining energy in joules (never negative)."""
+        return self._level_j
+
+    @property
+    def fraction(self) -> float:
+        """Remaining fraction of initial capacity in [0, 1]."""
+        return self._level_j / self.capacity_j
+
+    @property
+    def is_depleted(self) -> bool:
+        """True once the battery hit zero."""
+        return self._depleted
+
+    # -- operations ----------------------------------------------------------
+
+    def draw(self, energy_j: float) -> float:
+        """Consume energy; returns the amount actually drawn.
+
+        Drawing from an already-depleted battery returns 0 (dead radios
+        consume nothing); the depletion callback runs only on the
+        transition to empty.
+        """
+        if energy_j < 0:
+            raise EnergyError(f"cannot draw negative energy ({energy_j!r})")
+        if self._depleted or energy_j == 0.0:
+            return 0.0
+        actual = min(energy_j, self._level_j)
+        self._level_j -= actual
+        self.drawn_j += actual
+        if self._level_j <= 0.0:
+            self._level_j = 0.0
+            self._depleted = True
+            if self._on_depleted is not None:
+                self._on_depleted()
+        return actual
+
+    def can_supply(self, energy_j: float) -> bool:
+        """True if a draw of ``energy_j`` would not empty the battery."""
+        return not self._depleted and self._level_j >= energy_j
+
+    def set_depletion_callback(self, fn: Callable[[], None]) -> None:
+        """Install/replace the depletion callback (before depletion)."""
+        if self._depleted:
+            raise EnergyError("battery already depleted")
+        self._on_depleted = fn
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Battery {self._level_j:.3f}/{self.capacity_j:.3f} J>"

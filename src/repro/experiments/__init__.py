@@ -1,0 +1,41 @@
+"""Experiment harness: presets, runner, the paper's figures and tables."""
+
+from .figures import (
+    DEFAULT_LOADS_PPS,
+    FigureResult,
+    ext_performance,
+    fig8_remaining_energy,
+    fig9_nodes_alive,
+    fig10_lifetime_vs_load,
+    fig11_energy_per_packet,
+    fig12_queue_stddev,
+)
+from .presets import PRESETS, Preset, get_preset, preset_config
+from .report import render_table, write_csv
+from .runner import RunResult, run_scenario
+from .sweep import SweepPoint, SweepResult, sweep
+from .tables import table1_tone_spec, table2_parameters
+
+__all__ = [
+    "FigureResult",
+    "fig8_remaining_energy",
+    "fig9_nodes_alive",
+    "fig10_lifetime_vs_load",
+    "fig11_energy_per_packet",
+    "fig12_queue_stddev",
+    "ext_performance",
+    "DEFAULT_LOADS_PPS",
+    "Preset",
+    "PRESETS",
+    "get_preset",
+    "preset_config",
+    "render_table",
+    "write_csv",
+    "RunResult",
+    "run_scenario",
+    "SweepPoint",
+    "SweepResult",
+    "sweep",
+    "table1_tone_spec",
+    "table2_parameters",
+]

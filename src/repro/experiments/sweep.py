@@ -1,0 +1,102 @@
+"""Generic parameter sweeps with replication.
+
+The figure experiments cover the paper; :func:`sweep` is the general tool
+behind the ablation benches — vary any config transform over a grid, run
+replications, and get a tidy table back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..config import NetworkConfig
+from ..errors import ExperimentError
+from ..metrics.summary import Summary, summarize
+from .runner import RunResult, run_scenario
+
+__all__ = ["SweepPoint", "SweepResult", "sweep"]
+
+ConfigTransform = Callable[[NetworkConfig, object], NetworkConfig]
+MetricFn = Callable[[RunResult], Optional[float]]
+
+
+@dataclass
+class SweepPoint:
+    """One grid point: parameter value + per-metric summaries."""
+
+    value: object
+    metrics: Dict[str, Summary] = field(default_factory=dict)
+    runs: List[RunResult] = field(default_factory=list)
+
+
+@dataclass
+class SweepResult:
+    """All grid points of one sweep."""
+
+    parameter: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def column(self, metric: str) -> List[Optional[float]]:
+        """Mean of ``metric`` per grid point (None where unavailable)."""
+        out: List[Optional[float]] = []
+        for p in self.points:
+            s = p.metrics.get(metric)
+            out.append(s.mean if s is not None else None)
+        return out
+
+    def rows(self, metrics: Sequence[str]) -> List[List]:
+        """Table rows: value + the requested metric means."""
+        table = []
+        for p in self.points:
+            row: List = [p.value]
+            for m in metrics:
+                s = p.metrics.get(m)
+                row.append(s.mean if s is not None else None)
+            table.append(row)
+        return table
+
+
+def sweep(
+    base_cfg: NetworkConfig,
+    parameter: str,
+    values: Sequence[object],
+    transform: ConfigTransform,
+    metrics: Dict[str, MetricFn],
+    horizon_s: float,
+    seeds: Sequence[int] = (1,),
+    sample_interval_s: float = 5.0,
+    stop_when_dead: bool = False,
+    collect_queues: bool = False,
+) -> SweepResult:
+    """Run ``transform(base_cfg, v)`` for every v × seed; summarize metrics.
+
+    ``metrics`` maps a column name to a function of :class:`RunResult`;
+    functions may return None (censored), which :func:`summarize` drops.
+    """
+    if not values:
+        raise ExperimentError("sweep needs at least one value")
+    if not metrics:
+        raise ExperimentError("sweep needs at least one metric")
+    result = SweepResult(parameter=parameter)
+    for value in values:
+        point = SweepPoint(value=value)
+        samples: Dict[str, List[Optional[float]]] = {m: [] for m in metrics}
+        for seed in seeds:
+            cfg = transform(base_cfg.with_(seed=seed), value)
+            run = run_scenario(
+                cfg,
+                horizon_s=horizon_s,
+                sample_interval_s=sample_interval_s,
+                stop_when_dead=stop_when_dead,
+                collect_queues=collect_queues,
+            )
+            point.runs.append(run)
+            for name, fn in metrics.items():
+                samples[name].append(fn(run))
+        for name, vals in samples.items():
+            usable = [v for v in vals if v is not None]
+            if usable:
+                point.metrics[name] = summarize(usable)
+        result.points.append(point)
+    return result

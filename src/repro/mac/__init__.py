@@ -1,0 +1,33 @@
+"""CAEM medium access control: tone signalling, backoff, state machines."""
+
+from .backoff import BackoffPolicy
+from .baseline import build_sensor_mac
+from .caem import (
+    CaemClusterHeadMac,
+    CaemSensorMac,
+    ClusterContext,
+    MacStats,
+    SensorMacState,
+)
+from .tone import (
+    ToneBroadcaster,
+    ToneChannelSpec,
+    ToneKind,
+    ToneListener,
+    TonePulseSpec,
+)
+
+__all__ = [
+    "BackoffPolicy",
+    "build_sensor_mac",
+    "CaemSensorMac",
+    "CaemClusterHeadMac",
+    "ClusterContext",
+    "MacStats",
+    "SensorMacState",
+    "ToneBroadcaster",
+    "ToneChannelSpec",
+    "ToneKind",
+    "ToneListener",
+    "TonePulseSpec",
+]

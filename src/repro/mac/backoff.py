@@ -1,0 +1,52 @@
+"""Random backoff policy (paper §III-B).
+
+"it backs off for a random period of time, which equals to
+``rand() × 2^r × 20 µs × CW``, where ``rand()`` generates a number evenly
+distributed [in (0, 1)], ``r`` is the number of times this packet has been
+retransmitted (the maximal value is 6), and ``CW`` is the contention
+window size [10]."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MacConfig
+from ..errors import MacError
+
+__all__ = ["BackoffPolicy"]
+
+
+class BackoffPolicy:
+    """Draws backoff delays with exponential growth in the retry count."""
+
+    __slots__ = ("slot_s", "contention_window", "max_retries", "_rng", "draws")
+
+    def __init__(self, cfg: MacConfig, rng: np.random.Generator) -> None:
+        self.slot_s = cfg.backoff_slot_s
+        self.contention_window = cfg.contention_window
+        self.max_retries = cfg.max_retries
+        self._rng = rng
+        #: Number of delays drawn (diagnostics).
+        self.draws = 0
+
+    def delay_s(self, retry: int) -> float:
+        """Backoff before attempt with retry count ``retry`` (0-based).
+
+        The exponent saturates at ``max_retries`` — the paper caps r at 6.
+        """
+        if retry < 0:
+            raise MacError("retry count cannot be negative")
+        r = min(retry, self.max_retries)
+        self.draws += 1
+        u = float(self._rng.random())
+        return u * (2 ** r) * self.slot_s * self.contention_window
+
+    def max_delay_s(self, retry: int) -> float:
+        """Upper bound of the delay for a given retry count."""
+        r = min(max(retry, 0), self.max_retries)
+        return (2 ** r) * self.slot_s * self.contention_window
+
+    def exhausted(self, retry: int) -> bool:
+        """True once the retry budget is spent (packet should be dropped)."""
+        return retry > self.max_retries

@@ -1,0 +1,68 @@
+"""Baseline MAC wiring: pure LEACH access, same machinery, no gate.
+
+The paper's baseline shares everything with CAEM except channel awareness:
+it still uses the tone channel for medium access (it must know when the
+channel is free) but its transmission policy ignores CSI.  This module
+exists to make that relationship explicit in code — the baseline *is* a
+:class:`~repro.mac.caem.CaemSensorMac` with
+:class:`~repro.policy.unconstrained.AlwaysTransmitPolicy` — and to give
+the factory a single construction point used by the network layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MacConfig, PhyConfig, PolicyConfig, Protocol
+from ..phy.abicm import AbicmTable
+from ..phy.radio import DataRadio, ToneRadio
+from ..policy import ThresholdLadder, make_policy
+from ..sim import Simulator
+from ..traffic.buffer import PacketBuffer
+from .backoff import BackoffPolicy
+from .caem import CaemSensorMac
+
+__all__ = ["build_sensor_mac"]
+
+
+def build_sensor_mac(
+    protocol: Protocol,
+    sim: Simulator,
+    node_id: int,
+    buffer: PacketBuffer,
+    abicm: AbicmTable,
+    data_radio: DataRadio,
+    tone_radio: ToneRadio,
+    mac_cfg: MacConfig,
+    phy_cfg: PhyConfig,
+    policy_cfg: PolicyConfig,
+    rng: np.random.Generator,
+    tracer=None,
+) -> CaemSensorMac:
+    """Build a sensor MAC for any of the paper's three protocols.
+
+    ``rng`` seeds both the backoff draws and the policy (if stochastic);
+    per-node streams come from :class:`repro.rng.RngRegistry`.
+    """
+    ladder = ThresholdLadder(abicm)
+    on_change = None
+    if tracer is not None:
+        def on_change(now: float, old: int, new: int, _node=node_id) -> None:
+            tracer.annotate(now, "policy.threshold_change",
+                            node=_node, old=old, new=new)
+    policy = make_policy(protocol, ladder, policy_cfg, on_change)
+    backoff = BackoffPolicy(mac_cfg, rng)
+    return CaemSensorMac(
+        sim=sim,
+        node_id=node_id,
+        buffer=buffer,
+        policy=policy,
+        abicm=abicm,
+        data_radio=data_radio,
+        tone_radio=tone_radio,
+        backoff=backoff,
+        mac_cfg=mac_cfg,
+        phy_cfg=phy_cfg,
+        rng=rng,
+        tracer=tracer,
+    )

@@ -1,0 +1,547 @@
+"""CAEM medium access control (paper §III-B, Figs. 3–4).
+
+Two state machines:
+
+* :class:`CaemSensorMac` — Fig. 3.  A sensor with enough buffered packets
+  turns on its tone radio and *monitors*.  On an **idle** tone pulse (after
+  the sensing delay) it measures CSI from the pulse; if the transmission
+  policy allows (this is where pure LEACH / Scheme 1 / Scheme 2 differ), it
+  *backs off* for ``rand·2^r·slot·CW``; at expiry it re-checks (channel
+  still free? quality still sufficient?) and only then wakes the data radio
+  (startup cost) and transmits a burst of 3–8 packets at the ABICM mode the
+  current CSI supports.  Hearing a **collision** tone mid-burst aborts the
+  transmission (the two-radio design gives collision *detection*, §III-B);
+  aborted packets return to the buffer for retry.
+* :class:`CaemClusterHeadMac` — Fig. 4.  The cluster head drives the tone
+  broadcaster from the data-channel state (idle / receive / collision
+  pulses), keeps its data radio powered, receives bursts, applies the PHY
+  packet-error model, and hands delivered packets to the network layer.
+
+Layering: the MACs own protocol *behaviour*; energy flows through the
+radio state machines; the :class:`~repro.channel.medium.DataChannel`
+ledger arbitrates overlap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..channel.link import Link
+from ..channel.medium import DataChannel, TransmissionRecord
+from ..config import MacConfig, PhyConfig
+from ..errors import MacError
+from ..phy.abicm import AbicmTable
+from ..phy.frame import BurstPlan, evaluate_burst, plan_burst
+from ..phy.radio import DataRadio, ToneRadio
+from ..sim import Simulator
+from ..traffic.buffer import PacketBuffer
+from ..traffic.packet import Packet
+from ..policy.base import TransmissionPolicy
+from .backoff import BackoffPolicy
+from .tone import ToneBroadcaster, ToneKind
+
+__all__ = [
+    "SensorMacState",
+    "MacStats",
+    "ClusterContext",
+    "CaemSensorMac",
+    "CaemClusterHeadMac",
+]
+
+
+class SensorMacState(enum.Enum):
+    """Sensor-side MAC states (paper Fig. 3)."""
+
+    SLEEP = "sleep"
+    MONITOR = "monitor"
+    BACKOFF = "backoff"
+    STARTUP = "startup"
+    TRANSMIT = "transmit"
+
+
+@dataclass
+class MacStats:
+    """Per-node MAC counters (diagnostics and metric inputs)."""
+
+    bursts_attempted: int = 0
+    bursts_completed: int = 0
+    bursts_aborted: int = 0
+    packets_sent: int = 0
+    packets_dropped_retry: int = 0
+    quality_deferrals: int = 0  # idle pulse seen but policy said no
+    busy_deferrals: int = 0  # post-backoff check found channel taken
+    collisions_heard: int = 0
+
+
+@dataclass
+class ClusterContext:
+    """Everything a sensor needs to talk to its cluster head this round."""
+
+    cluster_id: int
+    channel: DataChannel
+    broadcaster: ToneBroadcaster
+    head: "CaemClusterHeadMac"
+
+
+class CaemSensorMac:
+    """Sensor-side CAEM MAC (one per sensor node).
+
+    Parameters
+    ----------
+    policy:
+        The transmission policy — the only place the three protocols
+        differ.
+    link:
+        Set at :meth:`attach` time (changes every LEACH round).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        buffer: PacketBuffer,
+        policy: TransmissionPolicy,
+        abicm: AbicmTable,
+        data_radio: DataRadio,
+        tone_radio: ToneRadio,
+        backoff: BackoffPolicy,
+        mac_cfg: MacConfig,
+        phy_cfg: PhyConfig,
+        rng: np.random.Generator,
+        tracer=None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.buffer = buffer
+        self.policy = policy
+        self.abicm = abicm
+        self.data_radio = data_radio
+        self.tone_radio = tone_radio
+        self.backoff = backoff
+        self.mac_cfg = mac_cfg
+        self.phy_cfg = phy_cfg
+        self.rng = rng
+        self.tracer = tracer
+
+        self.state = SensorMacState.SLEEP
+        self.stats = MacStats()
+        self.retry = 0
+
+        self._ctx: Optional[ClusterContext] = None
+        self._link: Optional[Link] = None
+        self._monitor_since: Optional[float] = None
+        self._backoff_handle = None
+        self._tx_end_handle = None
+        self._abort_handle = None
+        self._latency_handle = None
+        self._record: Optional[TransmissionRecord] = None
+        self._plan: Optional[BurstPlan] = None
+        self._tx_snr_db = 0.0
+        self._alive = True
+
+    # -- wiring ------------------------------------------------------------------
+
+    @property
+    def is_attached(self) -> bool:
+        """True while the sensor belongs to a live cluster."""
+        return self._ctx is not None
+
+    @property
+    def link(self) -> Optional[Link]:
+        """This round's channel to the cluster head."""
+        return self._link
+
+    def attach(self, ctx: ClusterContext, link: Link) -> None:
+        """Join a cluster for the new round."""
+        if not self._alive:
+            return
+        if self._ctx is not None:
+            self.detach()
+        self._ctx = ctx
+        self._link = link
+        # Contend right away if the buffer already qualifies.
+        self._maybe_start_monitoring()
+
+    def detach(self) -> None:
+        """Leave the cluster (round ended / CH died): power down, keep queue."""
+        self._cancel_timers()
+        if self._record is not None and self._record.active:
+            # Round ended mid-burst: abort on the ledger, recover packets.
+            self._ctx.channel.abort(self._record)
+            self._recover_packets()
+        self._record = None
+        self._plan = None
+        if self._ctx is not None:
+            self._ctx.broadcaster.unsubscribe(self)
+        self._ctx = None
+        self._link = None
+        self._monitor_since = None
+        self.tone_radio.off()
+        self.data_radio.sleep()
+        self.state = SensorMacState.SLEEP
+
+    def shutdown(self) -> None:
+        """Battery died: tear down permanently."""
+        if not self._alive:
+            return
+        self.detach()
+        self._alive = False
+
+    # -- traffic interface -----------------------------------------------------------
+
+    def notify_arrival(self) -> None:
+        """Node enqueued a packet; maybe start contending."""
+        if self._alive:
+            self._maybe_start_monitoring()
+
+    def _qualifies(self) -> bool:
+        if not self.buffer:
+            return False
+        if len(self.buffer) >= self.mac_cfg.min_burst_packets:
+            return True
+        return self.buffer.head_age_s(self.sim.now) >= self.mac_cfg.min_burst_wait_s
+
+    def _maybe_start_monitoring(self) -> None:
+        if (
+            self.state is not SensorMacState.SLEEP
+            or self._ctx is None
+            or not self._alive
+        ):
+            return
+        if self._qualifies():
+            self._enter_monitor(first_time=True)
+        elif self.buffer and self._latency_handle is None:
+            # Arm the latency escape hatch: contend when the head packet
+            # gets old even if the burst is still small.
+            wait = max(
+                0.0,
+                self.mac_cfg.min_burst_wait_s - self.buffer.head_age_s(self.sim.now),
+            )
+            self._latency_handle = self.sim.call_in(wait, self._latency_expired)
+
+    def _latency_expired(self) -> None:
+        self._latency_handle = None
+        self._maybe_start_monitoring()
+
+    # -- monitor state -----------------------------------------------------------------
+
+    def _enter_monitor(self, first_time: bool = False) -> None:
+        ctx = self._ctx
+        if ctx is None or not self._alive:
+            return
+        self.state = SensorMacState.MONITOR
+        if first_time or self._monitor_since is None:
+            self._monitor_since = self.sim.now
+            self.tone_radio.monitor()
+            ctx.broadcaster.subscribe(self)
+
+    def on_tone_pulse(self, kind: ToneKind, time_s: float) -> None:
+        """Tone-radio reception hook (called while subscribed)."""
+        if not self._alive or self._ctx is None:
+            return
+        if self.state is SensorMacState.MONITOR:
+            if kind is ToneKind.IDLE:
+                self._consider_access(time_s)
+        elif self.state is SensorMacState.BACKOFF:
+            if kind in (ToneKind.RECEIVE, ToneKind.COLLISION):
+                # Channel taken while we were counting down.
+                if self._backoff_handle is not None:
+                    self._backoff_handle.cancel()
+                    self._backoff_handle = None
+                self.state = SensorMacState.MONITOR
+        elif self.state is SensorMacState.TRANSMIT:
+            if kind is ToneKind.COLLISION:
+                self._on_collision_tone(time_s)
+
+    def _consider_access(self, pulse_time: float) -> None:
+        # §III-A: the sensor needs the sensing delay to classify the train.
+        if (
+            self._monitor_since is None
+            or pulse_time - self._monitor_since < self._sensing_delay()
+        ):
+            return
+        if not self._qualifies():
+            # Queue shrank below the burst minimum (packets dropped) —
+            # go back to sleep to save the tone-rx power.
+            self._go_sleep()
+            return
+        csi = self._link.snr_db(pulse_time)
+        if not self.policy.allows(csi):
+            self.stats.quality_deferrals += 1
+            return
+        self._begin_backoff()
+
+    def _sensing_delay(self) -> float:
+        return self._ctx.broadcaster.spec.cfg.sensing_delay_s
+
+    # -- backoff state -------------------------------------------------------------------
+
+    def _begin_backoff(self) -> None:
+        self.state = SensorMacState.BACKOFF
+        delay = self.backoff.delay_s(self.retry)
+        self._backoff_handle = self.sim.call_in(delay, self._backoff_expired)
+
+    def _backoff_expired(self) -> None:
+        self._backoff_handle = None
+        if self._ctx is None or not self._alive:
+            return
+        now = self.sim.now
+        # Re-check both conditions (§III-B).
+        if not self._ctx.channel.is_idle:
+            self.stats.busy_deferrals += 1
+            self.state = SensorMacState.MONITOR
+            return
+        if not self.policy.allows(self._link.snr_db(now)):
+            self.stats.quality_deferrals += 1
+            self.state = SensorMacState.MONITOR
+            return
+        self.state = SensorMacState.STARTUP
+        self.data_radio.wake(self._radio_ready)
+
+    # -- transmit state -------------------------------------------------------------------
+
+    def _radio_ready(self) -> None:
+        if self._ctx is None or not self._alive:
+            self.data_radio.sleep()
+            return
+        now = self.sim.now
+        n = min(len(self.buffer), self.mac_cfg.max_burst_packets)
+        if n == 0:  # pragma: no cover - queue emptied by drops mid-startup
+            self.data_radio.sleep()
+            self._go_sleep()
+            return
+        packets = self.buffer.take(n)
+        csi = self._link.snr_db(now)
+        # Burst-by-burst adaptation: best mode the channel supports right
+        # now.  In outage (possible only for the ungated baseline) fall
+        # back to the most robust mode and eat the PER.
+        mode = self.abicm.mode_for_snr(csi) or self.abicm.lowest
+        plan = plan_burst(
+            packets, mode, self.phy_cfg.packet_length_bits,
+            self.phy_cfg.burst_overhead_bits,
+        )
+        self.data_radio.start_tx()
+        self._record = self._ctx.channel.begin(self.node_id, plan.airtime_s)
+        self._record.meta = plan
+        self._plan = plan
+        # Paper assumption 3: the gain is stationary over the transmission,
+        # so the PER is evaluated at the SNR the burst was planned with.
+        self._tx_snr_db = csi
+        self.state = SensorMacState.TRANSMIT
+        self.stats.bursts_attempted += 1
+        self._tx_end_handle = self.sim.call_in(plan.airtime_s, self._tx_complete)
+        if self.tracer is not None:
+            self.tracer.annotate(
+                now, "mac.burst_start",
+                node=self.node_id, n=plan.n_packets, mode=mode.index,
+                snr_db=csi,
+            )
+
+    def _tx_complete(self) -> None:
+        self._tx_end_handle = None
+        record, plan = self._record, self._plan
+        self._record, self._plan = None, None
+        ctx = self._ctx
+        if record is None or ctx is None:  # pragma: no cover - defensive
+            return
+        corrupted = record.corrupted
+        ctx.channel.end(record)
+        self.data_radio.sleep()
+        if corrupted:
+            # Completed while corrupted (e.g. the colliding sensor heard
+            # the tone and aborted, but our tail still overlapped): all
+            # packets are lost at the CH; treat like an abort.
+            self._handle_failed_burst(plan)
+            return
+        self.stats.bursts_completed += 1
+        self.stats.packets_sent += plan.n_packets
+        self.retry = 0
+        # Hand to the cluster head for PER evaluation / delivery.
+        ctx.head.receive_burst(plan, self._tx_snr_db, self.node_id)
+        self._after_transaction()
+
+    def _on_collision_tone(self, pulse_time: float) -> None:
+        """Collision tone heard mid-burst: stop after the pulse ends."""
+        self.stats.collisions_heard += 1
+        if self._abort_handle is None and self._record is not None:
+            duration = self._ctx.broadcaster.spec.pulse(ToneKind.COLLISION).duration_s
+            self._abort_handle = self.sim.call_in(duration, self._abort_tx)
+
+    def _abort_tx(self) -> None:
+        self._abort_handle = None
+        record, plan = self._record, self._plan
+        if record is None or self._ctx is None:
+            return
+        self._record, self._plan = None, None
+        if self._tx_end_handle is not None:
+            self._tx_end_handle.cancel()
+            self._tx_end_handle = None
+        if record.active:
+            self._ctx.channel.abort(record)
+        self.data_radio.sleep()
+        self.stats.bursts_aborted += 1
+        self._handle_failed_burst(plan)
+
+    def _handle_failed_burst(self, plan: Optional[BurstPlan]) -> None:
+        if plan is not None:
+            self.buffer.requeue_front(list(plan.packets))
+        self.retry += 1
+        if self.backoff.exhausted(self.retry):
+            # Retry budget spent: shed the head burst (data loss).
+            lost = self.buffer.take(plan.n_packets if plan is not None else 0)
+            self.stats.packets_dropped_retry += len(lost)
+            self.retry = 0
+        self._after_transaction()
+
+    def _after_transaction(self) -> None:
+        if self._ctx is None or not self._alive:
+            return
+        if self._qualifies():
+            self.state = SensorMacState.MONITOR  # still subscribed, radio on
+        else:
+            self._go_sleep()
+
+    def _go_sleep(self) -> None:
+        if self._ctx is not None:
+            self._ctx.broadcaster.unsubscribe(self)
+        self.tone_radio.off()
+        self._monitor_since = None
+        self.state = SensorMacState.SLEEP
+        # Re-arm the latency escape hatch for any residual packets.
+        self._maybe_start_monitoring()
+
+    # -- internals ---------------------------------------------------------------------------
+
+    def _recover_packets(self) -> None:
+        if self._plan is not None:
+            self.buffer.requeue_front(list(self._plan.packets))
+            self._plan = None
+
+    def _cancel_timers(self) -> None:
+        for name in ("_backoff_handle", "_tx_end_handle", "_abort_handle",
+                     "_latency_handle"):
+            handle = getattr(self, name)
+            if handle is not None:
+                handle.cancel()
+                setattr(self, name, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CaemSensorMac node={self.node_id} state={self.state.value} "
+            f"queue={len(self.buffer)} retry={self.retry}>"
+        )
+
+
+#: Delivery callback: (packets, sender_id, now) -> None.
+DeliverySink = Callable[[List[Packet], int, float], None]
+
+
+class CaemClusterHeadMac:
+    """Cluster-head MAC (paper Fig. 4): tone driver + receiver."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        channel: DataChannel,
+        broadcaster: ToneBroadcaster,
+        data_radio: DataRadio,
+        phy_cfg: PhyConfig,
+        rng: np.random.Generator,
+        on_delivered: Optional[DeliverySink] = None,
+        on_lost: Optional[DeliverySink] = None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.channel = channel
+        self.broadcaster = broadcaster
+        self.data_radio = data_radio
+        self.phy_cfg = phy_cfg
+        self.rng = rng
+        self.on_delivered = on_delivered
+        self.on_lost = on_lost
+
+        self.packets_received = 0
+        self.packets_corrupted = 0
+        self._running = False
+
+        channel.on_busy = self._on_busy
+        channel.on_collision = self._on_collision
+        channel.on_idle = self._on_idle
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Power up: data radio awake+idle, idle tone train running."""
+        if self._running:
+            raise MacError("cluster head already started")
+        self._running = True
+        self.data_radio.wake(self._awake)
+
+    def _awake(self) -> None:
+        if self._running:
+            self.broadcaster.start(ToneKind.IDLE)
+
+    def stop(self) -> None:
+        """Round over / CH died: silence the tone, sleep the radio."""
+        if not self._running:
+            return
+        self._running = False
+        self.broadcaster.stop()
+        self.data_radio.sleep()
+
+    @property
+    def is_running(self) -> bool:
+        """True while serving the cluster."""
+        return self._running
+
+    # -- data-channel observers ------------------------------------------------------
+
+    def _on_busy(self, record: TransmissionRecord) -> None:
+        if not self._running:
+            return
+        if self.broadcaster.is_running:
+            self.broadcaster.set_state(ToneKind.RECEIVE)
+        if self.data_radio.is_awake:
+            self.data_radio.start_rx()
+
+    def _on_collision(self, records: List[TransmissionRecord]) -> None:
+        if not self._running:
+            return
+        if self.broadcaster.is_running:
+            self.broadcaster.set_state(ToneKind.COLLISION)
+
+    def _on_idle(self) -> None:
+        if not self._running:
+            return
+        if self.broadcaster.is_running:
+            self.broadcaster.set_state(ToneKind.IDLE)
+        if self.data_radio.is_awake:
+            self.data_radio.idle()
+
+    # -- reception ----------------------------------------------------------------------
+
+    def receive_burst(self, plan: BurstPlan, snr_db: float, sender_id: int) -> None:
+        """Evaluate a cleanly-completed burst against the PHY error model."""
+        result = evaluate_burst(
+            plan, snr_db, self.phy_cfg.packet_length_bits, self.rng
+        )
+        now = self.sim.now
+        if result.delivered:
+            self.packets_received += len(result.delivered)
+            if self.on_delivered is not None:
+                self.on_delivered(result.delivered, sender_id, now)
+        if result.corrupted:
+            self.packets_corrupted += len(result.corrupted)
+            if self.on_lost is not None:
+                self.on_lost(result.corrupted, sender_id, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CaemClusterHeadMac node={self.node_id} "
+            f"running={self._running} rx={self.packets_received}>"
+        )

@@ -1,0 +1,7 @@
+"""Network glue: nodes, role rotation, the runnable SensorNetwork."""
+
+from .network import SensorNetwork
+from .node import NodeRole, SensorNode
+from .stats import NetworkStats
+
+__all__ = ["SensorNetwork", "SensorNode", "NodeRole", "NetworkStats"]

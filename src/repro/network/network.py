@@ -1,0 +1,254 @@
+"""The runnable sensor network: LEACH rounds over the CAEM stack.
+
+:class:`SensorNetwork` builds everything from a
+:class:`~repro.config.NetworkConfig` and drives the paper's operational
+loop:
+
+* at every round boundary (20 s): tear down the previous clusters, run the
+  LEACH election among alive nodes, flip the elected nodes into heads,
+  build one :class:`~repro.channel.medium.DataChannel` +
+  :class:`~repro.mac.tone.ToneBroadcaster` per cluster (orthogonal
+  frequencies → no inter-cluster interference), draw a fresh
+  :class:`~repro.channel.link.Link` for every member→head pair, and attach
+  the sensor MACs;
+* when a head dies mid-round its members are detached (they lose the tone
+  signal, power down, and wait for the next round — §III-B);
+* meters are settled on a fixed cadence so battery deaths are detected
+  promptly and metric snapshots are exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..channel import Link, LinkBudget
+from ..cluster import LeachElection, Topology
+from ..config import NetworkConfig
+from ..energy import RadioEnergyModel
+from ..errors import SimulationError
+from ..mac import ClusterContext, ToneChannelSpec
+from ..phy import AbicmTable
+from ..rng import RngRegistry
+from ..sim import Simulator, Tracer
+from .node import NodeRole, SensorNode
+from .stats import NetworkStats
+
+__all__ = ["SensorNetwork"]
+
+
+class SensorNetwork:
+    """A complete, runnable CAEM/LEACH sensor network."""
+
+    def __init__(self, cfg: NetworkConfig, tracer: Optional[Tracer] = None) -> None:
+        self.cfg = cfg
+        self.sim = Simulator()
+        self.tracer = tracer
+        self.rngs = RngRegistry(cfg.seed)
+        self.stats = NetworkStats()
+
+        # Shared substrate.
+        self.abicm = AbicmTable.from_config(cfg.phy)
+        self.model = RadioEnergyModel(cfg.energy)
+        self.tone_spec = ToneChannelSpec(cfg.tone)
+        self.budget = LinkBudget.from_config(cfg.channel)
+        if cfg.placement == "grid":
+            self.topology = Topology.grid(cfg.n_nodes, cfg.field_size_m)
+        else:
+            self.topology = Topology.uniform(
+                cfg.n_nodes, cfg.field_size_m, self.rngs.stream("topology")
+            )
+        self.election = LeachElection(cfg.leach, self.rngs.stream("leach"))
+
+        # Nodes.
+        self.nodes: List[SensorNode] = [
+            SensorNode(
+                self.sim,
+                i,
+                cfg,
+                self.abicm,
+                self.model,
+                self.tone_spec,
+                self.rngs.stream(f"node/{i}"),
+                on_death=self._on_node_death,
+                on_local_delivery=self.stats.on_delivered_local,
+                tracer=tracer,
+            )
+            for i in range(cfg.n_nodes)
+        ]
+
+        self.round_index = 0
+        #: head id -> list of member nodes (current round).
+        self._members_of: Dict[int, List[SensorNode]] = {}
+        self._round_handle = None
+        self._settle_handle = None
+        #: Cadence for settling meters (death detection granularity).
+        self.settle_interval_s = 1.0
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start sources, the round driver, and the settle cadence."""
+        if self._started:
+            raise SimulationError("network already started")
+        self._started = True
+        for node in self.nodes:
+            node.start()
+        self._start_round()
+        self._settle_handle = self.sim.call_in(self.settle_interval_s, self._settle_tick)
+
+    def run_until(self, t: float) -> None:
+        """Advance the simulation (starting it first if needed)."""
+        if not self._started:
+            self.start()
+        self.sim.run_until(t)
+
+    # -- round driver ------------------------------------------------------------------
+
+    def _start_round(self) -> None:
+        self._teardown_round()
+        alive = [n for n in self.nodes if n.alive]
+        if alive:
+            self._form_clusters(alive)
+            self.round_index += 1
+        # Keep the driver running even with nobody alive: metrics samplers
+        # may still want the tail of the time series.
+        self._round_handle = self.sim.call_in(
+            self.cfg.leach.round_duration_s, self._start_round
+        )
+
+    def _teardown_round(self) -> None:
+        for node in self.nodes:
+            if node.mac.is_attached:
+                node.mac.detach()
+            if node.role is NodeRole.HEAD:
+                node.become_sensor()
+        self._members_of.clear()
+
+    def _form_clusters(self, alive: List[SensorNode]) -> None:
+        alive_ids = [n.id for n in alive]
+        assignment = self.election.form_clusters(
+            self.round_index, alive_ids, self.topology.nearest
+        )
+        if self.tracer is not None:
+            self.tracer.annotate(
+                self.sim.now, "leach.round",
+                index=self.round_index, heads=list(assignment.heads),
+            )
+        contexts: Dict[int, ClusterContext] = {}
+        for head_id in assignment.heads:
+            head = self.nodes[head_id]
+            contexts[head_id] = head.become_head(
+                self.rngs.stream(f"per/{head_id}"),
+                on_delivered=self.stats.on_delivered,
+                on_lost=self.stats.on_lost,
+            )
+            self._members_of[head_id] = []
+        for node in alive:
+            head_id = assignment.membership[node.id]
+            if head_id == node.id:
+                continue
+            link = Link(
+                self.topology.distance(node.id, head_id),
+                self.budget,
+                self.cfg.channel,
+                self.rngs.stream(f"link/r{self.round_index}/{node.id}->{head_id}"),
+                name=f"{node.id}->{head_id}",
+                start_time_s=self.sim.now,
+            )
+            node.mac.attach(contexts[head_id], link)
+            self._members_of[head_id].append(node)
+
+    # -- death handling -----------------------------------------------------------------
+
+    def _on_node_death(self, node: SensorNode) -> None:
+        if self.tracer is not None:
+            self.tracer.annotate(self.sim.now, "node.death", node=node.id)
+        # A dying head strands its cluster until the next round (§III-B).
+        members = self._members_of.pop(node.id, None)
+        if members:
+            for member in members:
+                if member.mac.is_attached:
+                    member.mac.detach()
+
+    # -- settle cadence ---------------------------------------------------------------------
+
+    def _settle_tick(self) -> None:
+        for node in self.nodes:
+            if node.alive:
+                node.settle()
+        self._settle_handle = self.sim.call_in(
+            self.settle_interval_s, self._settle_tick
+        )
+
+    # -- reporting ----------------------------------------------------------------------------
+
+    @property
+    def alive_count(self) -> int:
+        """Nodes with battery remaining."""
+        return sum(1 for n in self.nodes if n.alive)
+
+    @property
+    def dead_fraction(self) -> float:
+        """Fraction of nodes exhausted."""
+        return 1.0 - self.alive_count / len(self.nodes)
+
+    @property
+    def is_dead(self) -> bool:
+        """The paper's network-death rule: the dead fraction *exceeds* the
+        threshold (same convention as metrics.lifetime.network_lifetime_s,
+        so a run stopped at death always yields a measurable lifetime)."""
+        n = len(self.nodes)
+        dead = n - self.alive_count
+        if self.cfg.dead_fraction >= 1.0:
+            return dead >= n
+        import math
+
+        return dead >= math.floor(self.cfg.dead_fraction * n) + 1
+
+    def settle_all(self) -> None:
+        """Settle every meter now (exact battery levels for snapshots)."""
+        for node in self.nodes:
+            node.settle()
+
+    def mean_remaining_j(self) -> float:
+        """Average battery level across *all* nodes (dead count as 0)."""
+        self.settle_all()
+        return sum(n.battery.level_j for n in self.nodes) / len(self.nodes)
+
+    def total_consumed_j(self) -> float:
+        """Total energy drawn across the network."""
+        self.settle_all()
+        return sum(n.battery.drawn_j for n in self.nodes)
+
+    def generated_packets(self) -> int:
+        """Total packets produced by all sources."""
+        return sum(n.source.generated for n in self.nodes)
+
+    def dropped_overflow(self) -> int:
+        """Packets lost to buffer overflow."""
+        return sum(n.buffer.dropped for n in self.nodes)
+
+    def dropped_retry(self) -> int:
+        """Packets shed after the MAC retry budget."""
+        return sum(n.mac.stats.packets_dropped_retry for n in self.nodes)
+
+    def queue_lengths(self) -> List[int]:
+        """Current queue length per alive node (fairness metric input)."""
+        return [len(n.buffer) for n in self.nodes if n.alive]
+
+    def energy_breakdown(self) -> Dict[str, float]:
+        """Network-wide per-cause energy ledger."""
+        self.settle_all()
+        out: Dict[str, float] = {}
+        for node in self.nodes:
+            for cause, joules in node.meter.by_cause.items():
+                out[cause] = out.get(cause, 0.0) + joules
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SensorNetwork n={len(self.nodes)} alive={self.alive_count} "
+            f"t={self.sim.now:.1f}s round={self.round_index} "
+            f"protocol={self.cfg.protocol.value}>"
+        )

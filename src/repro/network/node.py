@@ -1,0 +1,206 @@
+"""A sensor node: battery + radios + buffer + source + MAC, role-switchable.
+
+LEACH rotates the cluster-head duty, so every node carries both
+personalities: as a **sensor** it runs :class:`CaemSensorMac` against its
+cluster head; as a **head** it runs :class:`CaemClusterHeadMac`
+(tone broadcaster + receiver) for one round.  The network layer flips
+roles at round boundaries.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..channel.medium import DataChannel
+from ..config import NetworkConfig
+from ..energy import Battery, EnergyMeter, RadioEnergyModel
+from ..errors import ClusterError
+from ..mac import (
+    CaemClusterHeadMac,
+    CaemSensorMac,
+    ClusterContext,
+    ToneBroadcaster,
+    ToneChannelSpec,
+    build_sensor_mac,
+)
+from ..phy import AbicmTable, DataRadio, ToneRadio
+from ..sim import Simulator
+from ..traffic import PacketBuffer, make_source
+from ..traffic.packet import Packet
+
+__all__ = ["NodeRole", "SensorNode"]
+
+
+class NodeRole(enum.Enum):
+    """What the node is doing this round."""
+
+    SENSOR = "sensor"
+    HEAD = "head"
+
+
+class SensorNode:
+    """One node of the network (see module docstring).
+
+    Parameters
+    ----------
+    on_death:
+        Network callback fired once when the battery empties.
+    on_local_delivery:
+        Called with (packets, node_id, now) when a head aggregates its own
+        sensed data (it *is* the sink for its cluster, so its packets are
+        delivered at zero radio cost).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        cfg: NetworkConfig,
+        abicm: AbicmTable,
+        model: RadioEnergyModel,
+        tone_spec: ToneChannelSpec,
+        rng: np.random.Generator,
+        on_death: Callable[["SensorNode"], None],
+        on_local_delivery: Callable[[List[Packet], int, float], None],
+        tracer=None,
+    ) -> None:
+        self.sim = sim
+        self.id = node_id
+        self.cfg = cfg
+        self.tone_spec = tone_spec
+        self.role = NodeRole.SENSOR
+        self._on_death = on_death
+        self._on_local_delivery = on_local_delivery
+
+        self.battery = Battery(cfg.energy.initial_energy_j, self._battery_died)
+        self.meter = EnergyMeter(sim, model, self.battery)
+        self.data_radio = DataRadio(sim, self.meter, cfg.energy.startup_time_s)
+        self.tone_radio = ToneRadio(
+            sim, self.meter, monitor_duty=cfg.tone.monitor_duty_cycle
+        )
+        self.buffer = PacketBuffer(capacity=cfg.traffic.buffer_packets)
+        self.source = make_source(
+            cfg.traffic.source_model,
+            sim,
+            node_id,
+            cfg.phy.packet_length_bits,
+            self._on_generated,
+            cfg.traffic.packets_per_second,
+            rng,
+            cfg.traffic.onoff_on_s,
+            cfg.traffic.onoff_off_s,
+        )
+        self.mac: CaemSensorMac = build_sensor_mac(
+            cfg.protocol,
+            sim,
+            node_id,
+            self.buffer,
+            abicm,
+            self.data_radio,
+            self.tone_radio,
+            cfg.mac,
+            cfg.phy,
+            cfg.policy,
+            rng,
+            tracer,
+        )
+        # Head-role machinery (built lazily per round).
+        self.head_mac: Optional[CaemClusterHeadMac] = None
+        self.alive = True
+        self.death_time_s: Optional[float] = None
+
+    # -- traffic -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin sensing (start the traffic source)."""
+        if self.alive:
+            self.source.start()
+
+    def _on_generated(self, packet: Packet) -> None:
+        if not self.alive:
+            return
+        if self.role is NodeRole.HEAD:
+            # The head is its own sink: local aggregation, no radio cost.
+            self._on_local_delivery([packet], self.id, self.sim.now)
+            return
+        accepted = self.buffer.offer(packet)
+        if accepted:
+            self.mac.policy.observe_arrival(len(self.buffer), self.sim.now)
+            self.mac.notify_arrival()
+
+    # -- role switching ------------------------------------------------------------
+
+    def become_head(
+        self,
+        phy_rng: np.random.Generator,
+        on_delivered,
+        on_lost,
+    ) -> ClusterContext:
+        """Assume cluster-head duty; returns the context sensors attach to."""
+        if not self.alive:
+            raise ClusterError(f"dead node {self.id} elected head")
+        self.mac.detach()
+        self.role = NodeRole.HEAD
+        channel = DataChannel(self.sim, name=f"cluster-{self.id}")
+        broadcaster = ToneBroadcaster(
+            self.sim, self.tone_spec, self.meter, name=f"tone-{self.id}"
+        )
+        self.head_mac = CaemClusterHeadMac(
+            self.sim,
+            self.id,
+            channel,
+            broadcaster,
+            self.data_radio,
+            self.cfg.phy,
+            phy_rng,
+            on_delivered=on_delivered,
+            on_lost=on_lost,
+        )
+        self.head_mac.start()
+        # Whatever the node had queued has reached the sink (itself).
+        backlog = self.buffer.take(len(self.buffer))
+        if backlog:
+            self._on_local_delivery(backlog, self.id, self.sim.now)
+        return ClusterContext(self.id, channel, broadcaster, self.head_mac)
+
+    def become_sensor(self) -> None:
+        """Drop head duty (round ended)."""
+        if self.head_mac is not None:
+            self.head_mac.stop()
+            self.head_mac = None
+        self.role = NodeRole.SENSOR
+
+    # -- death -------------------------------------------------------------------------
+
+    def _battery_died(self) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        self.death_time_s = self.sim.now
+        self.source.stop()
+        if self.head_mac is not None:
+            self.head_mac.stop()
+            self.head_mac = None
+        self.mac.shutdown()
+        self._on_death(self)
+
+    # -- reporting -----------------------------------------------------------------------
+
+    @property
+    def remaining_j(self) -> float:
+        """Battery level (settle the meter first for exact snapshots)."""
+        return self.battery.level_j
+
+    def settle(self) -> None:
+        """Flush open continuous draws so battery level is current."""
+        self.meter.settle_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "alive" if self.alive else "dead"
+        return (
+            f"<SensorNode {self.id} {self.role.value} {state} "
+            f"E={self.battery.level_j:.2f}J q={len(self.buffer)}>"
+        )

@@ -1,0 +1,43 @@
+"""ABICM adaptive physical layer substrate (paper §II-B, §III-C)."""
+
+from .abicm import DEFAULT_SYMBOL_RATE, AbicmMode, AbicmTable, solve_threshold_db
+from .coding import (
+    RATE_0_45,
+    RATE_1_2,
+    RATE_1_3,
+    RATE_3_4,
+    UNCODED,
+    ConvolutionalCode,
+)
+from .frame import BurstPlan, BurstResult, evaluate_burst, plan_burst
+from .modulation import BPSK, QAM16, QAM64, QPSK, Modulation, by_name, qfunc, qfunc_inv
+from .radio import DataRadio, DataRadioState, ToneRadio, ToneRadioState
+
+__all__ = [
+    "AbicmMode",
+    "AbicmTable",
+    "solve_threshold_db",
+    "DEFAULT_SYMBOL_RATE",
+    "ConvolutionalCode",
+    "UNCODED",
+    "RATE_3_4",
+    "RATE_1_2",
+    "RATE_0_45",
+    "RATE_1_3",
+    "BurstPlan",
+    "BurstResult",
+    "plan_burst",
+    "evaluate_burst",
+    "Modulation",
+    "BPSK",
+    "QPSK",
+    "QAM16",
+    "QAM64",
+    "by_name",
+    "qfunc",
+    "qfunc_inv",
+    "DataRadio",
+    "DataRadioState",
+    "ToneRadio",
+    "ToneRadioState",
+]

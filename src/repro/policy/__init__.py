@@ -1,0 +1,40 @@
+"""The paper's core contribution: channel-adaptive transmission policies.
+
+:func:`make_policy` builds the right policy for a
+:class:`~repro.config.Protocol`.
+"""
+
+from typing import Callable, Optional
+
+from ..config import PolicyConfig, Protocol
+from ..errors import ConfigError
+from .adaptive import AdaptiveThresholdPolicy
+from .base import TransmissionPolicy
+from .fixed import FixedThresholdPolicy
+from .thresholds import ThresholdLadder
+from .unconstrained import AlwaysTransmitPolicy
+
+__all__ = [
+    "TransmissionPolicy",
+    "ThresholdLadder",
+    "AdaptiveThresholdPolicy",
+    "FixedThresholdPolicy",
+    "AlwaysTransmitPolicy",
+    "make_policy",
+]
+
+
+def make_policy(
+    protocol: Protocol,
+    ladder: ThresholdLadder,
+    cfg: Optional[PolicyConfig] = None,
+    on_change: Optional[Callable[[float, int, int], None]] = None,
+) -> TransmissionPolicy:
+    """Build the transmission policy for one of the paper's protocols."""
+    if protocol is Protocol.PURE_LEACH:
+        return AlwaysTransmitPolicy()
+    if protocol is Protocol.CAEM_FIXED:
+        return FixedThresholdPolicy(ladder)
+    if protocol is Protocol.CAEM_ADAPTIVE:
+        return AdaptiveThresholdPolicy(ladder, cfg, on_change)
+    raise ConfigError(f"unknown protocol {protocol!r}")

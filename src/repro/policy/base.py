@@ -1,0 +1,58 @@
+"""Transmission-policy interface — the seam where CAEM's idea lives.
+
+A *transmission policy* answers one question for the MAC: **given the
+measured CSI right now, may I transmit?**  The paper's three protocols are
+three policies over the same MAC machinery:
+
+* :class:`~repro.policy.unconstrained.AlwaysTransmitPolicy` — pure LEACH;
+* :class:`~repro.policy.fixed.FixedThresholdPolicy` — Scheme 2;
+* :class:`~repro.policy.adaptive.AdaptiveThresholdPolicy` — Scheme 1.
+
+Policies also observe the node's queue dynamics (``observe_arrival``) —
+that is the input to Scheme 1's predictor — and report their current
+threshold class for metrics/traces.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+__all__ = ["TransmissionPolicy"]
+
+
+class TransmissionPolicy(ABC):
+    """Decides whether the current channel quality permits transmission."""
+
+    #: Short name used in traces and result tables.
+    name: str = "policy"
+
+    @abstractmethod
+    def allows(self, snr_db: float) -> bool:
+        """May the node transmit at measured CSI ``snr_db``?"""
+
+    @abstractmethod
+    def threshold_db(self) -> float:
+        """Current SNR threshold in dB (−inf when ungated)."""
+
+    def threshold_class(self) -> Optional[int]:
+        """Current 0-based threshold class, or None when ungated."""
+        return None
+
+    def observe_arrival(self, queue_length: int, now: float) -> None:
+        """Called at every packet arrival *after* enqueueing.
+
+        ``queue_length`` is the post-arrival queue length — the paper's
+        V(t_i).  The default is a no-op; Scheme 1 overrides it.
+        """
+
+    def observe_service(self, queue_length: int, now: float) -> None:
+        """Called after packets leave the queue (post-burst).
+
+        Not used by the paper's controller (which samples on arrivals
+        only) but part of the interface so extensions can react to
+        departures as well.
+        """
+
+    def reset(self) -> None:
+        """Forget adaptive state (e.g. when a new LEACH round re-clusters)."""

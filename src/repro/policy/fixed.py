@@ -1,0 +1,46 @@
+"""Scheme 2 — fixed threshold at the highest class (paper §IV-A).
+
+"In Scheme 2, the transmission threshold is fixed at the highest value,
+2 Mbps for the whole simulation time."  Maximum energy efficiency per
+packet, no regard for queue build-up — the fairness/overflow foil to
+Scheme 1.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .base import TransmissionPolicy
+from .thresholds import ThresholdLadder
+
+__all__ = ["FixedThresholdPolicy"]
+
+
+class FixedThresholdPolicy(TransmissionPolicy):
+    """Gate transmission on a fixed threshold class (default: highest)."""
+
+    name = "scheme2"
+
+    def __init__(self, ladder: ThresholdLadder, klass: int | None = None) -> None:
+        if klass is None:
+            klass = ladder.highest_class
+        if not 0 <= klass <= ladder.highest_class:
+            raise ConfigError(
+                f"threshold class {klass} outside 0..{ladder.highest_class}"
+            )
+        self.ladder = ladder
+        self._class = klass
+
+    def allows(self, snr_db: float) -> bool:
+        """Transmit iff CSI clears the pinned threshold."""
+        return snr_db >= self.ladder.snr_db(self._class)
+
+    def threshold_db(self) -> float:
+        """The pinned SNR threshold."""
+        return self.ladder.snr_db(self._class)
+
+    def threshold_class(self) -> int:
+        """The pinned class index."""
+        return self._class
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedThresholdPolicy(class={self._class})"

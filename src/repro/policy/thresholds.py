@@ -1,0 +1,76 @@
+"""Threshold classes: the ladder Scheme 1 climbs and descends.
+
+§III-C: "there are 4 [threshold classes] corresponding to 4 throughput
+levels".  Class k (0-based) means "transmit only when the channel supports
+ABICM mode k+1 or better"; the class's SNR value is that mode's switching
+threshold.  :class:`ThresholdLadder` is a thin, immutable view over the
+:class:`~repro.phy.abicm.AbicmTable` that the policies share.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import PhyError
+from ..phy.abicm import AbicmTable
+
+__all__ = ["ThresholdLadder"]
+
+
+class ThresholdLadder:
+    """The ordered transmission-threshold classes of a 4-mode ABICM PHY."""
+
+    __slots__ = ("_thresholds_db", "_rates_bps")
+
+    def __init__(self, table: AbicmTable) -> None:
+        self._thresholds_db: Tuple[float, ...] = tuple(
+            m.threshold_db for m in table.modes
+        )
+        self._rates_bps: Tuple[float, ...] = tuple(
+            m.throughput_bps for m in table.modes
+        )
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes (= number of ABICM modes)."""
+        return len(self._thresholds_db)
+
+    @property
+    def highest_class(self) -> int:
+        """Index of the most demanding class (2 Mbps in the paper)."""
+        return len(self._thresholds_db) - 1
+
+    @property
+    def lowest_class(self) -> int:
+        """Index of the least demanding class (250 kbps)."""
+        return 0
+
+    def snr_db(self, klass: int) -> float:
+        """SNR threshold of class ``klass``."""
+        self._check(klass)
+        return self._thresholds_db[klass]
+
+    def rate_bps(self, klass: int) -> float:
+        """Throughput of the mode this class gates on."""
+        self._check(klass)
+        return self._rates_bps[klass]
+
+    def clamp(self, klass: int) -> int:
+        """Clamp an index into the valid class range."""
+        return max(0, min(klass, self.highest_class))
+
+    def _check(self, klass: int) -> None:
+        if not 0 <= klass < len(self._thresholds_db):
+            raise PhyError(
+                f"threshold class {klass} out of range 0..{self.highest_class}"
+            )
+
+    def __len__(self) -> int:
+        return len(self._thresholds_db)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = ", ".join(
+            f"{k}:{t:.1f}dB→{r/1e3:.0f}k"
+            for k, (t, r) in enumerate(zip(self._thresholds_db, self._rates_bps))
+        )
+        return f"ThresholdLadder({pairs})"

@@ -1,0 +1,32 @@
+"""Pure-LEACH baseline: no channel gating (paper §IV-A).
+
+"We choose pure LEACH without channel adaptiveness ... as our reference."
+The node transmits whenever the data channel is free, whatever the CSI;
+the adaptive PHY still picks the best supportable mode (reliability
+demands FEC matched to the channel), and in outage it falls back to the
+most robust mode and eats the packet-error rate.  The *energy* consequence
+is the paper's point: packets routinely ride slow modes and long airtimes.
+"""
+
+from __future__ import annotations
+
+from .base import TransmissionPolicy
+
+__all__ = ["AlwaysTransmitPolicy"]
+
+
+class AlwaysTransmitPolicy(TransmissionPolicy):
+    """Never blocks on channel quality."""
+
+    name = "pure_leach"
+
+    def allows(self, snr_db: float) -> bool:
+        """Always true — the baseline ignores CSI."""
+        return True
+
+    def threshold_db(self) -> float:
+        """No gate: −inf."""
+        return float("-inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "AlwaysTransmitPolicy()"

@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel (substrate for the CAEM reproduction).
+
+Public surface:
+
+* :class:`Simulator` — clock, scheduling, run loop.
+* :class:`Event`, :class:`AnyOf`, :class:`AllOf` — waitables.
+* :class:`Process`, :func:`spawn`, :class:`Interrupt` — generator coroutines.
+* :class:`Tracer` — structured tracing for tests/diagnostics.
+"""
+
+from .events import AllOf, AnyOf, Event
+from .process import Interrupt, Process, spawn
+from .scheduler import EventQueue, ScheduledCall
+from .simulator import Simulator
+from .trace import Annotation, TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "AnyOf",
+    "AllOf",
+    "Process",
+    "spawn",
+    "Interrupt",
+    "EventQueue",
+    "ScheduledCall",
+    "Tracer",
+    "TraceRecord",
+    "Annotation",
+]

@@ -1,0 +1,167 @@
+"""Waitable events for the simulation kernel.
+
+An :class:`Event` is a one-shot, multi-listener synchronisation primitive:
+callbacks (or suspended processes, see :mod:`repro.sim.process`) attach to
+it and are invoked when the event is *triggered* with either a value
+(:meth:`Event.succeed`) or an exception (:meth:`Event.fail`).
+
+Unlike simpy, triggering runs callbacks through the simulator's event queue
+at the current time, preserving global deterministic ordering.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulator import Simulator
+
+__all__ = ["Event", "AnyOf", "AllOf"]
+
+_PENDING = object()
+
+
+class Event:
+    """One-shot waitable with success/failure semantics.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator; callbacks are dispatched through its queue.
+    name:
+        Optional label for traces and reprs.
+    """
+
+    __slots__ = ("sim", "name", "_value", "_failed", "_callbacks", "_triggered")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._value: Any = _PENDING
+        self._failed = False
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._triggered = False
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once succeed()/fail() has been called."""
+        return self._triggered
+
+    @property
+    def failed(self) -> bool:
+        """True iff the event was triggered via :meth:`fail`."""
+        return self._failed
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception; raises if still pending."""
+        if self._value is _PENDING:
+            raise SimulationError(f"event {self!r} has no value yet")
+        return self._value
+
+    # -- triggering ----------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger successfully, delivering ``value`` to all listeners."""
+        self._trigger(value, failed=False)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger as failed, delivering ``exception`` to all listeners."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._trigger(exception, failed=True)
+        return self
+
+    def _trigger(self, value: Any, failed: bool) -> None:
+        if self._triggered:
+            raise SimulationError(f"event {self!r} triggered twice")
+        self._triggered = True
+        self._failed = failed
+        self._value = value
+        self.sim.schedule_now(self._dispatch)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+    # -- listening -----------------------------------------------------------
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Attach ``fn(event)``; fires immediately (via the queue) if already
+        triggered and dispatched."""
+        if self._callbacks is None:
+            # Already dispatched: deliver asynchronously to keep ordering sane.
+            self.sim.schedule_now(fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "pending"
+            if not self._triggered
+            else ("failed" if self._failed else "ok")
+        )
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Event{label} [{state}]>"
+
+
+class AnyOf(Event):
+    """Composite event that succeeds when *any* child triggers.
+
+    The value is the child event that fired first.  A failing child fails
+    the composite with the child's exception.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: List[Event], name: str = "any") -> None:
+        super().__init__(sim, name)
+        self.events = tuple(events)
+        if not self.events:
+            raise SimulationError("AnyOf needs at least one event")
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._triggered:
+            return
+        if child.failed:
+            self.fail(child.value)
+        else:
+            self.succeed(child)
+
+
+class AllOf(Event):
+    """Composite event that succeeds when *all* children have triggered.
+
+    The value is a tuple of child values in construction order.  The first
+    failing child fails the composite immediately.
+    """
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: List[Event], name: str = "all") -> None:
+        super().__init__(sim, name)
+        self.events = tuple(events)
+        if not self.events:
+            raise SimulationError("AllOf needs at least one event")
+        self._remaining = len(self.events)
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._triggered:
+            return
+        if child.failed:
+            self.fail(child.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(tuple(ev.value for ev in self.events))

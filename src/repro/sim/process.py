@@ -1,0 +1,148 @@
+"""Generator-based simulation processes (simpy-style) on top of the kernel.
+
+A *process* is a Python generator that yields waitables:
+
+* an :class:`~repro.sim.events.Event` — the process resumes when it
+  triggers, receiving the event's value (or the exception, thrown in);
+* another :class:`Process` — resumes when that process terminates;
+* a ``float``/``int`` — sugar for ``sim.timeout(delay)``.
+
+Processes are themselves events: they trigger when the generator returns
+(success, value = ``StopIteration`` value) or raises (failure).
+
+Interrupts
+----------
+:meth:`Process.interrupt` throws an :class:`Interrupt` into the generator at
+the current simulation time, cancelling whatever it was waiting for.  The
+generator may catch it and continue — this is how example code models a
+sensor abandoning a backoff when the channel turns busy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional, Union
+
+from ..errors import ProcessError
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulator import Simulator
+
+__all__ = ["Process", "Interrupt", "spawn"]
+
+Yieldable = Union[Event, "Process", float, int]
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running generator coroutine inside the simulation.
+
+    Do not instantiate directly — use :func:`spawn` or
+    ``Process.start(sim, gen)``.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "_started", "_interrupt_pending")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Yieldable, Any, Any],
+                 name: str = "") -> None:
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise ProcessError(f"Process needs a generator, got {type(gen).__name__}")
+        super().__init__(sim, name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self._started = False
+        self._interrupt_pending: Optional[Interrupt] = None
+        # First resumption happens asynchronously at the current time so the
+        # creator can hold the handle before any of the body runs.
+        sim.schedule_now(self._resume, None, None)
+        self._started = True
+
+    # -- public ----------------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        self._interrupt_pending = Interrupt(cause)
+        waiting = self._waiting_on
+        self._waiting_on = None
+        # Detach from the waited event: when it later triggers, _on_wakeup
+        # will see it is no longer awaited and ignore it.
+        self.sim.schedule_now(self._deliver_interrupt, waiting)
+
+    # -- engine ------------------------------------------------------------------
+
+    def _deliver_interrupt(self, stale_wait: Optional[Event]) -> None:
+        intr = self._interrupt_pending
+        self._interrupt_pending = None
+        if intr is None or self.triggered:
+            return
+        self._step(throw=intr, value=None)
+
+    def _on_wakeup(self, event: Event) -> None:
+        if self.triggered or event is not self._waiting_on:
+            return  # stale wakeup (interrupted while waiting)
+        self._waiting_on = None
+        if event.failed:
+            self._step(throw=event.value, value=None)
+        else:
+            self._step(throw=None, value=event.value)
+
+    def _resume(self, _a, _b) -> None:
+        if not self.triggered and self._waiting_on is None:
+            self._step(throw=None, value=None)
+
+    def _step(self, throw: Optional[BaseException], value: Any) -> None:
+        try:
+            if throw is not None:
+                target = self._gen.throw(throw)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as intr:
+            # Uncaught interrupt terminates the process as a failure.
+            self.fail(ProcessError(f"process {self.name!r} killed by {intr!r}"))
+            return
+        except Exception as exc:
+            self.fail(exc)
+            return
+        try:
+            event = self._coerce(target)
+        except ProcessError as exc:
+            self._gen.close()
+            self.fail(exc)
+            return
+        self._wait_on(event)
+
+    def _coerce(self, target: Yieldable) -> Event:
+        if isinstance(target, Event):
+            return target
+        if isinstance(target, (int, float)):
+            return self.sim.timeout(float(target))
+        raise ProcessError(
+            f"process {self.name!r} yielded unsupported {type(target).__name__}"
+        )
+
+    def _wait_on(self, event: Event) -> None:
+        self._waiting_on = event
+        event.add_callback(self._on_wakeup)
+
+
+def spawn(sim: "Simulator", gen: Generator[Yieldable, Any, Any],
+          name: str = "") -> Process:
+    """Start ``gen`` as a :class:`Process` on ``sim`` and return its handle."""
+    return Process(sim, gen, name)

@@ -1,0 +1,133 @@
+"""Binary-heap event queue with deterministic ordering.
+
+The queue stores :class:`ScheduledCall` handles ordered by ``(time, priority,
+seq)``.  The monotonically increasing sequence number makes simultaneous
+events fire in scheduling order, which keeps runs bit-reproducible.
+
+Cancellation is O(1): handles are flagged and skipped when popped (lazy
+deletion), the standard approach for simulation heaps where cancelled
+timers are common (e.g. MAC backoff timers invalidated by a collision tone).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from ..errors import SchedulerError
+
+__all__ = ["ScheduledCall", "EventQueue"]
+
+
+class ScheduledCall:
+    """A callback scheduled at an absolute simulation time.
+
+    Instances are returned by :meth:`EventQueue.push` and by the
+    ``Simulator.call_*`` helpers; hold on to one to :meth:`cancel` it.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        queue: "EventQueue",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self._queue = queue
+
+    def cancel(self) -> None:
+        """Mark this call so the queue skips it; idempotent."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self._queue is not None:
+            self._queue._live -= 1
+            self._queue = None  # type: ignore[assignment]
+        # Drop references eagerly: a cancelled handle may sit in the heap
+        # for a long simulated time and its args can pin large objects.
+        self.fn = None  # type: ignore[assignment]
+        self.args = ()
+
+    def __lt__(self, other: "ScheduledCall") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<ScheduledCall t={self.time:.9g} {name} [{state}]>"
+
+
+class EventQueue:
+    """Min-heap of :class:`ScheduledCall` with lazy cancellation."""
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: List[ScheduledCall] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) scheduled calls."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> ScheduledCall:
+        """Schedule ``fn(*args)`` at ``time``; returns a cancellable handle."""
+        if time != time:  # NaN guard
+            raise SchedulerError("cannot schedule at NaN time")
+        call = ScheduledCall(time, priority, self._seq, fn, args, self)
+        self._seq += 1
+        heapq.heappush(self._heap, call)
+        self._live += 1
+        return call
+
+    def peek_time(self) -> Optional[float]:
+        """Earliest live event time, or None if empty."""
+        self._drop_cancelled_head()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Optional[ScheduledCall]:
+        """Remove and return the earliest live call, or None if empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        call = heapq.heappop(self._heap)
+        self._live -= 1
+        call._queue = None  # type: ignore[assignment]
+        return call
+
+    def _drop_cancelled_head(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+
+    def clear(self) -> None:
+        """Drop every scheduled call."""
+        for call in self._heap:
+            call.cancelled = True
+            call._queue = None  # type: ignore[assignment]
+        self._heap.clear()
+        self._live = 0

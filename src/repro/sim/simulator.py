@@ -1,0 +1,186 @@
+"""Simulator facade: the clock, the queue, and the run loop.
+
+Design notes
+------------
+* Time is a float in **seconds**; the kernel never rounds, and simultaneous
+  events run in deterministic scheduling order (see scheduler module).
+* Hot paths in the MAC layer use plain scheduled callbacks
+  (:meth:`Simulator.call_in`) — roughly 3x cheaper than generator
+  processes in CPython.  The process API (:mod:`repro.sim.process`) sits
+  on top for user-facing composition, examples and tests.
+* ``run_until`` executes every event with ``time <= until`` and then sets
+  the clock exactly to ``until`` so back-to-back calls compose.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import SchedulerError, SimulationError
+from .events import AllOf, AnyOf, Event
+from .scheduler import EventQueue, ScheduledCall
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Discrete-event simulator: clock + event queue + run loop.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.call_in(1.5, fired.append, "a")
+    >>> _ = sim.call_in(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_running",
+        "_stopped",
+        "events_processed",
+        "trace",
+    )
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        #: Total number of callbacks executed; cheap progress/perf metric.
+        self.events_processed = 0
+        #: Optional repro.sim.trace.Tracer attached by diagnostics.
+        self.trace = None
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live scheduled callbacks."""
+        return len(self._queue)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def call_at(
+        self, time: float, fn: Callable[..., Any], *args: Any, priority: int = 0
+    ) -> ScheduledCall:
+        """Schedule ``fn(*args)`` at absolute ``time`` (>= now)."""
+        if time < self._now:
+            raise SchedulerError(
+                f"cannot schedule into the past: t={time:.9g} < now={self._now:.9g}"
+            )
+        return self._queue.push(time, fn, args, priority)
+
+    def call_in(
+        self, delay: float, fn: Callable[..., Any], *args: Any, priority: int = 0
+    ) -> ScheduledCall:
+        """Schedule ``fn(*args)`` after ``delay`` seconds (>= 0)."""
+        if delay < 0:
+            raise SchedulerError(f"negative delay: {delay!r}")
+        return self._queue.push(self._now + delay, fn, args, priority)
+
+    def schedule_now(self, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Schedule ``fn(*args)`` at the current time (after current event)."""
+        return self._queue.push(self._now, fn, args, 0)
+
+    # -- waitables ------------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh un-triggered :class:`Event` bound to this simulator."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
+        """An event that succeeds ``delay`` seconds from now with ``value``."""
+        ev = Event(self, name or f"timeout({delay:.6g})")
+        if delay < 0:
+            raise SchedulerError(f"negative timeout: {delay!r}")
+        self._queue.push(self._now + delay, ev.succeed, (value,), 0)
+        return ev
+
+    def any_of(self, *events: Event) -> AnyOf:
+        """Composite event: first of ``events``."""
+        return AnyOf(self, list(events))
+
+    def all_of(self, *events: Event) -> AllOf:
+        """Composite event: all of ``events``."""
+        return AllOf(self, list(events))
+
+    # -- run loop ---------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the single earliest event; returns False if queue empty."""
+        call = self._queue.pop()
+        if call is None:
+            return False
+        if call.time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event queue returned a past event")
+        self._now = call.time
+        self.events_processed += 1
+        if self.trace is not None:
+            self.trace.record(self._now, call)
+        call.fn(*call.args)
+        return True
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the queue empties (or ``max_events`` callbacks ran)."""
+        self._run_loop(until=None, max_events=max_events)
+
+    def run_until(self, until: float, max_events: Optional[int] = None) -> None:
+        """Run every event with ``time <= until``; clock ends exactly at ``until``."""
+        if until < self._now:
+            raise SchedulerError(
+                f"run_until({until!r}) is in the past (now={self._now!r})"
+            )
+        self._run_loop(until=until, max_events=max_events)
+        if not self._stopped:
+            self._now = max(self._now, until)
+
+    def _run_loop(self, until: Optional[float], max_events: Optional[int]) -> None:
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        self._stopped = False
+        queue = self._queue
+        try:
+            remaining = max_events if max_events is not None else -1
+            while not self._stopped:
+                if remaining == 0:
+                    break
+                next_time = queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                if remaining > 0:
+                    remaining -= 1
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event completes."""
+        self._stopped = True
+
+    def reset(self, start_time: float = 0.0) -> None:
+        """Clear the queue and rewind the clock; for test harnesses."""
+        self._queue.clear()
+        self._now = float(start_time)
+        self._stopped = False
+        self.events_processed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Simulator now={self._now:.6g}s pending={len(self._queue)} "
+            f"processed={self.events_processed}>"
+        )

@@ -1,0 +1,15 @@
+"""Workload substrate: packets, sources, buffers."""
+
+from .buffer import PacketBuffer
+from .packet import Packet
+from .sources import CbrSource, OnOffSource, PoissonSource, TrafficSource, make_source
+
+__all__ = [
+    "Packet",
+    "PacketBuffer",
+    "TrafficSource",
+    "PoissonSource",
+    "CbrSource",
+    "OnOffSource",
+    "make_source",
+]

@@ -1,0 +1,108 @@
+"""Finite FIFO packet buffer with overflow accounting.
+
+Table II: "Buffer Size: 50".  The paper's Scheme 2 analysis hinges on what
+happens when gating keeps the queue from draining: "packet overflow and
+long queuing delay ... loss of gathered data".  The buffer therefore keeps
+precise drop statistics, and the fairness experiment (Fig. 12) uses an
+effectively infinite capacity as the paper does ("we have set the buffer
+size to be substantially large enough").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..errors import BufferOverflowError
+from .packet import Packet
+
+__all__ = ["PacketBuffer"]
+
+
+class PacketBuffer:
+    """Bounded FIFO queue of packets.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queue length in packets; ``None`` = unbounded.
+    strict:
+        If True, overflow raises :class:`BufferOverflowError` instead of
+        dropping (used by tests to catch unexpected overflow).
+    """
+
+    __slots__ = ("capacity", "strict", "_queue", "arrived", "dropped", "served")
+
+    def __init__(self, capacity: Optional[int] = 50, strict: bool = False) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.capacity = capacity
+        self.strict = strict
+        self._queue: Deque[Packet] = deque()
+        #: Total packets offered (accepted + dropped).
+        self.arrived = 0
+        #: Packets lost to overflow.
+        self.dropped = 0
+        #: Packets removed for transmission.
+        self.served = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    @property
+    def is_full(self) -> bool:
+        """True when at capacity."""
+        return self.capacity is not None and len(self._queue) >= self.capacity
+
+    def offer(self, packet: Packet) -> bool:
+        """Admit a packet; returns False (and counts a drop) on overflow."""
+        self.arrived += 1
+        if self.is_full:
+            self.dropped += 1
+            if self.strict:
+                raise BufferOverflowError(
+                    f"buffer full ({self.capacity}) dropping {packet!r}"
+                )
+            return False
+        self._queue.append(packet)
+        return True
+
+    def peek(self) -> Optional[Packet]:
+        """Head-of-line packet without removing it."""
+        return self._queue[0] if self._queue else None
+
+    def take(self, n: int) -> List[Packet]:
+        """Remove and return up to ``n`` packets from the head (FIFO)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        out: List[Packet] = []
+        queue = self._queue
+        while queue and len(out) < n:
+            out.append(queue.popleft())
+        self.served += len(out)
+        return out
+
+    def requeue_front(self, packets: List[Packet]) -> None:
+        """Put packets back at the head, preserving their original order.
+
+        Used when a burst aborts on a collision tone: the unsent/corrupted
+        packets return to the front of the queue for the retry (they are
+        the oldest data and FIFO order must hold).  Requeued packets do not
+        recount as arrivals; capacity may be transiently exceeded by design
+        (they were already admitted once).
+        """
+        for packet in reversed(packets):
+            self._queue.appendleft(packet)
+        self.served -= len(packets)
+
+    def head_age_s(self, now: float) -> float:
+        """Age of the head-of-line packet; 0 when empty."""
+        head = self.peek()
+        return 0.0 if head is None else head.age_s(now)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"<PacketBuffer {len(self._queue)}/{cap} dropped={self.dropped}>"

@@ -1,0 +1,194 @@
+"""Traffic sources.
+
+§IV-A: "Each sensor node is a Poisson source, the generated packet follows
+a Poisson arrival."  :class:`PoissonSource` is the paper's model; CBR and
+on/off sources are provided for sensitivity studies (the paper's future
+work calls out "specific data types").
+
+Sources are driven by the simulation kernel: each schedules its own next
+arrival and hands the packet to a sink callable (normally the node's
+buffer + policy observer).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..sim import Simulator
+from .packet import Packet
+
+__all__ = ["TrafficSource", "PoissonSource", "CbrSource", "OnOffSource", "make_source"]
+
+PacketSink = Callable[[Packet], None]
+
+
+class TrafficSource(ABC):
+    """Base class: generates packets into a sink until stopped."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        packet_bits: int,
+        sink: PacketSink,
+    ) -> None:
+        if packet_bits <= 0:
+            raise ConfigError("packet_bits must be > 0")
+        self.sim = sim
+        self.node_id = node_id
+        self.packet_bits = packet_bits
+        self.sink = sink
+        self.generated = 0
+        self._running = False
+        self._next_handle = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin generating (schedules the first arrival)."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop generating (e.g. the node died)."""
+        self._running = False
+        if self._next_handle is not None:
+            self._next_handle.cancel()
+            self._next_handle = None
+
+    @property
+    def is_running(self) -> bool:
+        """True while the source is live."""
+        return self._running
+
+    # -- engine ------------------------------------------------------------------
+
+    def _schedule_next(self) -> None:
+        delay = self.next_interarrival_s()
+        self._next_handle = self.sim.call_in(delay, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        packet = Packet(self.node_id, self.sim.now, self.packet_bits)
+        self.generated += 1
+        self.sink(packet)
+        self._schedule_next()
+
+    @abstractmethod
+    def next_interarrival_s(self) -> float:
+        """Draw the next inter-arrival gap."""
+
+
+class PoissonSource(TrafficSource):
+    """Homogeneous Poisson arrivals at ``rate_pps`` packets/second."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        packet_bits: int,
+        sink: PacketSink,
+        rate_pps: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(sim, node_id, packet_bits, sink)
+        if rate_pps <= 0:
+            raise ConfigError("rate must be > 0")
+        self.rate_pps = rate_pps
+        self._rng = rng
+
+    def next_interarrival_s(self) -> float:
+        return float(self._rng.exponential(1.0 / self.rate_pps))
+
+
+class CbrSource(TrafficSource):
+    """Constant bit rate: fixed inter-arrival 1/rate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        packet_bits: int,
+        sink: PacketSink,
+        rate_pps: float,
+    ) -> None:
+        super().__init__(sim, node_id, packet_bits, sink)
+        if rate_pps <= 0:
+            raise ConfigError("rate must be > 0")
+        self.interval_s = 1.0 / rate_pps
+
+    def next_interarrival_s(self) -> float:
+        return self.interval_s
+
+
+class OnOffSource(TrafficSource):
+    """Bursty source: exponential ON periods of Poisson traffic, silent OFF.
+
+    The mean rate over time equals ``rate_pps`` (the ON-period rate is
+    scaled up by the duty cycle), so load sweeps stay comparable.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        packet_bits: int,
+        sink: PacketSink,
+        rate_pps: float,
+        on_s: float,
+        off_s: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(sim, node_id, packet_bits, sink)
+        if rate_pps <= 0 or on_s <= 0 or off_s < 0:
+            raise ConfigError("invalid on/off source parameters")
+        duty = on_s / (on_s + off_s)
+        self.on_rate_pps = rate_pps / duty
+        self.on_s = on_s
+        self.off_s = off_s
+        self._rng = rng
+        self._on_until = 0.0
+
+    def next_interarrival_s(self) -> float:
+        rng = self._rng
+        gap = float(rng.exponential(1.0 / self.on_rate_pps))
+        t = self.sim.now
+        if t + gap <= self._on_until:
+            return gap
+        # Crossed into (one or more) OFF periods: push the arrival out.
+        extra = 0.0
+        while t + gap + extra > self._on_until:
+            extra += float(rng.exponential(self.off_s)) if self.off_s > 0 else 0.0
+            self._on_until = t + gap + extra + float(rng.exponential(self.on_s))
+            break
+        return gap + extra
+
+
+def make_source(
+    model: str,
+    sim: Simulator,
+    node_id: int,
+    packet_bits: int,
+    sink: PacketSink,
+    rate_pps: float,
+    rng: np.random.Generator,
+    on_s: float = 1.0,
+    off_s: float = 4.0,
+) -> TrafficSource:
+    """Factory keyed on ``TrafficConfig.source_model``."""
+    if model == "poisson":
+        return PoissonSource(sim, node_id, packet_bits, sink, rate_pps, rng)
+    if model == "cbr":
+        return CbrSource(sim, node_id, packet_bits, sink, rate_pps)
+    if model == "onoff":
+        return OnOffSource(
+            sim, node_id, packet_bits, sink, rate_pps, on_s, off_s, rng
+        )
+    raise ConfigError(f"unknown source model {model!r}")

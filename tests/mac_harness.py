@@ -1,0 +1,150 @@
+"""Shared test harness: a one-cluster CAEM cell with controllable links.
+
+Builds a cluster head plus ``n`` sensors on a single DataChannel, with
+fake links whose SNR the tests set directly.  Used by the MAC tests and
+the failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.channel import DataChannel
+from repro.config import (
+    EnergyConfig,
+    MacConfig,
+    PhyConfig,
+    PolicyConfig,
+    Protocol,
+    ToneConfig,
+)
+from repro.energy import Battery, EnergyMeter, RadioEnergyModel
+from repro.mac import (
+    CaemClusterHeadMac,
+    ClusterContext,
+    ToneBroadcaster,
+    ToneChannelSpec,
+    build_sensor_mac,
+)
+from repro.phy import AbicmTable, DataRadio, ToneRadio
+from repro.rng import RngRegistry
+from repro.sim import Simulator, Tracer
+from repro.traffic import Packet, PacketBuffer
+
+
+class FakeLink:
+    """A link whose SNR the test controls (constant until reassigned)."""
+
+    def __init__(self, snr_db: float = 25.0):
+        self.snr = snr_db
+        self.queries: List[float] = []
+
+    def snr_db(self, t: float) -> float:
+        self.queries.append(t)
+        return self.snr
+
+
+@dataclass
+class Cell:
+    sim: Simulator
+    channel: DataChannel
+    ch_mac: CaemClusterHeadMac
+    ch_meter: EnergyMeter
+    macs: List
+    links: List[FakeLink]
+    buffers: List[PacketBuffer]
+    meters: List[EnergyMeter]
+    batteries: List[Battery]
+    delivered: List = field(default_factory=list)
+    lost: List = field(default_factory=list)
+    tracer: Tracer = None
+
+
+def make_cell(
+    n_sensors: int = 1,
+    protocol: Protocol = Protocol.PURE_LEACH,
+    snr_db: float = 25.0,
+    seed: int = 1,
+    mac_cfg: MacConfig = None,
+    phy_cfg: PhyConfig = None,
+    energy_cfg: EnergyConfig = None,
+    policy_cfg: PolicyConfig = None,
+    sensor_battery_j: float = 1000.0,
+    buffer_capacity: int = 50,
+) -> Cell:
+    """Build a single-cluster cell ready to run."""
+    sim = Simulator()
+    tracer = Tracer()
+    rngs = RngRegistry(seed)
+    mac_cfg = mac_cfg or MacConfig()
+    phy_cfg = phy_cfg or PhyConfig()
+    energy_cfg = energy_cfg or EnergyConfig()
+    policy_cfg = policy_cfg or PolicyConfig()
+    model = RadioEnergyModel(energy_cfg)
+    abicm = AbicmTable.from_config(phy_cfg)
+    spec = ToneChannelSpec(ToneConfig())
+
+    # Cluster head (node id 1000).
+    ch_battery = Battery(1e6)
+    ch_meter = EnergyMeter(sim, model, ch_battery)
+    ch_radio = DataRadio(sim, ch_meter, energy_cfg.startup_time_s)
+    channel = DataChannel(sim)
+    broadcaster = ToneBroadcaster(sim, spec, ch_meter)
+    delivered: List = []
+    lost: List = []
+    ch_mac = CaemClusterHeadMac(
+        sim, 1000, channel, broadcaster, ch_radio, phy_cfg,
+        rngs.stream("ch/per"),
+        on_delivered=lambda pkts, sender, now: delivered.extend(
+            (p, sender, now) for p in pkts
+        ),
+        on_lost=lambda pkts, sender, now: lost.extend(
+            (p, sender, now) for p in pkts
+        ),
+    )
+    ctx = ClusterContext(0, channel, broadcaster, ch_mac)
+
+    macs, links, buffers, meters, batteries = [], [], [], [], []
+    for i in range(n_sensors):
+        battery = Battery(sensor_battery_j)
+        meter = EnergyMeter(sim, model, battery)
+        data_radio = DataRadio(sim, meter, energy_cfg.startup_time_s)
+        tone_radio = ToneRadio(sim, meter)
+        buffer = PacketBuffer(capacity=buffer_capacity)
+        mac = build_sensor_mac(
+            protocol, sim, i, buffer, abicm, data_radio, tone_radio,
+            mac_cfg, phy_cfg, policy_cfg, rngs.stream(f"mac/{i}"), tracer,
+        )
+        link = FakeLink(snr_db)
+        macs.append(mac)
+        links.append(link)
+        buffers.append(buffer)
+        meters.append(meter)
+        batteries.append(battery)
+
+    cell = Cell(
+        sim=sim, channel=channel, ch_mac=ch_mac, ch_meter=ch_meter,
+        macs=macs, links=links, buffers=buffers, meters=meters,
+        batteries=batteries, delivered=delivered, lost=lost, tracer=tracer,
+    )
+    return cell
+
+
+def start_cell(cell: Cell) -> None:
+    """Start the CH and attach every sensor."""
+    cell.ch_mac.start()
+    ctx = ClusterContext(0, cell.channel, cell.ch_mac.broadcaster, cell.ch_mac)
+    for mac, link in zip(cell.macs, cell.links):
+        mac.attach(ctx, link)
+
+
+def feed_packets(cell: Cell, sensor: int, n: int, size_bits: int = 2000) -> None:
+    """Enqueue n packets on a sensor (as its traffic source would)."""
+    mac = cell.macs[sensor]
+    now = cell.sim.now
+    for _ in range(n):
+        pkt = Packet(sensor, now, size_bits)
+        cell.buffers[sensor].offer(pkt)
+        mac.policy.observe_arrival(len(cell.buffers[sensor]), now)
+        mac.notify_arrival()

@@ -1,0 +1,68 @@
+"""Backoff policy: the paper's rand * 2^r * 20us * CW rule."""
+
+import numpy as np
+import pytest
+
+from repro.config import MacConfig
+from repro.errors import MacError
+from repro.mac import BackoffPolicy
+from repro.rng import RngRegistry
+
+
+def _policy(seed=1, **kw):
+    return BackoffPolicy(MacConfig(**kw), RngRegistry(seed).stream("backoff"))
+
+
+class TestBackoffPolicy:
+    def test_within_bounds_r0(self):
+        p = _policy()
+        for _ in range(200):
+            d = p.delay_s(0)
+            assert 0.0 <= d <= 20e-6 * 10  # 200 us max at r=0
+
+    def test_doubles_with_retry(self):
+        p = _policy()
+        assert p.max_delay_s(0) == pytest.approx(200e-6)
+        assert p.max_delay_s(1) == pytest.approx(400e-6)
+        assert p.max_delay_s(6) == pytest.approx(200e-6 * 64)
+
+    def test_exponent_saturates_at_max_retries(self):
+        p = _policy()
+        assert p.max_delay_s(6) == p.max_delay_s(20)
+
+    def test_mean_is_half_max(self):
+        p = _policy()
+        draws = [p.delay_s(3) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(p.max_delay_s(3) / 2, rel=0.05)
+
+    def test_uniform_distribution(self):
+        p = _policy()
+        draws = np.array([p.delay_s(0) for _ in range(4000)]) / p.max_delay_s(0)
+        # Quartiles of U(0,1).
+        assert np.quantile(draws, 0.25) == pytest.approx(0.25, abs=0.03)
+        assert np.quantile(draws, 0.75) == pytest.approx(0.75, abs=0.03)
+
+    def test_exhausted(self):
+        p = _policy()
+        assert not p.exhausted(0)
+        assert not p.exhausted(6)
+        assert p.exhausted(7)
+
+    def test_negative_retry_rejected(self):
+        with pytest.raises(MacError):
+            _policy().delay_s(-1)
+
+    def test_draw_counter(self):
+        p = _policy()
+        for _ in range(5):
+            p.delay_s(0)
+        assert p.draws == 5
+
+    def test_custom_config(self):
+        p = _policy(contention_window=5, backoff_slot_s=40e-6)
+        assert p.max_delay_s(0) == pytest.approx(200e-6)
+
+    def test_deterministic_given_seed(self):
+        a = _policy(seed=9)
+        b = _policy(seed=9)
+        assert [a.delay_s(2) for _ in range(10)] == [b.delay_s(2) for _ in range(10)]

@@ -1,0 +1,142 @@
+"""Shadowing and fading processes: statistics and lazy-sampling contracts."""
+
+import numpy as np
+import pytest
+
+from repro.channel import GaussMarkovShadowing, RayleighFading
+from repro.errors import ChannelError
+from repro.rng import RngRegistry
+
+
+def _rng(name="x", seed=7):
+    return RngRegistry(seed).stream(name)
+
+
+class TestShadowing:
+    def test_stationary_marginal(self):
+        # Sample many independent processes at a fixed late time.
+        vals = []
+        for i in range(4000):
+            p = GaussMarkovShadowing(4.0, 3.0, _rng(f"s{i}"))
+            vals.append(p.value_db(10.0))
+        vals = np.asarray(vals)
+        assert abs(vals.mean()) < 0.25
+        assert vals.std() == pytest.approx(4.0, rel=0.05)
+
+    def test_autocorrelation_decays_with_tau(self):
+        lag = 3.0  # one time constant -> rho = exp(-1) ~ 0.368
+        first, second = [], []
+        for i in range(4000):
+            p = GaussMarkovShadowing(4.0, 3.0, _rng(f"a{i}"))
+            first.append(p.value_db(0.0))
+            second.append(p.value_db(lag))
+        rho = np.corrcoef(first, second)[0, 1]
+        assert rho == pytest.approx(np.exp(-1.0), abs=0.06)
+
+    def test_same_time_query_is_cached(self):
+        p = GaussMarkovShadowing(4.0, 3.0, _rng())
+        a = p.value_db(5.0)
+        b = p.value_db(5.0)
+        assert a == b
+
+    def test_backwards_query_rejected(self):
+        p = GaussMarkovShadowing(4.0, 3.0, _rng())
+        p.value_db(5.0)
+        with pytest.raises(ChannelError):
+            p.value_db(4.0)
+
+    def test_zero_sigma_is_identically_zero(self):
+        p = GaussMarkovShadowing(0.0, 3.0, _rng())
+        assert p.value_db(1.0) == 0.0
+        assert p.value_db(100.0) == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ChannelError):
+            GaussMarkovShadowing(-1.0, 3.0, _rng())
+        with pytest.raises(ChannelError):
+            GaussMarkovShadowing(4.0, 0.0, _rng())
+
+    def test_deterministic_given_seed(self):
+        p1 = GaussMarkovShadowing(4.0, 3.0, _rng("same", 3))
+        p2 = GaussMarkovShadowing(4.0, 3.0, _rng("same", 3))
+        ts = [0.5, 1.0, 4.0, 9.0]
+        assert [p1.value_db(t) for t in ts] == [p2.value_db(t) for t in ts]
+
+
+class TestRayleighFading:
+    def test_unit_mean_power(self):
+        gains = []
+        for i in range(6000):
+            f = RayleighFading(0.1, _rng(f"f{i}"))
+            gains.append(f.power_gain(1.0))
+        assert np.mean(gains) == pytest.approx(1.0, rel=0.05)
+
+    def test_power_gain_is_exponential(self):
+        # For exponential(1): P(g > 1) = e^-1, var = 1.
+        gains = np.array([
+            RayleighFading(0.1, _rng(f"e{i}")).power_gain(0.5) for i in range(6000)
+        ])
+        assert np.mean(gains > 1.0) == pytest.approx(np.exp(-1.0), abs=0.03)
+        assert np.var(gains) == pytest.approx(1.0, rel=0.12)
+
+    def test_correlation_kernels(self):
+        f_exp = RayleighFading(0.1, _rng(), kernel="exponential")
+        assert f_exp.correlation(0.0) == pytest.approx(1.0)
+        assert f_exp.correlation(0.1) == pytest.approx(np.exp(-1.0))
+        f_jakes = RayleighFading(0.1, _rng("j"), kernel="jakes")
+        assert f_jakes.correlation(0.0) == pytest.approx(1.0)
+        # J0 crosses zero; at large lag magnitude is < 1.
+        assert abs(f_jakes.correlation(1.0)) < 0.5
+
+    def test_short_gap_highly_correlated(self):
+        f = RayleighFading(0.1, _rng())
+        a = f.power_gain(0.0)
+        b = f.power_gain(1e-4)  # << coherence time
+        assert b == pytest.approx(a, rel=0.2)
+
+    def test_same_time_query_stationary(self):
+        """Paper assumption 3: gain constant over one packet's queries."""
+        f = RayleighFading(0.1, _rng())
+        assert f.power_gain(2.0) == f.power_gain(2.0)
+
+    def test_complex_gain_matches_power(self):
+        f = RayleighFading(0.1, _rng())
+        h = f.complex_gain(3.0)
+        assert abs(h) ** 2 == pytest.approx(f.power_gain(3.0))
+
+    def test_rician_k_shifts_distribution(self):
+        # Strong LOS -> power concentrates near 1.
+        gains = np.array([
+            RayleighFading(0.1, _rng(f"r{i}"), rician_k=10.0).power_gain(0.5)
+            for i in range(3000)
+        ])
+        assert np.mean(gains) == pytest.approx(1.0, rel=0.05)
+        assert np.var(gains) < 0.5  # much tighter than Rayleigh's var 1
+
+    def test_gain_db_matches_linear(self):
+        f = RayleighFading(0.1, _rng())
+        g = f.power_gain(1.0)
+        assert f.gain_db(1.0) == pytest.approx(10 * np.log10(g))
+
+    def test_backwards_query_rejected(self):
+        f = RayleighFading(0.1, _rng())
+        f.power_gain(1.0)
+        with pytest.raises(ChannelError):
+            f.power_gain(0.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ChannelError):
+            RayleighFading(0.0, _rng())
+        with pytest.raises(ChannelError):
+            RayleighFading(0.1, _rng(), kernel="sinc")
+        with pytest.raises(ChannelError):
+            RayleighFading(0.1, _rng(), rician_k=-1.0)
+
+    def test_decorrelates_past_coherence_time(self):
+        before, after = [], []
+        for i in range(4000):
+            f = RayleighFading(0.05, _rng(f"d{i}"))
+            before.append(f.power_gain(0.0))
+            after.append(f.power_gain(1.0))  # 20 coherence times later
+        rho = np.corrcoef(before, after)[0, 1]
+        assert abs(rho) < 0.05

@@ -1,0 +1,187 @@
+"""Configuration dataclasses: defaults, validation, round-trips."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    ChannelConfig,
+    EnergyConfig,
+    LeachConfig,
+    MacConfig,
+    NetworkConfig,
+    PhyConfig,
+    PolicyConfig,
+    Protocol,
+    ToneConfig,
+    TrafficConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestTableIIDefaults:
+    """Defaults must match the paper's Table II."""
+
+    def test_node_count(self):
+        assert NetworkConfig().n_nodes == 100
+
+    def test_ch_fraction(self):
+        assert LeachConfig().ch_fraction == 0.05
+
+    def test_data_powers(self):
+        e = EnergyConfig()
+        assert e.data_tx_power_w == 0.66
+        assert e.data_rx_power_w == 0.305
+
+    def test_tone_powers(self):
+        e = EnergyConfig()
+        assert e.tone_tx_power_w == pytest.approx(0.092)
+        assert e.tone_rx_power_w == pytest.approx(0.036)
+
+    def test_packet_length(self):
+        assert PhyConfig().packet_length_bits == 2000
+
+    def test_buffer_and_cw(self):
+        assert TrafficConfig().buffer_packets == 50
+        assert MacConfig().contention_window == 10
+
+    def test_burst_limits(self):
+        m = MacConfig()
+        assert m.min_burst_packets == 3
+        assert m.max_burst_packets == 8
+
+    def test_retry_cap(self):
+        assert MacConfig().max_retries == 6
+
+    def test_abicm_rates(self):
+        assert PhyConfig().rates_bps == (250e3, 450e3, 1e6, 2e6)
+
+    def test_initial_energy(self):
+        assert EnergyConfig().initial_energy_j == 10.0
+
+    def test_scheme1_constants(self):
+        p = PolicyConfig()
+        assert p.sample_interval_packets == 5
+        assert p.arm_queue_length == 15
+
+    def test_tone_spec(self):
+        t = ToneConfig()
+        assert t.idle_period_s == pytest.approx(0.050)
+        assert t.idle_duration_s == pytest.approx(0.001)
+        assert t.receive_period_s == pytest.approx(0.010)
+        assert t.receive_duration_s == pytest.approx(0.0005)
+        assert t.collision_duration_s == pytest.approx(0.0005)
+
+
+class TestValidation:
+    def test_bad_pathloss_exponent(self):
+        with pytest.raises(ConfigError):
+            ChannelConfig(pathloss_exponent=0.0)
+
+    def test_bad_fading_kernel(self):
+        with pytest.raises(ConfigError):
+            ChannelConfig(fading_kernel="magic")
+
+    def test_rates_must_be_sorted(self):
+        with pytest.raises(ConfigError):
+            PhyConfig(rates_bps=(2e6, 1e6), mode_thresholds_db=(1.0, 2.0))
+
+    def test_threshold_count_must_match(self):
+        with pytest.raises(ConfigError):
+            PhyConfig(mode_thresholds_db=(1.0, 2.0))
+
+    def test_thresholds_must_be_sorted(self):
+        with pytest.raises(ConfigError):
+            PhyConfig(mode_thresholds_db=(17.0, 12.0, 8.0, 4.0))
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyConfig(data_tx_power_w=-1.0)
+
+    def test_sleep_above_rx_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyConfig(sleep_power_w=1.0, data_rx_power_w=0.3)
+
+    def test_burst_ordering(self):
+        with pytest.raises(ConfigError):
+            MacConfig(min_burst_packets=8, max_burst_packets=3)
+
+    def test_idle_pulse_shorter_than_period(self):
+        with pytest.raises(ConfigError):
+            ToneConfig(idle_duration_s=0.06, idle_period_s=0.05)
+
+    def test_ch_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            LeachConfig(ch_fraction=0.0)
+        with pytest.raises(ConfigError):
+            LeachConfig(ch_fraction=1.5)
+
+    def test_source_model_names(self):
+        with pytest.raises(ConfigError):
+            TrafficConfig(source_model="fractal")
+
+    def test_min_nodes(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(n_nodes=1)
+
+    def test_dead_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(dead_fraction=0.0)
+
+    def test_placement_names(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(placement="ring")
+
+    def test_target_ber_bounds(self):
+        with pytest.raises(ConfigError):
+            PhyConfig(target_ber=0.7)
+
+
+class TestProtocolEnum:
+    def test_three_protocols(self):
+        assert len(Protocol) == 3
+
+    def test_labels_distinct(self):
+        labels = {p.label for p in Protocol}
+        assert len(labels) == 3
+
+    def test_value_roundtrip(self):
+        for p in Protocol:
+            assert Protocol(p.value) is p
+
+
+class TestConvenienceAndRoundtrip:
+    def test_with_traffic(self):
+        cfg = NetworkConfig().with_traffic(packets_per_second=25.0)
+        assert cfg.traffic.packets_per_second == 25.0
+        # Original untouched (frozen).
+        assert NetworkConfig().traffic.packets_per_second == 5.0
+
+    def test_with_protocol(self):
+        cfg = NetworkConfig().with_protocol(Protocol.PURE_LEACH)
+        assert cfg.protocol is Protocol.PURE_LEACH
+
+    def test_with_top_level(self):
+        cfg = NetworkConfig().with_(n_nodes=20, seed=9)
+        assert cfg.n_nodes == 20 and cfg.seed == 9
+
+    def test_dict_roundtrip(self):
+        cfg = NetworkConfig(
+            n_nodes=30,
+            protocol=Protocol.CAEM_FIXED,
+            traffic=TrafficConfig(packets_per_second=12.0),
+        )
+        again = NetworkConfig.from_dict(cfg.to_dict())
+        assert again == cfg
+
+    def test_dict_roundtrip_through_json(self):
+        import json
+
+        cfg = NetworkConfig()
+        blob = json.dumps(cfg.to_dict())
+        again = NetworkConfig.from_dict(json.loads(blob))
+        assert again == cfg
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            NetworkConfig().n_nodes = 5  # type: ignore[misc]

@@ -1,0 +1,251 @@
+"""Energy substrate: model, battery, meter, radio state machines."""
+
+import pytest
+
+from repro.config import EnergyConfig
+from repro.energy import Battery, EnergyMeter, RadioEnergyModel
+from repro.errors import EnergyError, MacError
+from repro.phy import DataRadio, DataRadioState, ToneRadio, ToneRadioState
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def model():
+    return RadioEnergyModel(EnergyConfig())
+
+
+class TestRadioEnergyModel:
+    def test_powers_match_table2(self, model):
+        assert model.power_w("data_tx") == 0.66
+        assert model.power_w("data_rx") == 0.305
+        assert model.power_w("tone_tx") == pytest.approx(0.092)
+        assert model.power_w("tone_rx") == pytest.approx(0.036)
+        assert model.power_w("sleep") == pytest.approx(3.5e-6)
+
+    def test_energy_is_power_times_time(self, model):
+        assert model.energy_j("data_tx", 0.001) == pytest.approx(0.66e-3)
+
+    def test_tx_of_2kbit_at_2mbps(self, model):
+        # The headline per-packet cost: 1 ms * 0.66 W = 0.66 mJ.
+        assert model.tx_energy_j(1e-3) == pytest.approx(0.66e-3)
+
+    def test_startup_energy(self, model):
+        assert model.startup_energy_j == pytest.approx(0.66 * 20e-6)
+
+    def test_unknown_cause(self, model):
+        with pytest.raises(EnergyError):
+            model.power_w("warp_drive")
+
+    def test_negative_duration(self, model):
+        with pytest.raises(EnergyError):
+            model.energy_j("sleep", -1.0)
+
+
+class TestBattery:
+    def test_draw_decrements(self):
+        b = Battery(10.0)
+        assert b.draw(2.5) == 2.5
+        assert b.level_j == 7.5
+        assert b.fraction == pytest.approx(0.75)
+
+    def test_truncated_final_draw(self):
+        b = Battery(1.0)
+        assert b.draw(3.0) == 1.0
+        assert b.level_j == 0.0 and b.is_depleted
+
+    def test_depletion_callback_once(self):
+        hits = []
+        b = Battery(1.0, on_depleted=lambda: hits.append(True))
+        b.draw(0.6)
+        assert hits == []
+        b.draw(0.6)
+        assert hits == [True]
+        b.draw(0.6)  # dead battery: no double-fire
+        assert hits == [True]
+
+    def test_dead_battery_supplies_nothing(self):
+        b = Battery(1.0)
+        b.draw(1.0)
+        assert b.draw(0.5) == 0.0
+
+    def test_can_supply(self):
+        b = Battery(1.0)
+        assert b.can_supply(1.0)
+        assert not b.can_supply(1.1)
+
+    def test_negative_draw_rejected(self):
+        with pytest.raises(EnergyError):
+            Battery(1.0).draw(-0.1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(EnergyError):
+            Battery(0.0)
+
+    def test_drawn_total(self):
+        b = Battery(5.0)
+        b.draw(1.0)
+        b.draw(2.0)
+        assert b.drawn_j == pytest.approx(3.0)
+
+    def test_late_callback_install(self):
+        b = Battery(1.0)
+        hits = []
+        b.set_depletion_callback(lambda: hits.append(1))
+        b.draw(2.0)
+        assert hits == [1]
+        with pytest.raises(EnergyError):
+            b.set_depletion_callback(lambda: None)
+
+
+class TestEnergyMeter:
+    def _meter(self, capacity=10.0):
+        sim = Simulator()
+        meter = EnergyMeter(sim, RadioEnergyModel(EnergyConfig()), Battery(capacity))
+        return sim, meter
+
+    def test_charge_by_duration(self):
+        _, meter = self._meter()
+        meter.charge("data_tx", 1.0)
+        assert meter.by_cause["data_tx"] == pytest.approx(0.66)
+        assert meter.battery.level_j == pytest.approx(10.0 - 0.66)
+
+    def test_ledger_accumulates(self):
+        _, meter = self._meter()
+        meter.charge("data_tx", 1.0)
+        meter.charge("data_tx", 1.0)
+        meter.charge("tone_rx", 1.0)
+        assert meter.by_cause["data_tx"] == pytest.approx(1.32)
+        assert meter.total_j == pytest.approx(1.32 + 0.036)
+
+    def test_unknown_cause_rejected(self):
+        _, meter = self._meter()
+        with pytest.raises(EnergyError):
+            meter.charge("mystery", 1.0)
+
+    def test_continuous_draw_integrates(self):
+        sim, meter = self._meter()
+        draw = meter.open_draw("tone_rx")
+        sim.run_until(10.0)
+        charged = draw.close(sim.now)
+        assert charged == pytest.approx(0.36)
+        assert meter.by_cause["tone_rx"] == pytest.approx(0.36)
+
+    def test_continuous_draw_checkpoint(self):
+        sim, meter = self._meter()
+        draw = meter.open_draw("tone_rx")
+        sim.run_until(5.0)
+        draw.checkpoint(sim.now)
+        assert meter.by_cause["tone_rx"] == pytest.approx(0.18)
+        sim.run_until(10.0)
+        draw.close(sim.now)
+        assert meter.by_cause["tone_rx"] == pytest.approx(0.36)
+
+    def test_closed_draw_charges_nothing_more(self):
+        sim, meter = self._meter()
+        draw = meter.open_draw("tone_rx")
+        sim.run_until(1.0)
+        draw.close(sim.now)
+        sim.run_until(5.0)
+        assert draw.checkpoint(sim.now) == 0.0
+
+    def test_settle_all(self):
+        sim, meter = self._meter()
+        meter.open_draw("tone_rx")
+        meter.open_draw("sleep")
+        sim.run_until(2.0)
+        meter.settle_all()
+        assert meter.by_cause["tone_rx"] == pytest.approx(0.072)
+        assert meter.by_cause["sleep"] == pytest.approx(7e-6)
+
+    def test_charge_startup(self):
+        _, meter = self._meter()
+        meter.charge_startup()
+        assert meter.by_cause["startup"] == pytest.approx(0.66 * 20e-6)
+
+    def test_truncation_reflected_in_ledger(self):
+        _, meter = self._meter(capacity=0.1)
+        meter.charge("data_tx", 1.0)  # wants 0.66 J, only 0.1 available
+        assert meter.by_cause["data_tx"] == pytest.approx(0.1)
+        assert meter.battery.is_depleted
+
+
+class TestDataRadio:
+    def _radio(self):
+        sim = Simulator()
+        meter = EnergyMeter(sim, RadioEnergyModel(EnergyConfig()), Battery(10.0))
+        return sim, meter, DataRadio(sim, meter, startup_time_s=466e-6)
+
+    def test_wake_sequence_and_cost(self):
+        sim, meter, radio = self._radio()
+        ready = []
+        radio.wake(lambda: ready.append(sim.now))
+        assert radio.state is DataRadioState.STARTUP
+        sim.run()
+        assert ready == [pytest.approx(466e-6)]
+        assert radio.state is DataRadioState.IDLE
+        assert meter.by_cause["startup"] == pytest.approx(0.66 * 466e-6)
+
+    def test_tx_charges_tx_power(self):
+        sim, meter, radio = self._radio()
+        radio.wake(lambda: None)
+        sim.run()
+        radio.start_tx()
+        sim.call_in(0.004, radio.sleep)
+        sim.run()
+        assert meter.by_cause["data_tx"] == pytest.approx(0.66 * 0.004)
+        assert radio.state is DataRadioState.SLEEP
+
+    def test_wake_from_non_sleep_rejected(self):
+        sim, _, radio = self._radio()
+        radio.wake(lambda: None)
+        with pytest.raises(MacError):
+            radio.wake(lambda: None)
+
+    def test_tx_requires_awake(self):
+        _, _, radio = self._radio()
+        with pytest.raises(MacError):
+            radio.start_tx()
+
+    def test_sleep_cancels_pending_wake(self):
+        sim, _, radio = self._radio()
+        ready = []
+        radio.wake(lambda: ready.append(True))
+        radio.sleep()
+        sim.run()
+        assert ready == [] and radio.state is DataRadioState.SLEEP
+
+    def test_is_awake(self):
+        sim, _, radio = self._radio()
+        assert not radio.is_awake
+        radio.wake(lambda: None)
+        sim.run()
+        assert radio.is_awake
+
+
+class TestToneRadio:
+    def test_monitor_charges_tone_rx(self):
+        sim = Simulator()
+        meter = EnergyMeter(sim, RadioEnergyModel(EnergyConfig()), Battery(10.0))
+        tone = ToneRadio(sim, meter)
+        tone.monitor()
+        sim.call_in(1.0, tone.off)
+        sim.run()
+        assert meter.by_cause["tone_rx"] == pytest.approx(0.036)
+        assert tone.state is ToneRadioState.OFF
+
+    def test_idempotent_transitions(self):
+        sim = Simulator()
+        meter = EnergyMeter(sim, RadioEnergyModel(EnergyConfig()), Battery(10.0))
+        tone = ToneRadio(sim, meter)
+        tone.monitor()
+        n = tone.transitions
+        tone.monitor()
+        assert tone.transitions == n  # no-op
+
+    def test_is_on(self):
+        sim = Simulator()
+        meter = EnergyMeter(sim, RadioEnergyModel(EnergyConfig()), Battery(10.0))
+        tone = ToneRadio(sim, meter)
+        assert not tone.is_on
+        tone.transmit()
+        assert tone.is_on

@@ -1,0 +1,192 @@
+"""Failure injection: deaths and teardowns at the worst possible moments.
+
+The paper's §III-B requires graceful degradation: "In case a cluster head
+collapses or switches ... a sensor should power both radios off and enter
+a sleep state."  These tests force deaths mid-round, mid-burst and
+mid-backoff and assert the network never wedges, leaks transmissions, or
+double-counts energy.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import NetworkConfig, Protocol
+from repro.mac import SensorMacState
+from repro.network import NodeRole, SensorNetwork
+from repro.phy import DataRadioState, ToneRadioState
+
+from mac_harness import feed_packets, make_cell, start_cell
+
+
+def _net(**kw):
+    cfg = NetworkConfig(n_nodes=10, protocol=Protocol.PURE_LEACH, seed=6, **kw)
+    return SensorNetwork(cfg)
+
+
+class TestClusterHeadDeath:
+    def test_members_detach_when_head_dies(self):
+        net = _net()
+        net.run_until(5.0)
+        heads = [n for n in net.nodes if n.role is NodeRole.HEAD]
+        assert heads
+        victim = heads[0]
+        # Drain the head's battery to force death.
+        victim.battery.draw(victim.battery.level_j + 1.0)
+        assert not victim.alive
+        # Its members must be powered down, not stuck monitoring.
+        for node in net.nodes:
+            if node is victim or not node.alive:
+                continue
+            assert not node.mac.is_attached or node.mac.state is SensorMacState.SLEEP
+        # Simulation continues without error.
+        net.run_until(25.0)
+        assert net.sim.now == 25.0
+
+    def test_network_recovers_next_round(self):
+        net = _net()
+        net.run_until(5.0)
+        victim = next(n for n in net.nodes if n.role is NodeRole.HEAD)
+        victim.battery.draw(1e9)
+        delivered_before = net.stats.delivered
+        # Next round (t=20) re-clusters among survivors; traffic resumes.
+        net.run_until(45.0)
+        assert net.stats.delivered > delivered_before
+
+    def test_dead_head_never_reelected(self):
+        net = _net()
+        net.run_until(5.0)
+        victim = next(n for n in net.nodes if n.role is NodeRole.HEAD)
+        victim.battery.draw(1e9)
+        net.run_until(85.0)
+        assert victim.role is NodeRole.HEAD or victim.head_mac is None
+        # The dead node never appears as a head in later rounds.
+        for node in net.nodes:
+            if node.role is NodeRole.HEAD:
+                assert node.alive
+
+
+class TestSensorDeathMidTransaction:
+    def test_death_mid_burst_clears_channel(self):
+        cell = make_cell(n_sensors=1, snr_db=30.0, sensor_battery_j=1000.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 8)
+        cell.sim.run_until(0.0525)  # burst almost surely on the air
+        mac = cell.macs[0]
+        if mac.state is SensorMacState.TRANSMIT:
+            cell.batteries[0].draw(1e9)  # battery event triggers nothing here;
+            mac.shutdown()  # network wires depletion -> shutdown
+            assert cell.channel.is_idle
+            assert mac.data_radio.state is DataRadioState.SLEEP
+            assert mac.tone_radio.state is ToneRadioState.OFF
+        cell.sim.run_until(1.0)  # no stray callbacks blow up
+
+    def test_death_mid_backoff_cancels_timer(self):
+        cell = make_cell(n_sensors=1, snr_db=30.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        # Run until the sensor is in backoff (just after the 2nd idle pulse).
+        mac = cell.macs[0]
+        t = 0.0
+        while mac.state is not SensorMacState.BACKOFF and t < 0.3:
+            t += 0.001
+            cell.sim.run_until(t)
+        if mac.state is SensorMacState.BACKOFF:
+            mac.shutdown()
+            cell.sim.run_until(1.0)
+            assert mac.stats.bursts_attempted == 0
+
+    def test_truncated_battery_on_burst(self):
+        """A node whose battery empties mid-burst browns out; the meter
+        records only what the battery could supply."""
+        cell = make_cell(n_sensors=1, snr_db=30.0, sensor_battery_j=1000.0)
+        start_cell(cell)
+        # Leave just enough for the tone monitoring + startup, not the burst.
+        cell.batteries[0].draw(cell.batteries[0].level_j - 1e-4)
+        feed_packets(cell, 0, 3)
+        cell.sim.run_until(1.0)
+        assert cell.batteries[0].drawn_j <= 1000.0
+        assert cell.batteries[0].level_j >= 0.0
+
+
+class TestWholeNetworkDeath:
+    def test_everything_dies_cleanly(self):
+        net = _net(
+            energy=dataclasses.replace(
+                NetworkConfig(n_nodes=10).energy, initial_energy_j=0.05
+            )
+        )
+        net.run_until(120.0)
+        assert net.alive_count == 0
+        assert net.is_dead
+        # Clock can still be advanced with a dead network.
+        net.run_until(140.0)
+        assert net.sim.now == 140.0
+
+    def test_stats_frozen_after_death(self):
+        net = _net(
+            energy=dataclasses.replace(
+                NetworkConfig(n_nodes=10).energy, initial_energy_j=0.05
+            )
+        )
+        net.run_until(120.0)
+        delivered = net.stats.delivered
+        generated = net.generated_packets()
+        net.run_until(160.0)
+        assert net.stats.delivered == delivered
+        assert net.generated_packets() == generated
+
+    def test_energy_never_negative_anywhere(self):
+        net = _net(
+            energy=dataclasses.replace(
+                NetworkConfig(n_nodes=10).energy, initial_energy_j=0.08
+            )
+        )
+        for t in range(5, 121, 5):
+            net.run_until(float(t))
+            net.settle_all()
+            for node in net.nodes:
+                assert node.battery.level_j >= 0.0
+
+
+class TestRoundBoundaryRaces:
+    def test_detach_during_backoff_everywhere(self):
+        """Round boundaries constantly interrupt MAC transactions; nothing
+        may leak across rounds."""
+        cfg = NetworkConfig(
+            n_nodes=10,
+            protocol=Protocol.PURE_LEACH,
+            seed=8,
+            leach=dataclasses.replace(
+                NetworkConfig(n_nodes=10).leach, round_duration_s=0.5
+            ),
+        )
+        net = SensorNetwork(cfg)
+        net.run_until(20.0)  # 40 rounds of churn
+        # Invariant: at most one transmission ledger entry per live cluster,
+        # and every sensor's state is consistent with its attachment.
+        for node in net.nodes:
+            if not node.alive:
+                continue
+            if not node.mac.is_attached:
+                assert node.mac.state is SensorMacState.SLEEP
+
+    def test_packets_survive_round_churn(self):
+        cfg = NetworkConfig(
+            n_nodes=10,
+            protocol=Protocol.CAEM_FIXED,  # gating -> long queues -> churn hits
+            seed=9,
+            leach=dataclasses.replace(
+                NetworkConfig(n_nodes=10).leach, round_duration_s=1.0
+            ),
+        )
+        net = SensorNetwork(cfg)
+        net.run_until(30.0)
+        accounted = (
+            net.stats.total_delivered
+            + net.stats.lost_channel
+            + net.dropped_overflow()
+            + net.dropped_retry()
+            + sum(len(n.buffer) for n in net.nodes)
+        )
+        assert abs(net.generated_packets() - accounted) <= 8 * len(net.nodes)

@@ -1,0 +1,285 @@
+"""CAEM sensor/cluster-head MAC behaviour (single-cluster cell)."""
+
+import pytest
+
+from repro.config import MacConfig, Protocol
+from repro.mac import SensorMacState
+
+from mac_harness import feed_packets, make_cell, start_cell
+
+
+class TestHappyPath:
+    def test_single_burst_delivered(self):
+        cell = make_cell(n_sensors=1, snr_db=30.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        cell.sim.run_until(1.0)
+        assert len(cell.delivered) == 3
+        assert cell.macs[0].stats.bursts_completed == 1
+        assert cell.macs[0].state is SensorMacState.SLEEP
+        assert len(cell.buffers[0]) == 0
+
+    def test_burst_capped_at_max(self):
+        cell = make_cell(n_sensors=1, snr_db=30.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 20)
+        cell.sim.run_until(3.0)
+        # 20 packets over bursts of <= 8: at least 3 bursts.
+        assert len(cell.delivered) == 20
+        assert cell.macs[0].stats.bursts_completed >= 3
+
+    def test_delivery_is_fifo(self):
+        cell = make_cell(n_sensors=1, snr_db=30.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 10)
+        cell.sim.run_until(3.0)
+        uids = [p.uid for p, _, _ in cell.delivered]
+        assert uids == sorted(uids)
+
+    def test_waits_for_sensing_delay(self):
+        cell = make_cell(n_sensors=1, snr_db=30.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        cell.sim.run_until(1.0)
+        # First idle pulse arrives ~0.5 ms after attach (CH startup), well
+        # inside the 8 ms sensing delay -> the burst must start only after
+        # the second pulse (~50 ms).
+        starts = cell.tracer.of_kind("mac.burst_start")
+        assert starts and starts[0].time >= 0.05
+
+    def test_tx_energy_accounted(self):
+        cell = make_cell(n_sensors=1, snr_db=30.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        cell.sim.run_until(1.0)
+        meter = cell.meters[0]
+        # Burst: (3*2000 + 128) bits at 2 Mbps = 3.064 ms at 0.66 W.
+        assert meter.by_cause["data_tx"] == pytest.approx(0.66 * 3.064e-3, rel=1e-6)
+        assert meter.by_cause["startup"] == pytest.approx(0.66 * 20e-6, rel=1e-6)
+        assert meter.by_cause["tone_rx"] > 0.0
+
+    def test_ch_rx_energy_accounted(self):
+        cell = make_cell(n_sensors=1, snr_db=30.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        cell.sim.run_until(1.0)
+        assert cell.ch_meter.by_cause["data_rx"] == pytest.approx(
+            0.305 * 3.064e-3, rel=1e-6
+        )
+        assert cell.ch_meter.by_cause["tone_tx"] > 0.0
+        assert cell.ch_meter.by_cause["ch_idle"] > 0.0
+
+    def test_mode_selection_recorded(self):
+        cell = make_cell(n_sensors=1, snr_db=30.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        cell.sim.run_until(1.0)
+        start = cell.tracer.of_kind("mac.burst_start")[0]
+        assert start.data["mode"] == 4  # 30 dB -> 2 Mbps
+
+    def test_low_snr_uses_robust_mode(self):
+        cell = make_cell(n_sensors=1, snr_db=5.0)  # supports mode 2 only
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        cell.sim.run_until(1.0)
+        start = cell.tracer.of_kind("mac.burst_start")[0]
+        assert start.data["mode"] == 2
+
+
+class TestQualityGate:
+    def test_scheme2_defers_below_threshold(self):
+        cell = make_cell(n_sensors=1, protocol=Protocol.CAEM_FIXED, snr_db=15.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        cell.sim.run_until(2.0)
+        assert len(cell.delivered) == 0
+        assert cell.macs[0].stats.quality_deferrals > 10
+        assert cell.macs[0].state is SensorMacState.MONITOR
+
+    def test_scheme2_transmits_when_channel_recovers(self):
+        cell = make_cell(n_sensors=1, protocol=Protocol.CAEM_FIXED, snr_db=15.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        cell.sim.run_until(2.0)
+        cell.links[0].snr = 25.0  # channel recovers above 19.5 dB
+        cell.sim.run_until(3.0)
+        assert len(cell.delivered) == 3
+
+    def test_pure_leach_ignores_quality(self):
+        cell = make_cell(n_sensors=1, protocol=Protocol.PURE_LEACH, snr_db=15.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        cell.sim.run_until(1.0)
+        assert len(cell.delivered) == 3
+        assert cell.macs[0].stats.quality_deferrals == 0
+
+    def test_outage_fallback_loses_packets(self):
+        # Pure LEACH transmits even at -5 dB; mode 1 PER ~ 1 -> all lost.
+        cell = make_cell(n_sensors=1, protocol=Protocol.PURE_LEACH, snr_db=-5.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        cell.sim.run_until(2.0)
+        assert len(cell.delivered) == 0
+        assert len(cell.lost) == 3
+        # Energy was burned for nothing - the paper's waste scenario.
+        assert cell.meters[0].by_cause["data_tx"] > 0.0
+
+    def test_scheme2_no_energy_wasted_in_bad_channel(self):
+        cell = make_cell(n_sensors=1, protocol=Protocol.CAEM_FIXED, snr_db=-5.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        cell.sim.run_until(2.0)
+        assert "data_tx" not in cell.meters[0].by_cause
+        assert len(cell.lost) == 0
+
+
+class TestCollisions:
+    def test_two_contenders_eventually_deliver(self):
+        cell = make_cell(n_sensors=2, snr_db=30.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        feed_packets(cell, 1, 3)
+        cell.sim.run_until(3.0)
+        assert len(cell.delivered) == 6
+        senders = {s for _, s, _ in cell.delivered}
+        assert senders == {0, 1}
+
+    def test_collisions_detected_and_aborted(self):
+        cell = make_cell(n_sensors=2, snr_db=30.0, seed=3)
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        feed_packets(cell, 1, 3)
+        cell.sim.run_until(3.0)
+        total_aborts = sum(m.stats.bursts_aborted for m in cell.macs)
+        if cell.channel.total_collisions:
+            assert total_aborts >= 1
+        # Nothing may be delivered out of a corrupted overlap.
+        assert len(cell.delivered) == 6
+
+    def test_retry_exhaustion_drops(self):
+        # max_retries=0: a single collision exhausts the budget.
+        cell = make_cell(
+            n_sensors=2, snr_db=30.0,
+            mac_cfg=MacConfig(max_retries=0),
+        )
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        feed_packets(cell, 1, 3)
+        cell.sim.run_until(3.0)
+        dropped = sum(m.stats.packets_dropped_retry for m in cell.macs)
+        delivered = len(cell.delivered)
+        assert dropped + delivered == 6
+        if cell.channel.total_collisions:
+            assert dropped > 0
+
+    def test_backoff_cancelled_when_channel_taken(self):
+        cell = make_cell(n_sensors=2, snr_db=30.0, seed=5)
+        start_cell(cell)
+        # Sensor 0 gets a long burst; sensor 1 contends mid-burst.
+        feed_packets(cell, 0, 8)
+        cell.sim.run_until(0.055)  # sensor 0 on the air
+        feed_packets(cell, 1, 3)
+        cell.sim.run_until(3.0)
+        assert len(cell.delivered) == 11
+
+
+class TestLatencyEscapeHatch:
+    def test_single_packet_sent_after_wait(self):
+        cell = make_cell(
+            n_sensors=1, snr_db=30.0,
+            mac_cfg=MacConfig(min_burst_wait_s=0.2),
+        )
+        start_cell(cell)
+        feed_packets(cell, 0, 1)
+        cell.sim.run_until(0.15)
+        assert len(cell.delivered) == 0  # below min burst, not stale yet
+        cell.sim.run_until(1.0)
+        assert len(cell.delivered) == 1
+
+    def test_min_burst_triggers_immediately(self):
+        cell = make_cell(
+            n_sensors=1, snr_db=30.0,
+            mac_cfg=MacConfig(min_burst_wait_s=100.0),
+        )
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        cell.sim.run_until(1.0)
+        assert len(cell.delivered) == 3
+
+
+class TestDetachAndShutdown:
+    def test_detach_mid_burst_recovers_packets(self):
+        cell = make_cell(n_sensors=1, snr_db=30.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 8)
+        # Stop the round while the burst is (very likely) in the air.
+        cell.sim.run_until(0.0525)
+        mac = cell.macs[0]
+        in_flight = mac.state is SensorMacState.TRANSMIT
+        mac.detach()
+        assert mac.state is SensorMacState.SLEEP
+        assert len(cell.buffers[0]) == 8  # nothing lost
+        assert cell.channel.is_idle
+        if in_flight:
+            assert mac.stats.bursts_attempted == 1
+
+    def test_shutdown_is_permanent(self):
+        cell = make_cell(n_sensors=1, snr_db=30.0)
+        start_cell(cell)
+        cell.macs[0].shutdown()
+        feed_packets(cell, 0, 5)
+        cell.sim.run_until(1.0)
+        assert len(cell.delivered) == 0
+        assert cell.macs[0].state is SensorMacState.SLEEP
+
+    def test_ch_stop_silences_cluster(self):
+        cell = make_cell(n_sensors=1, snr_db=30.0)
+        start_cell(cell)
+        cell.sim.run_until(0.2)
+        cell.ch_mac.stop()
+        feed_packets(cell, 0, 3)
+        cell.sim.run_until(1.0)
+        # No tone pulses -> sensor can monitor but never gets the idle cue.
+        assert len(cell.delivered) == 0
+
+    def test_reattach_after_detach_works(self):
+        cell = make_cell(n_sensors=1, snr_db=30.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 3)
+        cell.sim.run_until(1.0)
+        assert len(cell.delivered) == 3
+        cell.macs[0].detach()
+        from repro.mac import ClusterContext
+
+        ctx = ClusterContext(0, cell.channel, cell.ch_mac.broadcaster, cell.ch_mac)
+        cell.macs[0].attach(ctx, cell.links[0])  # re-attach, CH still running
+        feed_packets(cell, 0, 3)
+        cell.sim.run_until(2.0)
+        assert len(cell.delivered) == 6
+
+
+class TestClusterHeadMac:
+    def test_double_start_rejected(self):
+        import pytest as _pytest
+
+        cell = make_cell()
+        cell.ch_mac.start()
+        from repro.errors import MacError
+
+        with _pytest.raises(MacError):
+            cell.ch_mac.start()
+
+    def test_stop_idempotent(self):
+        cell = make_cell()
+        cell.ch_mac.start()
+        cell.ch_mac.stop()
+        cell.ch_mac.stop()
+        assert not cell.ch_mac.is_running
+
+    def test_counters(self):
+        cell = make_cell(n_sensors=1, snr_db=30.0)
+        start_cell(cell)
+        feed_packets(cell, 0, 5)
+        cell.sim.run_until(1.0)
+        assert cell.ch_mac.packets_received == 5
+        assert cell.ch_mac.packets_corrupted == 0

@@ -1,0 +1,117 @@
+"""DataChannel: transmission ledger and collision detection."""
+
+import pytest
+
+from repro.channel import ChannelState, DataChannel
+from repro.errors import MacError
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def chan():
+    return DataChannel(Simulator())
+
+
+class TestStates:
+    def test_starts_idle(self, chan):
+        assert chan.state is ChannelState.IDLE and chan.is_idle
+
+    def test_single_transmission_is_receive(self, chan):
+        chan.begin(1, 0.005)
+        assert chan.state is ChannelState.RECEIVE
+
+    def test_overlap_is_collision(self, chan):
+        chan.begin(1, 0.005)
+        chan.begin(2, 0.005)
+        assert chan.state is ChannelState.COLLISION
+
+    def test_idle_after_all_end(self, chan):
+        r1 = chan.begin(1, 0.005)
+        r2 = chan.begin(2, 0.005)
+        chan.abort(r1)
+        assert chan.state is ChannelState.COLLISION
+        chan.abort(r2)
+        assert chan.state is ChannelState.IDLE
+
+
+class TestCollisionSemantics:
+    def test_both_records_corrupted(self, chan):
+        r1 = chan.begin(1, 0.005)
+        r2 = chan.begin(2, 0.005)
+        assert r1.corrupted and r2.corrupted
+
+    def test_clean_when_sequential(self, chan):
+        r1 = chan.begin(1, 0.005)
+        chan.end(r1)
+        r2 = chan.begin(2, 0.005)
+        assert not r1.corrupted and not r2.corrupted
+
+    def test_three_way_collision_counts_once(self, chan):
+        chan.begin(1, 0.005)
+        chan.begin(2, 0.005)
+        chan.begin(3, 0.005)
+        assert chan.total_collisions == 1
+
+    def test_new_collision_episode_counts_again(self, chan):
+        r1 = chan.begin(1, 0.005)
+        r2 = chan.begin(2, 0.005)
+        chan.abort(r1)
+        chan.abort(r2)
+        r3 = chan.begin(3, 0.005)
+        chan.begin(4, 0.005)
+        assert chan.total_collisions == 2
+        assert r3.corrupted
+
+    def test_late_joiner_also_corrupted(self, chan):
+        r1 = chan.begin(1, 0.005)
+        r2 = chan.begin(2, 0.005)
+        chan.abort(r2)
+        # Channel still busy with r1 (already corrupted); a third arrival
+        # collides with it.
+        r3 = chan.begin(3, 0.005)
+        assert r3.corrupted and r1.corrupted
+
+
+class TestObservers:
+    def test_on_busy_fires_on_first_only(self, chan):
+        hits = []
+        chan.on_busy = lambda rec: hits.append(rec.sender_id)
+        chan.begin(1, 0.005)
+        chan.begin(2, 0.005)
+        assert hits == [1]
+
+    def test_on_collision_receives_colliders(self, chan):
+        got = []
+        chan.on_collision = lambda recs: got.append(sorted(r.sender_id for r in recs))
+        chan.begin(1, 0.005)
+        chan.begin(2, 0.005)
+        assert got == [[1, 2]]
+
+    def test_on_idle_fires_when_cleared(self, chan):
+        hits = []
+        chan.on_idle = lambda: hits.append(True)
+        r = chan.begin(1, 0.005)
+        chan.end(r)
+        assert hits == [True]
+
+
+class TestMisuse:
+    def test_double_transmit_same_sender(self, chan):
+        chan.begin(1, 0.005)
+        with pytest.raises(MacError):
+            chan.begin(1, 0.005)
+
+    def test_end_twice_rejected(self, chan):
+        r = chan.begin(1, 0.005)
+        chan.end(r)
+        with pytest.raises(MacError):
+            chan.end(r)
+
+    def test_nonpositive_duration_rejected(self, chan):
+        with pytest.raises(MacError):
+            chan.begin(1, 0.0)
+
+    def test_record_properties(self, chan):
+        r = chan.begin(7, 0.004)
+        assert r.planned_end_s == pytest.approx(chan.sim.now + 0.004)
+        assert chan.active_senders == [7]

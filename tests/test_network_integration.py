@@ -1,0 +1,181 @@
+"""Full-network integration: LEACH rounds over the CAEM stack."""
+
+import pytest
+
+from repro.config import NetworkConfig, Protocol
+from repro.network import NodeRole, SensorNetwork
+from repro.sim import Tracer
+
+
+def _small(protocol=Protocol.PURE_LEACH, seed=3, **kw):
+    cfg = NetworkConfig(n_nodes=12, protocol=protocol, seed=seed, **kw)
+    return cfg
+
+
+class TestBasicOperation:
+    def test_packets_flow_end_to_end(self):
+        net = SensorNetwork(_small())
+        net.run_until(30.0)
+        assert net.stats.delivered > 50
+        assert net.generated_packets() > 0
+
+    def test_round_rotation(self):
+        tracer = Tracer()
+        net = SensorNetwork(_small(), tracer=tracer)
+        net.run_until(65.0)  # 3+ rounds at 20 s
+        rounds = tracer.of_kind("leach.round")
+        assert len(rounds) >= 3
+        heads = [tuple(r.data["heads"]) for r in rounds]
+        # Rotation: not always the same head set.
+        assert len(set(heads)) > 1
+
+    def test_head_role_flips(self):
+        net = SensorNetwork(_small())
+        net.run_until(10.0)
+        roles = [n.role for n in net.nodes]
+        assert roles.count(NodeRole.HEAD) >= 1
+        assert roles.count(NodeRole.SENSOR) >= 10
+
+    def test_all_three_protocols_run(self):
+        for proto in Protocol:
+            net = SensorNetwork(_small(protocol=proto))
+            net.run_until(25.0)
+            assert net.stats.total_delivered > 0, proto
+
+    def test_determinism_same_seed(self):
+        a = SensorNetwork(_small(seed=9))
+        a.run_until(30.0)
+        b = SensorNetwork(_small(seed=9))
+        b.run_until(30.0)
+        assert a.stats.delivered == b.stats.delivered
+        assert a.mean_remaining_j() == pytest.approx(b.mean_remaining_j())
+        assert a.sim.events_processed == b.sim.events_processed
+
+    def test_different_seeds_differ(self):
+        a = SensorNetwork(_small(seed=1))
+        a.run_until(30.0)
+        b = SensorNetwork(_small(seed=2))
+        b.run_until(30.0)
+        assert a.stats.delivered != b.stats.delivered
+
+    def test_energy_conservation(self):
+        """Drawn energy == initial - remaining, summed over nodes."""
+        net = SensorNetwork(_small())
+        net.run_until(20.0)
+        net.settle_all()
+        initial = 12 * net.cfg.energy.initial_energy_j
+        remaining = sum(n.battery.level_j for n in net.nodes)
+        assert net.total_consumed_j() == pytest.approx(initial - remaining)
+
+    def test_energy_monotone_decreasing(self):
+        net = SensorNetwork(_small())
+        levels = []
+        for t in (5.0, 10.0, 15.0, 20.0):
+            net.run_until(t)
+            levels.append(net.mean_remaining_j())
+        assert all(a > b for a, b in zip(levels, levels[1:]))
+
+    def test_delays_are_positive(self):
+        net = SensorNetwork(_small())
+        net.run_until(20.0)
+        assert all(d > 0 for d in net.stats.delays_s)
+
+    def test_conservation_of_packets(self):
+        """generated = delivered + lost + dropped + still-queued (+in flight)."""
+        net = SensorNetwork(_small())
+        net.run_until(30.0)
+        accounted = (
+            net.stats.total_delivered
+            + net.stats.lost_channel
+            + net.dropped_overflow()
+            + net.dropped_retry()
+            + sum(len(n.buffer) for n in net.nodes)
+        )
+        # A handful may be mid-burst at the cut; allow that slack.
+        assert abs(net.generated_packets() - accounted) <= 8 * len(net.nodes)
+
+
+class TestDeathDynamics:
+    def test_nodes_die_and_network_dies(self):
+        import dataclasses
+
+        cfg = _small()
+        cfg = cfg.with_(
+            energy=dataclasses.replace(cfg.energy, initial_energy_j=0.3)
+        )
+        net = SensorNetwork(cfg)
+        net.run_until(120.0)
+        assert net.alive_count < 12
+        deaths = [n.death_time_s for n in net.nodes if n.death_time_s is not None]
+        assert deaths and all(t > 0 for t in deaths)
+
+    def test_dead_fraction_rule(self):
+        import dataclasses
+
+        cfg = _small().with_(
+            dead_fraction=0.5,
+            energy=dataclasses.replace(_small().energy, initial_energy_j=0.3),
+        )
+        net = SensorNetwork(cfg)
+        net.run_until(200.0)
+        if net.dead_fraction >= 0.5:
+            assert net.is_dead
+
+    def test_dead_nodes_stop_generating(self):
+        import dataclasses
+
+        cfg = _small().with_(
+            energy=dataclasses.replace(_small().energy, initial_energy_j=0.2)
+        )
+        net = SensorNetwork(cfg)
+        net.run_until(100.0)
+        dead = [n for n in net.nodes if not n.alive]
+        assert dead
+        counts = {n.id: n.source.generated for n in dead}
+        net.run_until(130.0)
+        for n in dead:
+            assert n.source.generated == counts[n.id]
+
+    def test_leach_rotation_balances_death_times(self):
+        """The paper: the die-off window is short under LEACH rotation."""
+        import dataclasses
+
+        cfg = _small().with_(
+            energy=dataclasses.replace(_small().energy, initial_energy_j=0.4)
+        )
+        net = SensorNetwork(cfg)
+        net.run_until(300.0)
+        deaths = [n.death_time_s for n in net.nodes if n.death_time_s]
+        assert len(deaths) == 12  # everyone died by the horizon
+        spread = max(deaths) - min(deaths)
+        assert spread < 0.6 * max(deaths)
+
+
+class TestProtocolOrdering:
+    """The paper's headline orderings, verified end-to-end."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        out = {}
+        for proto in Protocol:
+            net = SensorNetwork(_small(protocol=proto, seed=4))
+            net.run_until(60.0)
+            out[proto] = net
+        return out
+
+    def test_energy_ordering_leach_worst(self, runs):
+        consumed = {p: runs[p].total_consumed_j() for p in Protocol}
+        assert consumed[Protocol.PURE_LEACH] > consumed[Protocol.CAEM_ADAPTIVE]
+        assert consumed[Protocol.CAEM_ADAPTIVE] > consumed[Protocol.CAEM_FIXED]
+
+    def test_scheme2_worst_delay(self, runs):
+        delays = {p: runs[p].stats.mean_delay_s() for p in Protocol}
+        assert delays[Protocol.CAEM_FIXED] > delays[Protocol.PURE_LEACH]
+
+    def test_scheme1_policy_was_exercised(self, runs):
+        net = runs[Protocol.CAEM_ADAPTIVE]
+        changes = sum(
+            getattr(n.mac.policy, "lowers", 0) + getattr(n.mac.policy, "raises", 0)
+            for n in net.nodes
+        )
+        assert changes > 0

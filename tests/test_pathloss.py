@@ -1,0 +1,92 @@
+"""Path-loss models."""
+
+import numpy as np
+import pytest
+
+from repro.channel import FreeSpace, LogDistance, TwoRayGround
+from repro.errors import ChannelError
+
+
+class TestLogDistance:
+    def test_reference_point(self):
+        m = LogDistance(exponent=3.0, ref_loss_db=40.0, ref_distance_m=1.0)
+        assert m.loss_db(1.0) == pytest.approx(40.0)
+
+    def test_decade_slope(self):
+        m = LogDistance(exponent=3.0, ref_loss_db=40.0)
+        assert m.loss_db(10.0) - m.loss_db(1.0) == pytest.approx(30.0)
+        assert m.loss_db(100.0) - m.loss_db(10.0) == pytest.approx(30.0)
+
+    def test_monotone_in_distance(self):
+        m = LogDistance()
+        d = np.linspace(1.0, 150.0, 200)
+        loss = m.loss_db(d)
+        assert np.all(np.diff(loss) > 0)
+
+    def test_clamps_below_min_distance(self):
+        m = LogDistance(min_distance_m=1.0)
+        assert m.loss_db(0.01) == pytest.approx(m.loss_db(1.0))
+
+    def test_array_matches_scalar(self):
+        m = LogDistance()
+        d = np.array([2.0, 35.0, 90.0])
+        np.testing.assert_allclose(
+            m.loss_db(d), [m.loss_db(x) for x in d], rtol=1e-12
+        )
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ChannelError):
+            LogDistance(exponent=0.0)
+
+    def test_invalid_distance(self):
+        m = LogDistance()
+        with pytest.raises(ChannelError):
+            m.loss_db(-5.0)
+        with pytest.raises(ChannelError):
+            m.loss_db(float("nan"))
+
+
+class TestFreeSpace:
+    def test_inverse_square_slope(self):
+        m = FreeSpace()
+        assert m.loss_db(20.0) - m.loss_db(2.0) == pytest.approx(20.0)
+
+    def test_friis_at_915mhz(self):
+        # lambda = c/915e6 ~= 0.3276 m; PL(1 m) = 20 log10(4 pi / lambda).
+        m = FreeSpace(carrier_hz=915e6)
+        assert m.loss_db(1.0) == pytest.approx(31.7, abs=0.1)
+
+    def test_invalid_carrier(self):
+        with pytest.raises(ChannelError):
+            FreeSpace(carrier_hz=0.0)
+
+
+class TestTwoRayGround:
+    def test_matches_free_space_near(self):
+        m = TwoRayGround(tx_height_m=1.0, rx_height_m=1.0)
+        fs = FreeSpace()
+        d = m.crossover_m * 0.5
+        assert m.loss_db(d) == pytest.approx(fs.loss_db(d))
+
+    def test_fourth_power_far(self):
+        m = TwoRayGround(tx_height_m=1.0, rx_height_m=1.0)
+        d1 = m.crossover_m * 2
+        d2 = m.crossover_m * 20
+        assert m.loss_db(d2) - m.loss_db(d1) == pytest.approx(40.0)
+
+    def test_continuous_enough_at_crossover(self):
+        m = TwoRayGround(tx_height_m=1.0, rx_height_m=1.0)
+        below = m.loss_db(m.crossover_m * 0.999)
+        above = m.loss_db(m.crossover_m * 1.001)
+        assert abs(above - below) < 1.0
+
+    def test_array_branch(self):
+        m = TwoRayGround(tx_height_m=1.0, rx_height_m=1.0)
+        d = np.array([m.crossover_m * 0.5, m.crossover_m * 4.0])
+        out = m.loss_db(d)
+        assert out.shape == (2,)
+        assert out[1] > out[0]
+
+    def test_invalid_heights(self):
+        with pytest.raises(ChannelError):
+            TwoRayGround(tx_height_m=0.0)

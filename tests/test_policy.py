@@ -1,0 +1,216 @@
+"""Transmission policies: pure LEACH, Scheme 2, and the Scheme 1 controller."""
+
+import math
+
+import pytest
+
+from repro.config import PhyConfig, PolicyConfig, Protocol
+from repro.errors import ConfigError, PhyError
+from repro.phy import AbicmTable
+from repro.policy import (
+    AdaptiveThresholdPolicy,
+    AlwaysTransmitPolicy,
+    FixedThresholdPolicy,
+    ThresholdLadder,
+    make_policy,
+)
+
+
+@pytest.fixture()
+def ladder():
+    return ThresholdLadder(AbicmTable.from_config(PhyConfig()))
+
+
+class TestThresholdLadder:
+    def test_four_classes(self, ladder):
+        assert ladder.n_classes == len(ladder) == 4
+        assert ladder.lowest_class == 0 and ladder.highest_class == 3
+
+    def test_snr_ascending(self, ladder):
+        snrs = [ladder.snr_db(k) for k in range(4)]
+        assert snrs == sorted(snrs)
+
+    def test_rates_match_modes(self, ladder):
+        assert ladder.rate_bps(0) == 250e3
+        assert ladder.rate_bps(3) == 2e6
+
+    def test_clamp(self, ladder):
+        assert ladder.clamp(-3) == 0
+        assert ladder.clamp(9) == 3
+        assert ladder.clamp(2) == 2
+
+    def test_out_of_range(self, ladder):
+        with pytest.raises(PhyError):
+            ladder.snr_db(4)
+        with pytest.raises(PhyError):
+            ladder.rate_bps(-1)
+
+
+class TestAlwaysTransmit:
+    def test_allows_everything(self):
+        p = AlwaysTransmitPolicy()
+        for snr in (-50.0, 0.0, 40.0):
+            assert p.allows(snr)
+
+    def test_threshold_is_neg_inf(self):
+        p = AlwaysTransmitPolicy()
+        assert p.threshold_db() == -math.inf
+        assert p.threshold_class() is None
+
+    def test_observe_hooks_are_noops(self):
+        p = AlwaysTransmitPolicy()
+        p.observe_arrival(10, 1.0)
+        p.observe_service(5, 2.0)
+        p.reset()
+
+
+class TestFixedThreshold:
+    def test_defaults_to_highest(self, ladder):
+        p = FixedThresholdPolicy(ladder)
+        assert p.threshold_class() == 3
+        assert p.threshold_db() == ladder.snr_db(3)
+
+    def test_gates_on_threshold(self, ladder):
+        p = FixedThresholdPolicy(ladder)
+        th = ladder.snr_db(3)
+        assert p.allows(th) and p.allows(th + 5)
+        assert not p.allows(th - 0.01)
+
+    def test_custom_class(self, ladder):
+        p = FixedThresholdPolicy(ladder, klass=1)
+        assert p.threshold_db() == ladder.snr_db(1)
+
+    def test_invalid_class(self, ladder):
+        with pytest.raises(ConfigError):
+            FixedThresholdPolicy(ladder, klass=7)
+
+
+class TestAdaptiveController:
+    """The Fig. 6 pseudo-code, step by step."""
+
+    def _policy(self, ladder, **kw):
+        changes = []
+        p = AdaptiveThresholdPolicy(
+            ladder,
+            PolicyConfig(**kw),
+            on_change=lambda now, old, new: changes.append((old, new)),
+        )
+        return p, changes
+
+    def _feed(self, policy, queue_lengths, start=0.0):
+        """Feed one arrival per queue-length value."""
+        for i, q in enumerate(queue_lengths):
+            policy.observe_arrival(q, start + 0.01 * i)
+
+    def test_starts_at_highest_class(self, ladder):
+        p, _ = self._policy(ladder)
+        assert p.threshold_class() == 3
+
+    def test_not_armed_below_qstart(self, ladder):
+        p, changes = self._policy(ladder)
+        # Queue stays small: 10 samples (50 arrivals), never arms.
+        self._feed(p, [3] * 50)
+        assert not p.is_armed and p.threshold_class() == 3 and changes == []
+
+    def test_arms_at_qstart(self, ladder):
+        p, _ = self._policy(ladder)
+        self._feed(p, [16] * 5)  # first sample sees q=16 >= 15
+        assert p.is_armed
+
+    def test_growing_queue_lowers_one_class_per_sample(self, ladder):
+        p, changes = self._policy(ladder)
+        # Samples at arrivals 5,10,15,...: queue 16,18,20,... all growing.
+        self._feed(p, [16] * 5 + [18] * 5 + [20] * 5 + [22] * 5)
+        # First sample arms (no deltaV yet); next three lower 3->2->1->0.
+        assert p.threshold_class() == 0
+        assert changes == [(3, 2), (2, 1), (1, 0)]
+
+    def test_class_saturates_at_lowest(self, ladder):
+        p, _ = self._policy(ladder)
+        self._feed(p, [20] * 5 + [22] * 5 + [24] * 5 + [26] * 5 + [28] * 5 + [30] * 5)
+        assert p.threshold_class() == 0  # clamped, no underflow
+
+    def test_equal_samples_count_as_growth(self, ladder):
+        # Paper: "if deltaV >= 0 ... lower the transmission threshold".
+        p, changes = self._policy(ladder)
+        self._feed(p, [16] * 10)
+        assert changes == [(3, 2)]
+
+    def test_draining_queue_snaps_to_highest(self, ladder):
+        p, changes = self._policy(ladder)
+        self._feed(p, [16] * 5 + [20] * 5 + [24] * 5)  # lowered twice -> class 1
+        assert p.threshold_class() == 1
+        self._feed(p, [18] * 5)  # deltaV < 0, still >= Q_start
+        assert p.threshold_class() == 3
+        assert changes[-1] == (1, 3)
+
+    def test_drain_below_qstart_disarms_and_resets(self, ladder):
+        p, _ = self._policy(ladder)
+        self._feed(p, [16] * 5 + [20] * 5)
+        assert p.is_armed and p.threshold_class() == 2
+        self._feed(p, [4] * 5)
+        assert not p.is_armed and p.threshold_class() == 3
+
+    def test_sampling_interval_respected(self, ladder):
+        p, _ = self._policy(ladder)
+        self._feed(p, [20] * 4)  # only 4 arrivals: no sample yet
+        assert p.samples_taken == 0 and not p.is_armed
+        self._feed(p, [20])
+        assert p.samples_taken == 1
+
+    def test_custom_interval(self, ladder):
+        p, _ = self._policy(ladder, sample_interval_packets=2)
+        self._feed(p, [20, 20])
+        assert p.samples_taken == 1
+
+    def test_allows_follows_current_class(self, ladder):
+        p, _ = self._policy(ladder)
+        high = ladder.snr_db(3)
+        low = ladder.snr_db(0)
+        assert not p.allows(low + 0.1)
+        self._feed(p, [16] * 5 + [18] * 5 + [20] * 5 + [22] * 5)  # down to class 0
+        assert p.allows(low + 0.1)
+        assert p.threshold_db() == ladder.snr_db(0) < high
+
+    def test_reset_restores_initial(self, ladder):
+        p, _ = self._policy(ladder)
+        self._feed(p, [16] * 5 + [20] * 5)
+        p.reset()
+        assert p.threshold_class() == 3 and not p.is_armed
+        assert p._last_sample is None
+
+    def test_counters(self, ladder):
+        p, _ = self._policy(ladder)
+        self._feed(p, [16] * 5 + [20] * 5 + [24] * 5 + [18] * 5)
+        assert p.lowers == 2 and p.raises == 1
+
+    def test_initial_class_override(self, ladder):
+        p = AdaptiveThresholdPolicy(ladder, PolicyConfig(initial_class=1))
+        assert p.threshold_class() == 1
+
+    def test_bad_initial_class(self, ladder):
+        with pytest.raises(ConfigError):
+            AdaptiveThresholdPolicy(ladder, PolicyConfig(initial_class=9))
+
+    def test_negative_queue_rejected(self, ladder):
+        p, _ = self._policy(ladder)
+        with pytest.raises(ConfigError):
+            p.observe_arrival(-1, 0.0)
+
+
+class TestFactory:
+    def test_dispatch(self, ladder):
+        assert isinstance(
+            make_policy(Protocol.PURE_LEACH, ladder), AlwaysTransmitPolicy
+        )
+        assert isinstance(
+            make_policy(Protocol.CAEM_FIXED, ladder), FixedThresholdPolicy
+        )
+        assert isinstance(
+            make_policy(Protocol.CAEM_ADAPTIVE, ladder), AdaptiveThresholdPolicy
+        )
+
+    def test_names(self, ladder):
+        assert make_policy(Protocol.PURE_LEACH, ladder).name == "pure_leach"
+        assert make_policy(Protocol.CAEM_FIXED, ladder).name == "scheme2"
+        assert make_policy(Protocol.CAEM_ADAPTIVE, ladder).name == "scheme1"

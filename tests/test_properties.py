@@ -1,0 +1,256 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import GaussMarkovShadowing, RayleighFading
+from repro.config import MacConfig, PhyConfig
+from repro.energy import Battery
+from repro.errors import EnergyError
+from repro.mac import BackoffPolicy
+from repro.metrics import jain_index, network_lifetime_s, queue_length_std
+from repro.phy import AbicmTable, BPSK, QAM16, QPSK
+from repro.policy import AdaptiveThresholdPolicy, ThresholdLadder
+from repro.config import PolicyConfig
+from repro.rng import RngRegistry
+from repro.sim import EventQueue, Simulator
+from repro.traffic import Packet, PacketBuffer
+from repro.units import db_to_linear, linear_to_db
+
+_TABLE = AbicmTable.from_config(PhyConfig())
+_LADDER = ThresholdLadder(_TABLE)
+
+
+class TestUnitProperties:
+    @given(st.floats(min_value=-150, max_value=150))
+    def test_db_roundtrip(self, db):
+        assert linear_to_db(db_to_linear(db)) - db < 1e-9
+
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    def test_linear_roundtrip(self, x):
+        assert math.isclose(db_to_linear(linear_to_db(x)), x, rel_tol=1e-9)
+
+    @given(st.floats(min_value=-100, max_value=100),
+           st.floats(min_value=-100, max_value=100))
+    def test_db_addition_is_linear_multiplication(self, a, b):
+        assert math.isclose(
+            db_to_linear(a + b), db_to_linear(a) * db_to_linear(b), rel_tol=1e-9
+        )
+
+
+class TestSchedulerProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=60))
+    def test_events_pop_in_time_order(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda: None)
+        popped = []
+        while (call := q.pop()) is not None:
+            popped.append(call.time)
+        assert popped == sorted(times)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1,
+                    max_size=40),
+           st.data())
+    def test_cancellation_never_loses_live_events(self, times, data):
+        q = EventQueue()
+        handles = [q.push(t, lambda: None) for t in times]
+        to_cancel = data.draw(st.sets(
+            st.integers(min_value=0, max_value=len(handles) - 1)))
+        for i in to_cancel:
+            handles[i].cancel()
+        live = len(times) - len(to_cancel)
+        assert len(q) == live
+        popped = 0
+        while q.pop() is not None:
+            popped += 1
+        assert popped == live
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=1,
+                    max_size=30))
+    def test_simulator_clock_is_monotone(self, delays):
+        sim = Simulator()
+        observed = []
+        for d in delays:
+            sim.call_in(d, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert sim.now == max(delays)
+
+
+class TestBerProperties:
+    @given(st.floats(min_value=0.0, max_value=1e4))
+    def test_ber_is_probability(self, snr):
+        for mod in (BPSK, QPSK, QAM16):
+            p = mod.ber(snr)
+            assert 0.0 <= p <= 0.5
+
+    @given(st.floats(min_value=0.01, max_value=100.0),
+           st.floats(min_value=1.01, max_value=3.0))
+    def test_ber_monotone_in_snr(self, snr, factor):
+        for mod in (BPSK, QAM16):
+            assert mod.ber(snr * factor) <= mod.ber(snr) + 1e-15
+
+    @given(st.floats(min_value=0.0, max_value=60.0),
+           st.integers(min_value=1, max_value=10_000))
+    def test_per_is_probability_and_monotone_in_bits(self, snr_db, bits):
+        mode = _TABLE.highest
+        per1 = mode.packet_error_rate(snr_db, bits)
+        per2 = mode.packet_error_rate(snr_db, bits + 100)
+        assert 0.0 <= per1 <= 1.0
+        assert per2 >= per1 - 1e-12
+
+    @given(st.floats(min_value=-20.0, max_value=60.0))
+    def test_mode_selection_respects_thresholds(self, snr_db):
+        mode = _TABLE.mode_for_snr(snr_db)
+        if mode is None:
+            assert snr_db < _TABLE.lowest.threshold_db
+        else:
+            assert snr_db >= mode.threshold_db
+            # And no faster mode would be admissible.
+            for other in _TABLE:
+                if other.throughput_bps > mode.throughput_bps:
+                    assert snr_db < other.threshold_db
+
+
+class TestChannelProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.lists(st.floats(min_value=1e-4, max_value=5.0), min_size=1,
+                    max_size=25))
+    def test_fading_gain_positive_any_schedule(self, seed, gaps):
+        fading = RayleighFading(0.1, RngRegistry(seed).stream("prop"))
+        t = 0.0
+        for gap in gaps:
+            t += gap
+            assert fading.power_gain(t) > 0.0
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.lists(st.floats(min_value=1e-4, max_value=10.0), min_size=1,
+                    max_size=25))
+    def test_shadowing_finite_any_schedule(self, seed, gaps):
+        shadow = GaussMarkovShadowing(6.0, 3.0, RngRegistry(seed).stream("p"))
+        t = 0.0
+        for gap in gaps:
+            t += gap
+            v = shadow.value_db(t)
+            assert math.isfinite(v)
+
+
+class TestBatteryProperties:
+    @given(st.floats(min_value=0.01, max_value=100.0),
+           st.lists(st.floats(min_value=0.0, max_value=10.0), max_size=50))
+    def test_battery_never_negative_and_conserves(self, capacity, draws):
+        b = Battery(capacity)
+        total = 0.0
+        for d in draws:
+            total += b.draw(d)
+        assert b.level_j >= 0.0
+        assert math.isclose(b.level_j + total, capacity, rel_tol=1e-9)
+        assert total <= capacity + 1e-9
+
+    @given(st.floats(min_value=0.01, max_value=10.0))
+    def test_depletion_flag_iff_empty(self, capacity):
+        b = Battery(capacity)
+        b.draw(capacity * 0.999)
+        assert not b.is_depleted
+        b.draw(capacity)
+        assert b.is_depleted and b.level_j == 0.0
+
+
+class TestBufferProperties:
+    @given(st.integers(min_value=1, max_value=40),
+           st.lists(st.integers(min_value=0, max_value=10), max_size=60))
+    def test_fifo_order_and_conservation(self, capacity, take_sizes):
+        buf = PacketBuffer(capacity=capacity)
+        fed = []
+        uid = 0
+        taken = []
+        for n in take_sizes:
+            # Interleave: feed one, take n.
+            p = Packet(0, float(uid), 100)
+            uid += 1
+            if buf.offer(p):
+                fed.append(p.uid)
+            taken.extend(x.uid for x in buf.take(n))
+        taken.extend(x.uid for x in buf.take(len(buf)))
+        assert taken == fed  # FIFO, nothing lost or duplicated
+        assert buf.arrived == uid
+        assert buf.arrived - buf.dropped == len(taken)
+
+    @given(st.integers(min_value=1, max_value=10),
+           st.integers(min_value=0, max_value=30))
+    def test_never_exceeds_capacity(self, capacity, arrivals):
+        buf = PacketBuffer(capacity=capacity)
+        for i in range(arrivals):
+            buf.offer(Packet(0, float(i), 100))
+        assert len(buf) <= capacity
+
+
+class TestBackoffProperties:
+    @given(st.integers(min_value=0, max_value=20),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    def test_backoff_within_bounds(self, retry, seed):
+        policy = BackoffPolicy(MacConfig(), RngRegistry(seed).stream("b"))
+        d = policy.delay_s(retry)
+        assert 0.0 <= d <= policy.max_delay_s(retry)
+
+    @given(st.integers(min_value=0, max_value=5))
+    def test_max_delay_doubles(self, retry):
+        policy = BackoffPolicy(MacConfig(), RngRegistry(0).stream("b"))
+        assert math.isclose(
+            policy.max_delay_s(retry + 1), 2 * policy.max_delay_s(retry)
+        ) or policy.max_delay_s(retry + 1) == policy.max_delay_s(retry)
+
+
+class TestPolicyProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=120))
+    def test_class_always_in_range(self, queue_lengths):
+        policy = AdaptiveThresholdPolicy(_LADDER, PolicyConfig())
+        t = 0.0
+        for q in queue_lengths:
+            t += 0.01
+            policy.observe_arrival(q, t)
+            assert 0 <= policy.threshold_class() <= _LADDER.highest_class
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=120))
+    def test_allows_iff_snr_clears_threshold(self, queue_lengths):
+        policy = AdaptiveThresholdPolicy(_LADDER, PolicyConfig())
+        t = 0.0
+        for q in queue_lengths:
+            t += 0.01
+            policy.observe_arrival(q, t)
+            th = policy.threshold_db()
+            assert policy.allows(th + 0.1)
+            assert not policy.allows(th - 0.1)
+
+
+class TestMetricProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e4), min_size=1,
+                    max_size=50))
+    def test_queue_std_nonnegative(self, queues):
+        assert queue_length_std(queues) >= 0.0
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1e3), min_size=1,
+                    max_size=50))
+    def test_jain_bounds(self, shares):
+        j = jain_index(shares)
+        assert 1.0 / len(shares) - 1e-9 <= j <= 1.0 + 1e-9
+
+    @given(st.lists(st.one_of(st.none(),
+                              st.floats(min_value=0.1, max_value=1e4)),
+                    min_size=1, max_size=80),
+           st.floats(min_value=0.05, max_value=0.99))
+    def test_lifetime_is_an_observed_death_or_none(self, deaths, frac):
+        n = len(deaths)
+        lt = network_lifetime_s(deaths, n, frac)
+        observed = [d for d in deaths if d is not None]
+        if lt is not None:
+            assert lt in observed
+            # At lt, the dead fraction strictly exceeds frac.
+            dead_at = sum(1 for d in observed if d <= lt)
+            assert dead_at / n > frac

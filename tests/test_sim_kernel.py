@@ -1,0 +1,298 @@
+"""Discrete-event kernel: scheduler, simulator, events."""
+
+import pytest
+
+from repro.errors import SchedulerError, SimulationError
+from repro.sim import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        out = []
+        q.push(2.0, out.append, ("b",))
+        q.push(1.0, out.append, ("a",))
+        q.push(3.0, out.append, ("c",))
+        while (call := q.pop()) is not None:
+            call.fn(*call.args)
+        assert out == ["a", "b", "c"]
+
+    def test_fifo_for_ties(self):
+        q = EventQueue()
+        order = [q.push(1.0, lambda: None).seq for _ in range(5)]
+        popped = [q.pop().seq for _ in range(5)]
+        assert popped == order
+
+    def test_priority_breaks_ties_before_seq(self):
+        q = EventQueue()
+        q.push(1.0, lambda: "late", priority=5)
+        hi = q.push(1.0, lambda: "early", priority=-5)
+        assert q.pop() is hi
+
+    def test_len_counts_live_only(self):
+        q = EventQueue()
+        h1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        h1.cancel()
+        assert len(q) == 1
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        assert len(q) == 0
+
+    def test_cancelled_not_popped(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        keep = q.push(2.0, lambda: None)
+        h.cancel()
+        assert q.pop() is keep
+        assert q.pop() is None
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        h.cancel()
+        assert q.peek_time() == 5.0
+
+    def test_nan_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SchedulerError):
+            q.push(float("nan"), lambda: None)
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.clear()
+        assert not q and q.pop() is None
+
+
+class TestSimulatorScheduling:
+    def test_run_executes_in_time_order(self):
+        sim = Simulator()
+        out = []
+        sim.call_in(1.5, out.append, "late")
+        sim.call_in(0.5, out.append, "early")
+        sim.run()
+        assert out == ["early", "late"]
+        assert sim.now == 1.5
+
+    def test_call_at_absolute(self):
+        sim = Simulator()
+        seen = {}
+        sim.call_at(2.0, lambda: seen.setdefault("t", sim.now))
+        sim.run()
+        assert seen["t"] == 2.0
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.call_in(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulerError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulerError):
+            Simulator().call_in(-0.1, lambda: None)
+
+    def test_run_until_advances_clock_exactly(self):
+        sim = Simulator()
+        sim.call_in(10.0, lambda: None)
+        sim.run_until(5.0)
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_run_until_includes_boundary(self):
+        sim = Simulator()
+        hits = []
+        sim.call_at(5.0, hits.append, 1)
+        sim.run_until(5.0)
+        assert hits == [1]
+
+    def test_run_until_composes(self):
+        sim = Simulator()
+        hits = []
+        for t in (1.0, 2.0, 3.0):
+            sim.call_at(t, hits.append, t)
+        sim.run_until(1.5)
+        assert hits == [1.0]
+        sim.run_until(3.0)
+        assert hits == [1.0, 2.0, 3.0]
+
+    def test_run_until_past_rejected(self):
+        sim = Simulator()
+        sim.run_until(4.0)
+        with pytest.raises(SchedulerError):
+            sim.run_until(3.0)
+
+    def test_stop_breaks_run(self):
+        sim = Simulator()
+        out = []
+        sim.call_in(1.0, lambda: (out.append("a"), sim.stop()))
+        sim.call_in(2.0, out.append, "b")
+        sim.run()
+        assert out == ["a"]
+        assert sim.pending_events == 1
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        out = []
+
+        def first():
+            out.append("first")
+            sim.call_in(1.0, lambda: out.append("second"))
+
+        sim.call_in(1.0, first)
+        sim.run()
+        assert out == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_cancelled_handle_not_executed(self):
+        sim = Simulator()
+        out = []
+        h = sim.call_in(1.0, out.append, "x")
+        h.cancel()
+        sim.run()
+        assert out == []
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        out = []
+        for i in range(10):
+            sim.call_in(float(i + 1), out.append, i)
+        sim.run(max_events=3)
+        assert out == [0, 1, 2]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.call_in(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        err = {}
+
+        def inner():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                err["e"] = exc
+
+        sim.call_in(1.0, inner)
+        sim.run()
+        assert "e" in err
+
+    def test_reset(self):
+        sim = Simulator()
+        sim.call_in(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0 and sim.pending_events == 0
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        out = []
+        for i in range(5):
+            sim.call_at(1.0, out.append, i)
+        sim.run()
+        assert out == [0, 1, 2, 3, 4]
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self):
+        sim = Simulator()
+        ev = sim.event("e")
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        ev.succeed(42)
+        sim.run()
+        assert got == [42]
+
+    def test_fail_delivers_exception(self):
+        sim = Simulator()
+        ev = sim.event()
+        got = []
+        ev.add_callback(lambda e: got.append((e.failed, type(e.value))))
+        ev.fail(RuntimeError("boom"))
+        sim.run()
+        assert got == [(True, RuntimeError)]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+    def test_late_callback_still_fires(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("v")
+        sim.run()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        sim.run()
+        assert got == ["v"]
+
+    def test_timeout_event(self):
+        sim = Simulator()
+        ev = sim.timeout(2.5, value="done")
+        got = []
+        ev.add_callback(lambda e: got.append((sim.now, e.value)))
+        sim.run()
+        assert got == [(2.5, "done")]
+
+    def test_any_of_first_wins(self):
+        sim = Simulator()
+        slow = sim.timeout(5.0, value="slow")
+        fast = sim.timeout(1.0, value="fast")
+        comp = sim.any_of(slow, fast)
+        got = []
+        comp.add_callback(lambda e: got.append(e.value.value))
+        sim.run()
+        assert got == ["fast"]
+
+    def test_all_of_collects_values(self):
+        sim = Simulator()
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(2.0, value="b")
+        comp = sim.all_of(a, b)
+        got = []
+        comp.add_callback(lambda e: got.append(e.value))
+        sim.run()
+        assert got == [("a", "b")]
+        assert sim.now == 2.0
+
+    def test_all_of_fails_fast(self):
+        sim = Simulator()
+        ok = sim.timeout(5.0)
+        bad = sim.event()
+        comp = sim.all_of(ok, bad)
+        got = []
+        comp.add_callback(lambda e: got.append(e.failed))
+        bad.fail(ValueError("x"))
+        sim.run_until(1.0)
+        assert got == [True]
+
+    def test_empty_composites_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.any_of()
+        with pytest.raises(SimulationError):
+            sim.all_of()

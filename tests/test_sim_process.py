@@ -1,0 +1,188 @@
+"""Generator-based simulation processes."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim import Interrupt, Simulator, spawn
+
+
+class TestBasicProcesses:
+    def test_timeout_yield(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            log.append(("start", sim.now))
+            yield 1.5
+            log.append(("after", sim.now))
+
+        spawn(sim, proc())
+        sim.run()
+        assert log == [("start", 0.0), ("after", 1.5)]
+
+    def test_yield_event(self):
+        sim = Simulator()
+        ev = sim.event()
+        got = []
+
+        def proc():
+            value = yield ev
+            got.append(value)
+
+        spawn(sim, proc())
+        sim.call_in(2.0, ev.succeed, "payload")
+        sim.run()
+        assert got == ["payload"]
+
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            return 99
+
+        p = spawn(sim, proc())
+        sim.run()
+        assert p.triggered and p.value == 99
+
+    def test_wait_on_process(self):
+        sim = Simulator()
+        order = []
+
+        def child():
+            yield 1.0
+            order.append("child-done")
+            return "result"
+
+        def parent():
+            value = yield spawn(sim, child())
+            order.append(("parent-got", value))
+
+        spawn(sim, parent())
+        sim.run()
+        assert order == ["child-done", ("parent-got", "result")]
+
+    def test_exception_fails_process(self):
+        sim = Simulator()
+
+        def proc():
+            yield 0.5
+            raise ValueError("inner")
+
+        p = spawn(sim, proc())
+        sim.run()
+        assert p.failed and isinstance(p.value, ValueError)
+
+    def test_failed_event_thrown_into_process(self):
+        sim = Simulator()
+        ev = sim.event()
+        caught = []
+
+        def proc():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        spawn(sim, proc())
+        sim.call_in(1.0, ev.fail, RuntimeError("bad"))
+        sim.run()
+        assert caught == ["bad"]
+
+    def test_bad_yield_type(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nonsense"
+
+        p = spawn(sim, proc())
+        sim.run()
+        assert p.failed and isinstance(p.value, ProcessError)
+
+    def test_non_generator_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ProcessError):
+            spawn(sim, lambda: None)  # type: ignore[arg-type]
+
+    def test_body_does_not_run_synchronously(self):
+        sim = Simulator()
+        ran = []
+
+        def proc():
+            ran.append(True)
+            yield 0.1
+
+        spawn(sim, proc())
+        assert ran == []  # only runs once the simulator steps
+        sim.run()
+        assert ran == [True]
+
+
+class TestInterrupts:
+    def test_interrupt_caught(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            try:
+                yield 100.0
+            except Interrupt as intr:
+                log.append(("interrupted", sim.now, intr.cause))
+
+        p = spawn(sim, proc())
+        sim.call_in(2.0, p.interrupt, "channel-busy")
+        sim.run()
+        assert log == [("interrupted", 2.0, "channel-busy")]
+
+    def test_uncaught_interrupt_kills(self):
+        sim = Simulator()
+
+        def proc():
+            yield 100.0
+
+        p = spawn(sim, proc())
+        sim.call_in(1.0, p.interrupt)
+        sim.run()
+        assert p.failed and isinstance(p.value, ProcessError)
+
+    def test_interrupt_after_completion_is_noop(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+
+        p = spawn(sim, proc())
+        sim.run()
+        p.interrupt()  # must not raise
+        sim.run()
+        assert not p.failed
+
+    def test_stale_wait_does_not_resume_twice(self):
+        sim = Simulator()
+        resumed = []
+
+        def proc():
+            try:
+                yield sim.timeout(5.0, value="timer")
+            except Interrupt:
+                value = yield sim.timeout(10.0, value="second")
+                resumed.append(value)
+
+        p = spawn(sim, proc())
+        sim.call_in(1.0, p.interrupt)
+        sim.run()
+        # The original 5s timer fires at t=5 but must not wake the process,
+        # which is now waiting on the 10s timer set at t=1 (fires at 11).
+        assert resumed == ["second"]
+        assert sim.now == 11.0
+
+    def test_interrupt_is_alive_flag(self):
+        sim = Simulator()
+
+        def proc():
+            yield 3.0
+
+        p = spawn(sim, proc())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive

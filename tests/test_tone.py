@@ -1,0 +1,158 @@
+"""Tone channel: spec (Table I), broadcaster behaviour, energy."""
+
+import pytest
+
+from repro.config import EnergyConfig, ToneConfig
+from repro.energy import Battery, EnergyMeter, RadioEnergyModel
+from repro.errors import MacError
+from repro.mac import ToneBroadcaster, ToneChannelSpec, ToneKind
+from repro.sim import Simulator
+
+
+class _Listener:
+    def __init__(self):
+        self.pulses = []
+
+    def on_tone_pulse(self, kind, time_s):
+        self.pulses.append((kind, time_s))
+
+
+def _broadcaster():
+    sim = Simulator()
+    meter = EnergyMeter(sim, RadioEnergyModel(EnergyConfig()), Battery(100.0))
+    return sim, meter, ToneBroadcaster(sim, ToneChannelSpec(), meter)
+
+
+class TestToneChannelSpec:
+    def test_table1_values(self):
+        spec = ToneChannelSpec()
+        idle = spec.pulse(ToneKind.IDLE)
+        assert idle.duration_s == pytest.approx(1e-3)
+        assert idle.period_s == pytest.approx(50e-3)
+        recv = spec.pulse(ToneKind.RECEIVE)
+        assert recv.duration_s == pytest.approx(0.5e-3)
+        assert recv.period_s == pytest.approx(10e-3)
+        coll = spec.pulse(ToneKind.COLLISION)
+        assert coll.duration_s == pytest.approx(0.5e-3)
+        assert coll.period_s is None
+
+    def test_duty_cycles_are_low(self):
+        # §III-A's "energy efficient" claim: tiny tone duty cycles.
+        spec = ToneChannelSpec()
+        assert spec.pulse(ToneKind.IDLE).duty_cycle == pytest.approx(0.02)
+        assert spec.pulse(ToneKind.RECEIVE).duty_cycle == pytest.approx(0.05)
+        assert spec.pulse(ToneKind.COLLISION).duty_cycle == 0.0
+
+    def test_rows_cover_all_states(self):
+        assert [r.kind for r in ToneChannelSpec().rows()] == list(ToneKind)
+
+    def test_classify_interval(self):
+        spec = ToneChannelSpec()
+        assert spec.classify_interval(0.050) is ToneKind.IDLE
+        assert spec.classify_interval(0.010) is ToneKind.RECEIVE
+        assert spec.classify_interval(0.015) is ToneKind.TRANSMIT
+        with pytest.raises(MacError):
+            spec.classify_interval(0.5)
+
+    def test_intervals_unambiguous(self):
+        # The three periodic intervals must not overlap at 25% tolerance.
+        spec = ToneChannelSpec()
+        for interval, kind in ((0.050, ToneKind.IDLE), (0.010, ToneKind.RECEIVE),
+                               (0.015, ToneKind.TRANSMIT)):
+            assert spec.classify_interval(interval) is kind
+
+
+class TestToneBroadcaster:
+    def test_idle_train_period(self):
+        sim, _, bc = _broadcaster()
+        lis = _Listener()
+        bc.subscribe(lis)
+        bc.start(ToneKind.IDLE)
+        sim.run_until(0.2)
+        times = [t for k, t in lis.pulses if k is ToneKind.IDLE]
+        assert times == pytest.approx([0.0, 0.05, 0.10, 0.15, 0.20])
+
+    def test_state_change_restarts_train(self):
+        sim, _, bc = _broadcaster()
+        lis = _Listener()
+        bc.subscribe(lis)
+        bc.start(ToneKind.IDLE)
+        sim.run_until(0.06)  # pulses at 0, 0.05
+        bc.set_state(ToneKind.RECEIVE)  # immediate receive pulse at 0.06
+        sim.run_until(0.08)
+        kinds = [k for k, _ in lis.pulses]
+        assert kinds == [ToneKind.IDLE, ToneKind.IDLE, ToneKind.RECEIVE,
+                         ToneKind.RECEIVE, ToneKind.RECEIVE]
+        recv_times = [t for k, t in lis.pulses if k is ToneKind.RECEIVE]
+        assert recv_times == pytest.approx([0.06, 0.07, 0.08])
+
+    def test_collision_pulse_is_single(self):
+        sim, _, bc = _broadcaster()
+        lis = _Listener()
+        bc.subscribe(lis)
+        bc.start(ToneKind.COLLISION)
+        sim.run_until(1.0)
+        assert lis.pulses == [(ToneKind.COLLISION, 0.0)]
+
+    def test_same_state_is_noop(self):
+        sim, _, bc = _broadcaster()
+        bc.start(ToneKind.IDLE)
+        sim.run_until(0.01)
+        bc.set_state(ToneKind.IDLE)  # must not restart the train
+        sim.run_until(0.049)
+        assert bc.pulses_emitted["idle"] == 1
+
+    def test_stop_silences(self):
+        sim, _, bc = _broadcaster()
+        lis = _Listener()
+        bc.subscribe(lis)
+        bc.start()
+        sim.run_until(0.01)
+        bc.stop()
+        sim.run_until(1.0)
+        assert len(lis.pulses) == 1
+        assert not bc.is_running
+
+    def test_energy_charged_per_pulse(self):
+        sim, meter, bc = _broadcaster()
+        bc.start(ToneKind.IDLE)
+        sim.run_until(0.5)  # pulses at 0, 0.05, ..., 0.5 -> 11 pulses
+        expected = 11 * 1e-3 * 0.092
+        assert meter.by_cause["tone_tx"] == pytest.approx(expected)
+
+    def test_unsubscribe_stops_delivery(self):
+        sim, _, bc = _broadcaster()
+        lis = _Listener()
+        bc.subscribe(lis)
+        bc.start()
+        sim.run_until(0.01)
+        bc.unsubscribe(lis)
+        sim.run_until(0.2)
+        assert len(lis.pulses) == 1
+
+    def test_double_subscribe_single_delivery(self):
+        sim, _, bc = _broadcaster()
+        lis = _Listener()
+        bc.subscribe(lis)
+        bc.subscribe(lis)
+        bc.start()
+        sim.run_until(0.01)
+        assert len(lis.pulses) == 1
+
+    def test_start_twice_rejected(self):
+        _, _, bc = _broadcaster()
+        bc.start()
+        with pytest.raises(MacError):
+            bc.start()
+
+    def test_set_state_requires_running(self):
+        _, _, bc = _broadcaster()
+        with pytest.raises(MacError):
+            bc.set_state(ToneKind.RECEIVE)
+
+    def test_restart_after_stop(self):
+        sim, _, bc = _broadcaster()
+        bc.start()
+        bc.stop()
+        bc.start(ToneKind.RECEIVE)
+        assert bc.current_kind is ToneKind.RECEIVE

@@ -1,0 +1,191 @@
+"""Traffic substrate: packets, buffer, sources."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BufferOverflowError, ConfigError
+from repro.rng import RngRegistry
+from repro.sim import Simulator
+from repro.traffic import (
+    CbrSource,
+    OnOffSource,
+    Packet,
+    PacketBuffer,
+    PoissonSource,
+    make_source,
+)
+
+
+class TestPacket:
+    def test_unique_ids(self):
+        a = Packet(1, 0.0, 2000)
+        b = Packet(1, 0.0, 2000)
+        assert a.uid != b.uid
+
+    def test_age(self):
+        p = Packet(1, 5.0, 2000)
+        assert p.age_s(7.5) == pytest.approx(2.5)
+
+    def test_frozen(self):
+        p = Packet(1, 0.0, 2000)
+        with pytest.raises(Exception):
+            p.birth_s = 1.0  # type: ignore[misc]
+
+
+class TestPacketBuffer:
+    def test_fifo_order(self):
+        buf = PacketBuffer(capacity=10)
+        pkts = [Packet(1, float(i), 2000) for i in range(5)]
+        for p in pkts:
+            buf.offer(p)
+        assert buf.take(3) == pkts[:3]
+        assert buf.take(5) == pkts[3:]
+
+    def test_overflow_drops_and_counts(self):
+        buf = PacketBuffer(capacity=2)
+        assert buf.offer(Packet(1, 0.0, 2000))
+        assert buf.offer(Packet(1, 0.1, 2000))
+        assert not buf.offer(Packet(1, 0.2, 2000))
+        assert buf.dropped == 1 and buf.arrived == 3 and len(buf) == 2
+
+    def test_strict_mode_raises(self):
+        buf = PacketBuffer(capacity=1, strict=True)
+        buf.offer(Packet(1, 0.0, 2000))
+        with pytest.raises(BufferOverflowError):
+            buf.offer(Packet(1, 0.1, 2000))
+
+    def test_unbounded(self):
+        buf = PacketBuffer(capacity=None)
+        for i in range(500):
+            assert buf.offer(Packet(1, float(i), 2000))
+        assert len(buf) == 500 and not buf.is_full
+
+    def test_requeue_front_preserves_order(self):
+        buf = PacketBuffer(capacity=10)
+        pkts = [Packet(1, float(i), 2000) for i in range(4)]
+        for p in pkts:
+            buf.offer(p)
+        taken = buf.take(3)
+        buf.requeue_front(taken[1:])  # two unsent packets go back
+        assert buf.take(10) == [pkts[1], pkts[2], pkts[3]]
+
+    def test_requeue_adjusts_served(self):
+        buf = PacketBuffer(capacity=10)
+        for i in range(4):
+            buf.offer(Packet(1, float(i), 2000))
+        taken = buf.take(4)
+        assert buf.served == 4
+        buf.requeue_front(taken[2:])
+        assert buf.served == 2
+
+    def test_peek_and_head_age(self):
+        buf = PacketBuffer()
+        assert buf.peek() is None
+        assert buf.head_age_s(9.0) == 0.0
+        p = Packet(1, 2.0, 2000)
+        buf.offer(p)
+        assert buf.peek() is p
+        assert buf.head_age_s(9.0) == pytest.approx(7.0)
+
+    def test_take_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PacketBuffer().take(-1)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PacketBuffer(capacity=0)
+
+
+class TestPoissonSource:
+    def _run(self, rate, horizon, seed=3):
+        sim = Simulator()
+        got = []
+        src = PoissonSource(
+            sim, 7, 2000, got.append, rate, RngRegistry(seed).stream("t")
+        )
+        src.start()
+        sim.run_until(horizon)
+        src.stop()
+        return got, src
+
+    def test_mean_rate(self):
+        got, _ = self._run(rate=5.0, horizon=200.0)
+        assert len(got) == pytest.approx(1000, rel=0.1)
+
+    def test_interarrivals_exponential(self):
+        got, _ = self._run(rate=10.0, horizon=300.0)
+        gaps = np.diff([p.birth_s for p in got])
+        assert gaps.mean() == pytest.approx(0.1, rel=0.1)
+        # Exponential: std ~= mean.
+        assert gaps.std() == pytest.approx(gaps.mean(), rel=0.15)
+
+    def test_packets_carry_metadata(self):
+        got, _ = self._run(rate=5.0, horizon=10.0)
+        assert all(p.source_id == 7 and p.size_bits == 2000 for p in got)
+
+    def test_stop_halts_generation(self):
+        sim = Simulator()
+        got = []
+        src = PoissonSource(sim, 1, 2000, got.append, 50.0, RngRegistry(0).stream("t"))
+        src.start()
+        sim.run_until(1.0)
+        n = len(got)
+        src.stop()
+        sim.run_until(5.0)
+        assert len(got) == n and not src.is_running
+
+    def test_start_idempotent(self):
+        sim = Simulator()
+        src = PoissonSource(sim, 1, 2000, lambda p: None, 5.0,
+                            RngRegistry(0).stream("t"))
+        src.start()
+        src.start()
+        assert sim.pending_events == 1
+
+    def test_deterministic_given_seed(self):
+        a, _ = self._run(rate=5.0, horizon=50.0, seed=11)
+        b, _ = self._run(rate=5.0, horizon=50.0, seed=11)
+        assert [p.birth_s for p in a] == [p.birth_s for p in b]
+
+    def test_invalid_rate(self):
+        sim = Simulator()
+        with pytest.raises(ConfigError):
+            PoissonSource(sim, 1, 2000, lambda p: None, 0.0,
+                          RngRegistry(0).stream("t"))
+
+
+class TestOtherSources:
+    def test_cbr_exact_spacing(self):
+        sim = Simulator()
+        got = []
+        CbrSource(sim, 1, 2000, got.append, 4.0).start()
+        sim.run_until(2.0)
+        assert [p.birth_s for p in got] == pytest.approx([0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0])
+
+    def test_onoff_mean_rate_preserved(self):
+        sim = Simulator()
+        got = []
+        src = OnOffSource(
+            sim, 1, 2000, got.append, rate_pps=5.0, on_s=1.0, off_s=4.0,
+            rng=RngRegistry(5).stream("oo"),
+        )
+        src.start()
+        sim.run_until(400.0)
+        rate = len(got) / 400.0
+        assert rate == pytest.approx(5.0, rel=0.25)
+
+    def test_factory_dispatch(self):
+        sim = Simulator()
+        rng = RngRegistry(0).stream("f")
+        assert isinstance(
+            make_source("poisson", sim, 1, 2000, lambda p: None, 5.0, rng),
+            PoissonSource,
+        )
+        assert isinstance(
+            make_source("cbr", sim, 1, 2000, lambda p: None, 5.0, rng), CbrSource
+        )
+        assert isinstance(
+            make_source("onoff", sim, 1, 2000, lambda p: None, 5.0, rng), OnOffSource
+        )
+        with pytest.raises(ConfigError):
+            make_source("fractal", sim, 1, 2000, lambda p: None, 5.0, rng)
