@@ -15,9 +15,9 @@ from conftest import run_once
 LOADS = (5.0, 15.0, 30.0)
 
 
-def test_fig11_energy_per_packet(benchmark, preset, seeds):
+def test_fig11_energy_per_packet(benchmark, preset, seeds, jobs):
     result = run_once(
-        benchmark, fig11_energy_per_packet, preset, seeds, LOADS
+        benchmark, fig11_energy_per_packet, preset, seeds, LOADS, jobs=jobs
     )
     print()
     print(result.render())

@@ -15,9 +15,9 @@ from conftest import run_once
 LOADS = (5.0, 15.0, 30.0)
 
 
-def test_fig12_queue_stddev(benchmark, preset, seeds):
+def test_fig12_queue_stddev(benchmark, preset, seeds, jobs):
     result = run_once(
-        benchmark, fig12_queue_stddev, preset, seeds, LOADS
+        benchmark, fig12_queue_stddev, preset, seeds, LOADS, jobs=jobs
     )
     print()
     print(result.render())

@@ -26,6 +26,14 @@ def pytest_addoption(parser):
         default="1",
         help="comma-separated replication seeds",
     )
+    parser.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=1,
+        help="parallel simulation processes for the figure grids "
+             "(tables are identical at any parallelism)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -37,6 +45,11 @@ def preset(request) -> str:
 def seeds(request):
     raw = request.config.getoption("--bench-seeds")
     return tuple(int(s) for s in raw.split(","))
+
+
+@pytest.fixture(scope="session")
+def jobs(request) -> int:
+    return request.config.getoption("--jobs")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

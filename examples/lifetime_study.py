@@ -6,12 +6,16 @@ prints the remaining-energy trajectory, the die-off curve, and the
 lifetime gains over pure LEACH (paper: ≈ +40% for Scheme 1, ≈ +130% for
 Scheme 2 at 5 pkt/s).
 
-Run:  python examples/lifetime_study.py [--preset quick|smoke]
+Experiments are resolved through the :mod:`repro.api` registry — the
+same lookup `repro-caem run` uses — and accept ``--jobs`` for
+process-parallel execution.
+
+Run:  python examples/lifetime_study.py [--preset quick|smoke] [--jobs N]
 """
 
 import argparse
 
-from repro.experiments import fig8_remaining_energy, fig9_nodes_alive
+from repro.api import get_experiment
 
 
 def main() -> None:
@@ -19,16 +23,21 @@ def main() -> None:
     parser.add_argument("--preset", default="smoke",
                         choices=("smoke", "quick", "full"))
     parser.add_argument("--seeds", type=int, nargs="+", default=[1])
+    parser.add_argument("--jobs", type=int, default=1)
     args = parser.parse_args()
 
     print("— energy trajectory (Fig. 8) —")
-    fig8 = fig8_remaining_energy(args.preset, args.seeds)
+    fig8 = get_experiment("fig8").run(
+        preset=args.preset, seeds=tuple(args.seeds), jobs=args.jobs
+    )
     # Print a decimated view: every 4th row.
     fig8.rows = fig8.rows[::4]
     print(fig8.render())
 
     print("— die-off and lifetime (Fig. 9) —")
-    fig9 = fig9_nodes_alive(args.preset, args.seeds)
+    fig9 = get_experiment("fig9").run(
+        preset=args.preset, seeds=tuple(args.seeds), jobs=args.jobs
+    )
     fig9.rows = fig9.rows[::4]
     print(fig9.render())
 

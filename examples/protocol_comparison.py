@@ -2,35 +2,19 @@
 """Protocol comparison: the paper's three protocols head-to-head.
 
 Runs pure LEACH, Scheme 1 (adaptive threshold) and Scheme 2 (fixed
-threshold) on identical topology/traffic/channel seeds and prints a
-side-by-side comparison — a miniature of the paper's whole evaluation.
+threshold) on identical topology/traffic/channel seeds — a miniature of
+the paper's whole evaluation — expressed as a one-axis
+:class:`repro.api.Campaign`.  Pass ``--jobs 3`` to run the three
+protocols in parallel processes; the table is identical either way.
 
-Run:  python examples/protocol_comparison.py [--nodes N] [--horizon S]
+Run:  python examples/protocol_comparison.py [--nodes N] [--horizon S] [--jobs N]
 """
 
 import argparse
 
-from repro import NetworkConfig, Protocol, SensorNetwork
+from repro.api import Campaign, Scenario
+from repro.config import Protocol
 from repro.experiments import render_table
-
-
-def run_one(protocol: Protocol, n_nodes: int, horizon_s: float, seed: int):
-    cfg = NetworkConfig(n_nodes=n_nodes, protocol=protocol, seed=seed)
-    net = SensorNetwork(cfg)
-    net.run_until(horizon_s)
-    consumed = net.total_consumed_j()
-    delivered = net.stats.delivered
-    return [
-        protocol.label,
-        net.generated_packets(),
-        delivered,
-        f"{net.stats.delivery_rate():.1%}" if hasattr(net.stats, "delivery_rate")
-        else f"{net.stats.total_delivered / max(net.generated_packets(), 1):.1%}",
-        round(consumed, 2),
-        round(consumed / max(delivered, 1) * 1e3, 2),
-        round(net.stats.mean_delay_s() * 1e3, 1),
-        net.dropped_overflow(),
-    ]
 
 
 def main() -> None:
@@ -38,12 +22,32 @@ def main() -> None:
     parser.add_argument("--nodes", type=int, default=30)
     parser.add_argument("--horizon", type=float, default=60.0)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jobs", type=int, default=1)
     args = parser.parse_args()
 
-    rows = [
-        run_one(p, args.nodes, args.horizon, args.seed)
-        for p in (Protocol.PURE_LEACH, Protocol.CAEM_ADAPTIVE, Protocol.CAEM_FIXED)
-    ]
+    base = (
+        Scenario()
+        .with_(n_nodes=args.nodes, seed=args.seed)
+        .with_runtime(horizon_s=args.horizon, sample_interval_s=5.0)
+    )
+    campaign = Campaign(base, name="protocol-comparison").over(
+        protocol=list(Protocol)
+    )
+    result = campaign.run(jobs=args.jobs)
+
+    rows = []
+    for scenario, run in result:
+        rows.append([
+            scenario.config.protocol.label,
+            run.generated,
+            run.delivered,
+            f"{run.delivery_rate:.1%}" if run.delivery_rate is not None else "—",
+            round(run.total_consumed_j, 2),
+            round(run.energy_per_packet_j * 1e3, 2)
+            if run.energy_per_packet_j is not None else None,
+            round(run.mean_delay_s * 1e3, 1),
+            run.dropped_overflow,
+        ])
     print(render_table(
         ["protocol", "generated", "delivered", "delivery", "energy J",
          "mJ/packet", "delay ms", "overflow"],

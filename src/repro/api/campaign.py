@@ -1,0 +1,232 @@
+"""Campaigns: expand a scenario grid and execute it at any parallelism.
+
+A :class:`Campaign` turns one template :class:`~repro.api.Scenario` plus a
+set of axes (protocol × load × seed × any config field) into an ordered
+work list, and runs it through a pluggable executor — in-process serial or
+a :class:`~concurrent.futures.ProcessPoolExecutor` fan-out (``jobs=N``).
+
+Because every work item is fully specified by its frozen scenario (all
+randomness derives from ``config.seed``), the results are **bit-identical
+at any parallelism**: ``jobs=4`` returns exactly what ``jobs=1`` returns,
+in the same order, only faster.
+
+>>> from repro.api import Campaign, Scenario
+>>> from repro.config import Protocol
+>>> camp = (Campaign(Scenario.from_preset("smoke"))
+...         .over(protocol=[Protocol.PURE_LEACH, Protocol.CAEM_ADAPTIVE],
+...               load_pps=[5.0, 15.0])
+...         .seeds([1, 2]))
+>>> len(camp)
+8
+>>> result = camp.run(jobs=4)  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field as dc_field
+from typing import (
+    Any,
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..config import NetworkConfig, Protocol
+from ..errors import ExperimentError
+from .result import RunResult
+from .scenario import Scenario, _SECTIONS
+
+__all__ = ["Campaign", "CampaignResult", "run_scenarios", "default_jobs"]
+
+_TOP_FIELDS = {f.name for f in dataclasses.fields(NetworkConfig)}
+
+
+def default_jobs() -> int:
+    """Honour ``REPRO_JOBS`` if set, else 1 (serial — always safe)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def _execute(scenario: Scenario) -> RunResult:
+    """Top-level (picklable) worker body: run one scenario."""
+    return scenario.run()
+
+
+def run_scenarios(
+    scenarios: Sequence[Scenario],
+    jobs: int = 1,
+    store=None,
+    progress: Optional[Callable[[int, int, Scenario], None]] = None,
+) -> List[RunResult]:
+    """Execute ``scenarios`` and return their results **in input order**.
+
+    ``jobs <= 1`` runs serially in-process; ``jobs > 1`` fans out over a
+    process pool.  Either way the returned list lines up index-for-index
+    with the input, and each result is bit-identical across backends
+    (determinism is per-scenario, not per-schedule).  ``store`` — any
+    object with an ``append(RunResult)`` method, e.g. a
+    :class:`~repro.api.store.ResultStore` — receives every result as it is
+    collected (in order), so an interrupted campaign keeps the runs that
+    finished.
+    """
+    scenarios = list(scenarios)
+    results: List[RunResult] = []
+
+    def collect(run: RunResult) -> None:
+        results.append(run)
+        if store is not None:
+            store.append(run)
+
+    if jobs <= 1 or len(scenarios) <= 1:
+        for i, sc in enumerate(scenarios):
+            if progress is not None:
+                progress(i, len(scenarios), sc)
+            collect(_execute(sc))
+    else:
+        workers = min(jobs, len(scenarios))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # map() preserves input order; chunksize=1 keeps the work
+            # queue balanced when run lengths vary wildly (lifetime runs).
+            for i, run in enumerate(pool.map(_execute, scenarios, chunksize=1)):
+                if progress is not None:
+                    progress(i, len(scenarios), scenarios[i])
+                collect(run)
+    return results
+
+
+@dataclass
+class CampaignResult:
+    """An executed campaign: scenarios and their results, index-aligned."""
+
+    scenarios: List[Scenario] = dc_field(default_factory=list)
+    runs: List[RunResult] = dc_field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __iter__(self) -> Iterator[Tuple[Scenario, RunResult]]:
+        return iter(zip(self.scenarios, self.runs))
+
+    def select(self, **tags: Any) -> List[RunResult]:
+        """Results whose scenario tags match every given key=value."""
+        return [
+            run
+            for sc, run in zip(self.scenarios, self.runs)
+            if all(sc.tags.get(k) == v for k, v in tags.items())
+        ]
+
+    def column(self, metric: Callable[[RunResult], Any]) -> List[Any]:
+        """Apply ``metric`` to every run, in campaign order."""
+        return [metric(run) for run in self.runs]
+
+
+class Campaign:
+    """A scenario grid builder plus its executor front-end.
+
+    Axes added via :meth:`over` multiply: each call refines the grid by
+    taking the cross product with the new axis.  Axis names resolve, in
+    order, to the builder knobs ``protocol`` / ``load_pps`` / ``seed``, to
+    any top-level :class:`NetworkConfig` field, or to a dotted config path
+    like ``"mac.max_retries"`` / ``"traffic.buffer_packets"``.
+    """
+
+    def __init__(self, base: Optional[Scenario] = None, name: str = "campaign"):
+        self.base = base or Scenario()
+        self.name = name
+        self._axes: List[Tuple[str, List[Any]]] = []
+        self._extra: List[Scenario] = []
+
+    # -- grid construction -----------------------------------------------------
+
+    def over(self, **axes: Sequence[Any]) -> "Campaign":
+        """Add grid axes; values of each axis must be a non-empty sequence."""
+        for name, values in axes.items():
+            values = list(values)
+            if not values:
+                raise ExperimentError(f"axis {name!r} needs at least one value")
+            self._apply(self.base, name, values[0])  # fail fast on bad names
+            self._axes.append((name, values))
+        return self
+
+    def seeds(self, seeds: Sequence[int]) -> "Campaign":
+        """Replicate the whole grid over these master seeds."""
+        return self.over(seed=list(seeds))
+
+    def add(self, scenario: Scenario) -> "Campaign":
+        """Append one off-grid scenario to the work list."""
+        self._extra.append(scenario)
+        return self
+
+    @staticmethod
+    def _apply(scenario: Scenario, name: str, value: Any) -> Scenario:
+        """Apply one axis setting to a scenario."""
+        if name == "protocol":
+            return scenario.with_protocol(Protocol(value) if isinstance(value, str) else value)
+        if name == "load_pps":
+            return scenario.with_load(float(value))
+        if name == "seed":
+            return scenario.with_seed(int(value))
+        if name in _TOP_FIELDS:
+            return scenario.with_(**{name: value})
+        if "." in name:
+            section, _, fld = name.partition(".")
+            if section in _SECTIONS:
+                return scenario.with_sub(section, **{fld: value})
+        raise ExperimentError(
+            f"unknown campaign axis {name!r}: expected protocol/load_pps/seed, "
+            f"a NetworkConfig field, or a dotted path like 'mac.max_retries'"
+        )
+
+    def scenarios(self) -> List[Scenario]:
+        """Expand the grid into the ordered, tagged work list."""
+        if not self._axes:
+            grid = [self.base]
+        else:
+            names = [n for n, _ in self._axes]
+            grid = []
+            for combo in itertools.product(*(vals for _, vals in self._axes)):
+                sc = self.base
+                for name, value in zip(names, combo):
+                    sc = self._apply(sc, name, value)
+                grid.append(sc.tagged(campaign=self.name,
+                                      **dict(zip(names, combo))))
+        return grid + list(self._extra)
+
+    def __len__(self) -> int:
+        n = 1
+        for _, vals in self._axes:
+            n *= len(vals)
+        return (n if self._axes else 1) + len(self._extra)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        jobs: Optional[int] = None,
+        store=None,
+        progress: Optional[Callable[[int, int, Scenario], None]] = None,
+    ) -> CampaignResult:
+        """Execute the whole grid and return the index-aligned results.
+
+        ``jobs=None`` falls back to :func:`default_jobs` (the ``REPRO_JOBS``
+        environment variable, else serial).
+        """
+        scenarios = self.scenarios()
+        if not scenarios:
+            raise ExperimentError("campaign has no scenarios")
+        runs = run_scenarios(
+            scenarios,
+            jobs=default_jobs() if jobs is None else jobs,
+            store=store,
+            progress=progress,
+        )
+        return CampaignResult(scenarios=scenarios, runs=runs)

@@ -1,0 +1,138 @@
+"""The simulation engine: one fully specified run in, one record out.
+
+:func:`simulate` is the single choke point every execution path funnels
+through — :meth:`repro.api.Scenario.run`, the :class:`repro.api.Campaign`
+executors (serial and process-pool), and the legacy
+:func:`repro.experiments.run_scenario` shim.  A run is fully specified by
+``(NetworkConfig, RunOptions)``; all randomness derives from
+``config.seed`` via the named-stream :class:`repro.rng.RngRegistry`, so
+the same pair produces a bit-identical :class:`RunResult` in any process,
+at any parallelism, in any execution order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import NetworkConfig
+from ..errors import ExperimentError
+from ..metrics import TimeSeriesCollector
+from ..metrics.lifetime import death_spread_s, first_death_s, network_lifetime_s
+from ..network import SensorNetwork
+from .result import RunResult
+
+__all__ = ["RunOptions", "simulate"]
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """How to observe a run (as opposed to *what* to run — the config).
+
+    ``stop_when_dead`` ends the run early once the paper's dead-network
+    rule triggers (saves wall time in lifetime sweeps).  ``collect_queues``
+    stores per-node queue snapshots for the Fig. 12 fairness statistic.
+    """
+
+    horizon_s: float = 60.0
+    sample_interval_s: float = 5.0
+    stop_when_dead: bool = False
+    collect_queues: bool = False
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= 0:
+            raise ExperimentError("horizon must be > 0")
+        if self.sample_interval_s <= 0:
+            raise ExperimentError("sample interval must be > 0")
+
+
+def simulate(
+    cfg: NetworkConfig,
+    options: Optional[RunOptions] = None,
+    tracer=None,
+) -> RunResult:
+    """Simulate one scenario and return its :class:`RunResult`.
+
+    Build a :class:`~repro.network.SensorNetwork`, attach samplers,
+    advance (optionally stopping at network death), and distil the
+    measurement record.
+    """
+    opts = options or RunOptions()
+    wall_start = time.perf_counter()
+    net = SensorNetwork(cfg, tracer=tracer)
+    result = RunResult(
+        protocol=cfg.protocol.value,
+        seed=cfg.seed,
+        load_pps=cfg.traffic.packets_per_second,
+        horizon_s=opts.horizon_s,
+    )
+
+    def sample_energy() -> float:
+        return net.mean_remaining_j()
+
+    def sample_alive() -> int:
+        return net.alive_count
+
+    energy_series = TimeSeriesCollector(
+        net.sim, opts.sample_interval_s, sample_energy, "mean_energy"
+    )
+    alive_series = TimeSeriesCollector(
+        net.sim, opts.sample_interval_s, sample_alive, "alive"
+    )
+    queue_series = None
+    if opts.collect_queues:
+        queue_series = TimeSeriesCollector(
+            net.sim, opts.sample_interval_s, net.queue_lengths, "queues"
+        )
+
+    net.start()
+    energy_series.start()
+    alive_series.start()
+    if queue_series is not None:
+        queue_series.start()
+
+    # Advance in sampler-sized chunks so the death rule is checked often.
+    t = 0.0
+    while t < opts.horizon_s:
+        t = min(t + opts.sample_interval_s, opts.horizon_s)
+        net.run_until(t)
+        if opts.stop_when_dead and net.is_dead:
+            break
+
+    # Harvest.
+    result.sample_times_s = list(energy_series.times)
+    result.mean_energy_j = [float(v) for v in energy_series.values]
+    result.alive_counts = [int(v) for v in alive_series.values]
+    if queue_series is not None:
+        result.queue_snapshots = [list(v) for v in queue_series.values]
+
+    deaths = [n.death_time_s for n in net.nodes]
+    result.death_times_s = deaths
+    result.lifetime_s = network_lifetime_s(
+        deaths, cfg.n_nodes, cfg.dead_fraction
+    )
+    result.first_death_s = first_death_s(deaths)
+    result.death_spread_s = death_spread_s(deaths)
+
+    elapsed = net.sim.now
+    result.generated = net.generated_packets()
+    result.delivered = net.stats.delivered
+    result.delivered_local = net.stats.delivered_local
+    result.lost_channel = net.stats.lost_channel
+    result.dropped_overflow = net.dropped_overflow()
+    result.dropped_retry = net.dropped_retry()
+    result.collisions = sum(n.mac.stats.collisions_heard for n in net.nodes)
+    result.total_consumed_j = net.total_consumed_j()
+    if result.delivered > 0:
+        # Radio deliveries only — see RunResult's "Delivery accounting".
+        result.energy_per_packet_j = result.total_consumed_j / result.delivered
+    result.mean_delay_s = net.stats.mean_delay_s()
+    if elapsed > 0:
+        result.throughput_bps = net.stats.delivered_bits / elapsed
+    if result.generated > 0:
+        # Radio + local deliveries — see RunResult's "Delivery accounting".
+        result.delivery_rate = net.stats.total_delivered / result.generated
+    result.energy_breakdown = net.energy_breakdown()
+    result.wall_time_s = time.perf_counter() - wall_start
+    return result

@@ -1,0 +1,105 @@
+"""The canonical per-run measurement record: :class:`RunResult`.
+
+Every simulation — whether launched through :func:`repro.api.Scenario.run`,
+a :class:`repro.api.Campaign`, or the legacy
+:func:`repro.experiments.run_scenario` shim — distils into one
+:class:`RunResult`.  The record is a plain dataclass so it pickles across
+process-pool workers and round-trips through JSON for the
+:class:`repro.api.ResultStore`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one simulation run.
+
+    Delivery accounting
+    -------------------
+    Two delivery counters exist and the derived metrics deliberately use
+    *different* denominators:
+
+    * ``delivered`` counts packets carried over the **radio** (sensor →
+      cluster head bursts).  ``energy_per_packet_j`` divides total consumed
+      energy by this count only — it is the paper's Fig. 11 metric
+      ("energy consumed for successfully *transmitting* one data packet");
+      a cluster head's own packets are aggregated locally without any radio
+      transmission and would artificially deflate a per-transmission cost.
+    * ``delivered_local`` counts those locally aggregated cluster-head
+      packets.  ``delivery_rate`` uses ``total_delivered`` (radio + local)
+      over ``generated``, because a locally aggregated packet *has* reached
+      the data sink's side of the network and counting it lost would
+      understate end-to-end delivery.
+
+    In short: energy-per-packet is a **radio-cost** metric, delivery rate
+    is an **end-to-end** metric.  Both choices are intentional and
+    consistent throughout the figures, benches, and stores.
+    """
+
+    protocol: str
+    seed: int
+    load_pps: float
+    horizon_s: float
+    #: Name of the registered experiment that produced this run (stamped
+    #: by the figure harness); None for ad-hoc Scenario/Campaign runs.
+    #: Stores use it to refuse re-rendering one experiment's table from
+    #: another experiment's runs.
+    experiment: Optional[str] = None
+    # Time series.
+    sample_times_s: List[float] = field(default_factory=list)
+    mean_energy_j: List[float] = field(default_factory=list)
+    alive_counts: List[int] = field(default_factory=list)
+    queue_snapshots: List[List[int]] = field(default_factory=list)
+    # Scalars.
+    death_times_s: List[Optional[float]] = field(default_factory=list)
+    lifetime_s: Optional[float] = None
+    first_death_s: Optional[float] = None
+    death_spread_s: Optional[float] = None
+    generated: int = 0
+    delivered: int = 0
+    delivered_local: int = 0
+    lost_channel: int = 0
+    dropped_overflow: int = 0
+    dropped_retry: int = 0
+    collisions: int = 0
+    total_consumed_j: float = 0.0
+    #: Radio energy cost: ``total_consumed_j / delivered`` (radio only —
+    #: see the class docstring's "Delivery accounting").
+    energy_per_packet_j: Optional[float] = None
+    mean_delay_s: float = 0.0
+    throughput_bps: float = 0.0
+    #: End-to-end delivery: ``total_delivered / generated`` (radio + local
+    #: — see the class docstring's "Delivery accounting").
+    delivery_rate: Optional[float] = None
+    energy_breakdown: Dict[str, float] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+
+    @property
+    def total_delivered(self) -> int:
+        """Radio + local deliveries (the ``delivery_rate`` numerator)."""
+        return self.delivered + self.delivered_local
+
+    # -- dict / JSON round-trip ------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flatten to a JSON-serialisable dict (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Rebuild from :meth:`to_dict` output.
+
+        Unknown keys are ignored (forward compatibility with stores written
+        by newer versions); missing optional fields fall back to their
+        defaults, so lossy scalar-only CSV rows load too.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        return cls(**kwargs)

@@ -1,0 +1,130 @@
+"""Result persistence: append :class:`RunResult` rows, reload them later.
+
+A :class:`ResultStore` lets a campaign's raw runs outlive the process so
+figures and tables can be re-rendered without re-simulating::
+
+    store = ResultStore("results/fig10.jsonl")
+    campaign.run(jobs=8, store=store)
+    ...                                  # later / elsewhere
+    runs = ResultStore("results/fig10.jsonl").load()
+
+Two formats, chosen by file suffix:
+
+* ``.jsonl`` — one JSON object per line, full fidelity (time series
+  included); round-trips exactly through
+  :meth:`RunResult.to_dict`/:meth:`RunResult.from_dict`.
+* ``.csv`` — scalar columns only (time series are dropped), for
+  spreadsheet-style analysis.  Loading restores the scalars and leaves
+  the series empty.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterator, List, Sequence, Union
+
+from ..errors import ExperimentError
+from .result import RunResult
+
+__all__ = ["ResultStore"]
+
+#: RunResult fields exported to CSV (scalars only, in declaration order).
+_SCALAR_FIELDS = [
+    f.name
+    for f in dataclasses.fields(RunResult)
+    if f.name not in (
+        "sample_times_s", "mean_energy_j", "alive_counts",
+        "queue_snapshots", "death_times_s", "energy_breakdown",
+    )
+]
+
+_INT_FIELDS = {
+    f.name for f in dataclasses.fields(RunResult)
+    if f.type in ("int", int)
+}
+_STRING_FIELDS = {"protocol", "experiment"}
+_FLOAT_FIELDS = {
+    f.name for f in dataclasses.fields(RunResult)
+    if f.name in _SCALAR_FIELDS and f.name not in _INT_FIELDS
+    and f.name not in _STRING_FIELDS
+}
+
+
+class ResultStore:
+    """Append-only store of :class:`RunResult` rows at one path."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        suffix = self.path.suffix.lower()
+        if suffix not in (".jsonl", ".csv"):
+            raise ExperimentError(
+                f"unsupported store format {suffix!r} (use .jsonl or .csv)"
+            )
+        self.format = suffix[1:]
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, run: RunResult) -> None:
+        """Append one run (creates the file, and for CSV the header)."""
+        self.extend([run])
+
+    def extend(self, runs: Sequence[RunResult]) -> None:
+        """Append many runs with a single open/write."""
+        if not runs:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.format == "jsonl":
+            with self.path.open("a") as fh:
+                for run in runs:
+                    fh.write(json.dumps(run.to_dict()) + "\n")
+        else:
+            new_file = not self.path.exists() or self.path.stat().st_size == 0
+            with self.path.open("a", newline="") as fh:
+                writer = csv.writer(fh)
+                if new_file:
+                    writer.writerow(_SCALAR_FIELDS)
+                for run in runs:
+                    row = run.to_dict()
+                    writer.writerow(
+                        ["" if row[name] is None else row[name]
+                         for name in _SCALAR_FIELDS]
+                    )
+
+    # -- reading ---------------------------------------------------------------
+
+    def load(self) -> List[RunResult]:
+        """Read every stored run back (empty list if the file is absent)."""
+        return list(self)
+
+    def __iter__(self) -> Iterator[RunResult]:
+        if not self.path.exists():
+            return
+        if self.format == "jsonl":
+            with self.path.open() as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        yield RunResult.from_dict(json.loads(line))
+        else:
+            with self.path.open(newline="") as fh:
+                for row in csv.DictReader(fh):
+                    data: dict = {}
+                    for name, raw in row.items():
+                        if raw == "" or raw is None:
+                            continue
+                        if name in _INT_FIELDS:
+                            data[name] = int(raw)
+                        elif name in _FLOAT_FIELDS:
+                            data[name] = float(raw)
+                        else:
+                            data[name] = raw
+                    yield RunResult.from_dict(data)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({str(self.path)!r}, format={self.format!r})"

@@ -1,50 +1,37 @@
 """Command-line entry point: regenerate any paper artefact.
 
-Usage::
+The command set is driven by the experiment registry
+(:mod:`repro.api.registry`) — every ``@experiment``-decorated figure,
+table, or extension study shows up automatically::
 
-    repro-caem table1
-    repro-caem fig8  --preset quick --seeds 1 2
-    repro-caem fig10 --preset full  --out results/
-    repro-caem all   --preset quick
+    repro-caem list
+    repro-caem run table1
+    repro-caem run fig8  --preset quick --seeds 1 2
+    repro-caem run fig10 --preset full --jobs 8 --out results/
+    repro-caem run fig11 --store runs/fig11.jsonl      # persist raw runs
+    repro-caem run fig11 --from runs/fig11.jsonl       # re-render, no sim
+    repro-caem run all   --preset quick
 
-(or ``python -m repro ...``).  Every command prints the paper-style table
-and optionally writes CSV next to it.
+``--jobs N`` fans the experiment's scenario grid out over a process pool
+(tables are identical at any parallelism).  The pre-registry spelling
+``repro-caem fig8 ...`` still works as an alias for ``run fig8 ...``.
+(Also available as ``python -m repro ...``.)
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from .experiments import (
-    ext_performance,
-    fig8_remaining_energy,
-    fig9_nodes_alive,
-    fig10_lifetime_vs_load,
-    fig11_energy_per_packet,
-    fig12_queue_stddev,
-    table1_tone_spec,
-    table2_parameters,
-)
+from .api import ResultStore, get_experiment, list_experiments
+from .errors import ExperimentError, ReproError
 
 __all__ = ["main", "build_parser"]
 
-_STATIC = {
-    "table1": lambda args: table1_tone_spec(),
-    "table2": lambda args: table2_parameters(),
-}
 
-_DYNAMIC: Dict[str, Callable] = {
-    "fig8": lambda args: fig8_remaining_energy(args.preset, args.seeds),
-    "fig9": lambda args: fig9_nodes_alive(args.preset, args.seeds),
-    "fig10": lambda args: fig10_lifetime_vs_load(args.preset, args.seeds, args.loads),
-    "fig11": lambda args: fig11_energy_per_packet(args.preset, args.seeds, args.loads),
-    "fig12": lambda args: fig12_queue_stddev(args.preset, args.seeds, args.loads),
-    "ext-perf": lambda args: ext_performance(args.preset, args.seeds, args.loads),
-}
-
-_ALL = list(_STATIC) + list(_DYNAMIC)
+def _known_names() -> List[str]:
+    return [spec.name for spec in list_experiments()]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,52 +40,153 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-caem",
         description="Regenerate the CAEM paper's tables and figures.",
     )
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_p = sub.add_parser(
+        "list", help="enumerate the registered experiments"
+    )
+    list_p.add_argument(
+        "--kind",
+        default=None,
+        choices=("figure", "table", "extension"),
+        help="only show experiments of this kind",
+    )
+
+    run_p = sub.add_parser(
+        "run", help="run one registered experiment (or 'all')"
+    )
+    run_p.add_argument(
         "experiment",
-        choices=_ALL + ["all"],
+        choices=_known_names() + ["all"],
         help="which artefact to regenerate",
     )
-    parser.add_argument(
+    run_p.add_argument(
         "--preset",
         default="quick",
         choices=("full", "quick", "smoke"),
         help="scale tier (full = paper's Table II, quick = CI scale)",
     )
-    parser.add_argument(
+    run_p.add_argument(
         "--seeds",
         type=int,
         nargs="+",
         default=[1],
         help="replication seeds",
     )
-    parser.add_argument(
+    run_p.add_argument(
         "--loads",
         type=float,
         nargs="+",
         default=[5.0, 10.0, 15.0, 20.0, 25.0, 30.0],
         help="traffic loads (packets/s per node) for the sweep figures",
     )
-    parser.add_argument(
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel simulation processes (results identical to --jobs 1)",
+    )
+    run_p.add_argument(
         "--out",
         default=None,
         help="directory to also write <figure>.csv into",
     )
+    run_p.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="append every raw RunResult to this .jsonl/.csv store",
+    )
+    run_p.add_argument(
+        "--from",
+        dest="from_store",
+        default=None,
+        metavar="PATH",
+        help="re-render from a previously written store instead of simulating",
+    )
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI body; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    names: List[str] = _ALL if args.experiment == "all" else [args.experiment]
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = list_experiments(kind=args.kind)
+    width = max(len(s.name) for s in specs) if specs else 4
+    for spec in specs:
+        sys.stdout.write(
+            f"{spec.name:<{width}}  [{spec.kind}]  {spec.summary}\n"
+        )
+    sys.stdout.write(f"{len(specs)} experiments registered\n")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = (
+        _known_names() if args.experiment == "all" else [args.experiment]
+    )
+    stored_runs = None
+    if args.from_store:
+        from_store = ResultStore(args.from_store)
+        if from_store.format != "jsonl":
+            raise ExperimentError(
+                "--from requires a .jsonl store: CSV stores are scalar-only "
+                "(time series dropped), so series figures would render empty"
+            )
+        if not from_store.path.exists():
+            raise ExperimentError(f"no such result store: {from_store.path}")
+        stored_runs = from_store.load()
+    store = ResultStore(args.store) if args.store else None
+    if (
+        store is not None
+        and args.from_store
+        and store.path.resolve() == ResultStore(args.from_store).path.resolve()
+    ):
+        raise ExperimentError(
+            f"refusing to append runs loaded from {store.path} back into "
+            f"itself (--from and --store name the same file)"
+        )
     for name in names:
-        fn = _STATIC.get(name) or _DYNAMIC[name]
-        figure = fn(args)
+        spec = get_experiment(name)
+        figure = spec.run(
+            preset=args.preset,
+            seeds=tuple(args.seeds),
+            loads_pps=tuple(args.loads),
+            jobs=args.jobs,
+            runs=stored_runs,
+        )
         sys.stdout.write(figure.render())
         sys.stdout.write("\n")
+        if store is not None and figure.runs:
+            store.extend(figure.runs)
+            sys.stdout.write(
+                f"stored {len(figure.runs)} runs in {store.path}\n\n"
+            )
         if args.out:
             path = figure.save_csv(args.out)
             sys.stdout.write(f"wrote {path}\n\n")
     return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI body; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Pre-registry compatibility: "repro-caem fig8 ..." == "run fig8 ...".
+    if argv and argv[0] not in ("run", "list", "-h", "--help"):
+        argv.insert(0, "run")
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        return _cmd_run(args)
+    except ReproError as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 1
+    except BrokenPipeError:
+        # Output piped into head/less that exited early — not an error.
+        # Point stdout at devnull so the interpreter-exit flush of the
+        # buffered remainder cannot raise again ("Exception ignored").
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

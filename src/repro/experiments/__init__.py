@@ -1,4 +1,17 @@
-"""Experiment harness: presets, runner, the paper's figures and tables."""
+"""Experiment harness: presets, the paper's figures/tables, legacy shims.
+
+The figures and tables defined here are published through the
+:mod:`repro.api` experiment registry — decorate any new study with
+``@repro.api.experiment("name")`` and it immediately appears in
+``repro-caem list`` / ``repro-caem run <name>`` alongside the built-ins
+(fig8–fig12, table1–table2, ext-perf).  Execution goes through
+:class:`repro.api.Scenario` grids and :func:`repro.api.run_scenarios`,
+so every experiment accepts ``jobs=N`` for process-pool fan-out and
+``runs=`` for re-rendering from a :class:`repro.api.ResultStore`.
+
+:func:`run_scenario` and :func:`sweep` remain as thin compatibility
+shims over the :mod:`repro.api` engine for pre-registry callers.
+"""
 
 from .figures import (
     DEFAULT_LOADS_PPS,

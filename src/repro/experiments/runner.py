@@ -1,63 +1,20 @@
-"""Run one scenario, collect everything the figures need.
+"""Compatibility shim over the :mod:`repro.api` engine.
 
-:func:`run_scenario` is the single entry point the figure experiments and
-benches share: build a :class:`~repro.network.SensorNetwork`, attach
-samplers, advance (optionally stopping at network death), and distil a
-:class:`RunResult`.
+Historically :func:`run_scenario` was the execution kernel; the body now
+lives in :func:`repro.api.engine.simulate` (with :class:`RunResult` in
+:mod:`repro.api.result`) so the Scenario/Campaign layer and the process
+pool share one choke point.  This module keeps the original call
+signature for existing scripts and tests — new code should prefer
+``Scenario(...).run()`` or :class:`repro.api.Campaign`.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
-
+from ..api.engine import RunOptions, simulate
+from ..api.result import RunResult
 from ..config import NetworkConfig
-from ..errors import ExperimentError
-from ..metrics import TimeSeriesCollector
-from ..metrics.lifetime import death_spread_s, first_death_s, network_lifetime_s
-from ..network import SensorNetwork
 
 __all__ = ["RunResult", "run_scenario"]
-
-
-@dataclass
-class RunResult:
-    """Everything measured in one simulation run."""
-
-    protocol: str
-    seed: int
-    load_pps: float
-    horizon_s: float
-    # Time series.
-    sample_times_s: List[float] = field(default_factory=list)
-    mean_energy_j: List[float] = field(default_factory=list)
-    alive_counts: List[int] = field(default_factory=list)
-    queue_snapshots: List[List[int]] = field(default_factory=list)
-    # Scalars.
-    death_times_s: List[Optional[float]] = field(default_factory=list)
-    lifetime_s: Optional[float] = None
-    first_death_s: Optional[float] = None
-    death_spread_s: Optional[float] = None
-    generated: int = 0
-    delivered: int = 0
-    delivered_local: int = 0
-    lost_channel: int = 0
-    dropped_overflow: int = 0
-    dropped_retry: int = 0
-    collisions: int = 0
-    total_consumed_j: float = 0.0
-    energy_per_packet_j: Optional[float] = None
-    mean_delay_s: float = 0.0
-    throughput_bps: float = 0.0
-    delivery_rate: Optional[float] = None
-    energy_breakdown: Dict[str, float] = field(default_factory=dict)
-    wall_time_s: float = 0.0
-
-    @property
-    def total_delivered(self) -> int:
-        """Radio + local deliveries."""
-        return self.delivered + self.delivered_local
 
 
 def run_scenario(
@@ -70,84 +27,16 @@ def run_scenario(
 ) -> RunResult:
     """Simulate one scenario and return its :class:`RunResult`.
 
-    ``stop_when_dead`` ends the run early once the paper's dead-network
-    rule triggers (saves wall time in lifetime sweeps).  ``collect_queues``
-    stores per-node queue snapshots for the Fig. 12 fairness statistic.
+    Thin wrapper over :func:`repro.api.simulate`; see
+    :class:`repro.api.RunOptions` for the option semantics.
     """
-    if horizon_s <= 0:
-        raise ExperimentError("horizon must be > 0")
-    wall_start = time.perf_counter()
-    net = SensorNetwork(cfg, tracer=tracer)
-    result = RunResult(
-        protocol=cfg.protocol.value,
-        seed=cfg.seed,
-        load_pps=cfg.traffic.packets_per_second,
-        horizon_s=horizon_s,
+    return simulate(
+        cfg,
+        RunOptions(
+            horizon_s=horizon_s,
+            sample_interval_s=sample_interval_s,
+            stop_when_dead=stop_when_dead,
+            collect_queues=collect_queues,
+        ),
+        tracer=tracer,
     )
-
-    def sample_energy() -> float:
-        return net.mean_remaining_j()
-
-    def sample_alive() -> int:
-        return net.alive_count
-
-    energy_series = TimeSeriesCollector(
-        net.sim, sample_interval_s, sample_energy, "mean_energy"
-    )
-    alive_series = TimeSeriesCollector(
-        net.sim, sample_interval_s, sample_alive, "alive"
-    )
-    queue_series = None
-    if collect_queues:
-        queue_series = TimeSeriesCollector(
-            net.sim, sample_interval_s, net.queue_lengths, "queues"
-        )
-
-    net.start()
-    energy_series.start()
-    alive_series.start()
-    if queue_series is not None:
-        queue_series.start()
-
-    # Advance in sampler-sized chunks so the death rule is checked often.
-    t = 0.0
-    while t < horizon_s:
-        t = min(t + sample_interval_s, horizon_s)
-        net.run_until(t)
-        if stop_when_dead and net.is_dead:
-            break
-
-    # Harvest.
-    result.sample_times_s = list(energy_series.times)
-    result.mean_energy_j = [float(v) for v in energy_series.values]
-    result.alive_counts = [int(v) for v in alive_series.values]
-    if queue_series is not None:
-        result.queue_snapshots = [list(v) for v in queue_series.values]
-
-    deaths = [n.death_time_s for n in net.nodes]
-    result.death_times_s = deaths
-    result.lifetime_s = network_lifetime_s(
-        deaths, cfg.n_nodes, cfg.dead_fraction
-    )
-    result.first_death_s = first_death_s(deaths)
-    result.death_spread_s = death_spread_s(deaths)
-
-    elapsed = net.sim.now
-    result.generated = net.generated_packets()
-    result.delivered = net.stats.delivered
-    result.delivered_local = net.stats.delivered_local
-    result.lost_channel = net.stats.lost_channel
-    result.dropped_overflow = net.dropped_overflow()
-    result.dropped_retry = net.dropped_retry()
-    result.collisions = sum(n.mac.stats.collisions_heard for n in net.nodes)
-    result.total_consumed_j = net.total_consumed_j()
-    if result.delivered > 0:
-        result.energy_per_packet_j = result.total_consumed_j / result.delivered
-    result.mean_delay_s = net.stats.mean_delay_s()
-    if elapsed > 0:
-        result.throughput_bps = net.stats.delivered_bits / elapsed
-    if result.generated > 0:
-        result.delivery_rate = net.stats.total_delivered / result.generated
-    result.energy_breakdown = net.energy_breakdown()
-    result.wall_time_s = time.perf_counter() - wall_start
-    return result

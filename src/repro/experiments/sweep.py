@@ -1,8 +1,12 @@
-"""Generic parameter sweeps with replication.
+"""Generic parameter sweeps with replication (compatibility layer).
 
-The figure experiments cover the paper; :func:`sweep` is the general tool
+:func:`sweep` predates :class:`repro.api.Campaign` and remains the tool
 behind the ablation benches — vary any config transform over a grid, run
-replications, and get a tidy table back.
+replications, and get a tidy table back.  It is now a thin planner on top
+of :func:`repro.api.run_scenarios`, so it inherits the parallel executor:
+pass ``jobs=N`` to fan the grid out over a process pool with bit-identical
+results.  New code expressing plain config-field grids should prefer
+:class:`repro.api.Campaign` directly.
 """
 
 from __future__ import annotations
@@ -10,10 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..api import RunOptions, RunResult, Scenario, run_scenarios
 from ..config import NetworkConfig
 from ..errors import ExperimentError
 from ..metrics.summary import Summary, summarize
-from .runner import RunResult, run_scenario
 
 __all__ = ["SweepPoint", "SweepResult", "sweep"]
 
@@ -68,34 +72,44 @@ def sweep(
     sample_interval_s: float = 5.0,
     stop_when_dead: bool = False,
     collect_queues: bool = False,
+    jobs: int = 1,
 ) -> SweepResult:
     """Run ``transform(base_cfg, v)`` for every v × seed; summarize metrics.
 
     ``metrics`` maps a column name to a function of :class:`RunResult`;
     functions may return None (censored), which :func:`summarize` drops.
+    ``jobs > 1`` executes the v × seed grid through the process-pool
+    backend (results identical to serial, just faster).
     """
     if not values:
         raise ExperimentError("sweep needs at least one value")
     if not metrics:
         raise ExperimentError("sweep needs at least one metric")
+    options = RunOptions(
+        horizon_s=horizon_s,
+        sample_interval_s=sample_interval_s,
+        stop_when_dead=stop_when_dead,
+        collect_queues=collect_queues,
+    )
+    scenarios = [
+        Scenario(
+            config=transform(base_cfg.with_(seed=seed), value),
+            options=options,
+            tags={"parameter": parameter, "value": value, "seed": seed},
+        )
+        for value in values
+        for seed in seeds
+    ]
+    runs = run_scenarios(scenarios, jobs=jobs)
+
     result = SweepResult(parameter=parameter)
-    for value in values:
+    per_value = len(seeds)
+    for i, value in enumerate(values):
         point = SweepPoint(value=value)
-        samples: Dict[str, List[Optional[float]]] = {m: [] for m in metrics}
-        for seed in seeds:
-            cfg = transform(base_cfg.with_(seed=seed), value)
-            run = run_scenario(
-                cfg,
-                horizon_s=horizon_s,
-                sample_interval_s=sample_interval_s,
-                stop_when_dead=stop_when_dead,
-                collect_queues=collect_queues,
-            )
-            point.runs.append(run)
-            for name, fn in metrics.items():
-                samples[name].append(fn(run))
-        for name, vals in samples.items():
-            usable = [v for v in vals if v is not None]
+        point.runs = runs[i * per_value:(i + 1) * per_value]
+        for name, fn in metrics.items():
+            usable = [m for m in (fn(run) for run in point.runs)
+                      if m is not None]
             if usable:
                 point.metrics[name] = summarize(usable)
         result.points.append(point)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..api import experiment
 from ..config import NetworkConfig
 from ..mac.tone import ToneChannelSpec
 from .figures import FigureResult
@@ -19,6 +20,8 @@ from .figures import FigureResult
 __all__ = ["table1_tone_spec", "table2_parameters"]
 
 
+@experiment("table1", kind="table",
+            summary="Tone-channel pulse pattern per data-channel state")
 def table1_tone_spec(cfg: NetworkConfig | None = None) -> FigureResult:
     """Table I: "using different pulse intervals to identify channel states"."""
     cfg = cfg or NetworkConfig()
@@ -42,6 +45,8 @@ def table1_tone_spec(cfg: NetworkConfig | None = None) -> FigureResult:
     return result
 
 
+@experiment("table2", kind="table",
+            summary="Physical simulation parameters (live defaults)")
 def table2_parameters(cfg: NetworkConfig | None = None) -> FigureResult:
     """Table II: physical simulation parameters (live defaults)."""
     cfg = cfg or NetworkConfig()

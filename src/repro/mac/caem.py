@@ -25,6 +25,7 @@ ledger arbitrates overlap.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -221,7 +222,17 @@ class CaemSensorMac:
                 0.0,
                 self.mac_cfg.min_burst_wait_s - self.buffer.head_age_s(self.sim.now),
             )
-            self._latency_handle = self.sim.call_in(wait, self._latency_expired)
+            target = self.sim.now + wait
+            if target <= self.sim.now:
+                # The remaining wait underflows the float resolution at the
+                # current clock: firing "now" would leave the head a hair
+                # under the age threshold and re-arm at the same instant
+                # forever.  Nudge to the next representable time so the
+                # clock (and the head's age) actually advances.
+                target = math.nextafter(self.sim.now, math.inf)
+            self._latency_handle = self.sim.call_at(
+                target, self._latency_expired
+            )
 
     def _latency_expired(self) -> None:
         self._latency_handle = None
