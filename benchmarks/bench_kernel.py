@@ -3,13 +3,22 @@
 Unlike the figure benches these are true latency benchmarks (many
 rounds): the event loop and the lazy channel samplers are the two hot
 paths that bound how large a network the simulator can carry.
+
+Record a baseline (serially — this container has one CPU) with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernel.py \
+        --benchmark-json=benchmarks/BENCH_kernel.json -q
+
+``benchmarks/BENCH_kernel.json`` is committed so subsequent PRs have a
+perf trajectory to compare against (``pytest-benchmark compare``).
 """
 
 import numpy as np
 
 from repro.channel import RayleighFading
-from repro.config import ChannelConfig, PhyConfig
+from repro.config import ChannelConfig, NetworkConfig, PhyConfig, Protocol
 from repro.channel import Link, LinkBudget
+from repro.network import SensorNetwork
 from repro.phy import AbicmTable
 from repro.rng import RngRegistry
 from repro.sim import Simulator
@@ -34,6 +43,54 @@ def test_kernel_event_throughput(benchmark):
 
     result = benchmark(run_batch)
     assert result == 10_000
+
+
+def test_kernel_push_pop_cancel_churn(benchmark):
+    """Heap churn under MAC-like timer patterns: interleaved push/cancel
+    (backoff timers invalidated by collision tones) plus the lazy-deletion
+    pop path (10k live + 10k cancelled per batch)."""
+
+    def churn():
+        sim = Simulator()
+        keep = []
+        # Interleave: every other handle is cancelled before it can fire.
+        for i in range(20_000):
+            handle = sim.call_in(1.0 + (i % 997) * 1e-3, _noop)
+            if i % 2:
+                handle.cancel()
+            else:
+                keep.append(handle)
+        # A second cancellation wave hits handles already in the heap.
+        for handle in keep[::4]:
+            handle.cancel()
+        sim.run()
+        return sim.events_processed
+
+    result = benchmark(churn)
+    assert result == 7_500  # 10k kept - 2.5k late-cancelled
+
+
+def _noop():
+    pass
+
+
+def test_network_100_node_quick_run(benchmark):
+    """End-to-end kernel load: a 100-node paper-scale network advanced
+    20 simulated seconds (one full LEACH round).  This is the macro
+    number that tracks whole-stack regressions; run it serially."""
+
+    def run_network():
+        cfg = NetworkConfig(
+            n_nodes=100, protocol=Protocol.CAEM_ADAPTIVE, seed=1
+        )
+        net = SensorNetwork(cfg)
+        net.run_until(20.0)
+        return net.sim.events_processed
+
+    events = benchmark.pedantic(
+        run_network, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert events > 10_000
 
 
 def test_fading_sampling_rate(benchmark):

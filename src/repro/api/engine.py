@@ -16,6 +16,8 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from ..config import NetworkConfig
 from ..errors import ExperimentError
 from ..metrics import TimeSeriesCollector
@@ -128,11 +130,27 @@ def simulate(
         # Radio deliveries only — see RunResult's "Delivery accounting".
         result.energy_per_packet_j = result.total_consumed_j / result.delivered
     result.mean_delay_s = net.stats.mean_delay_s()
+    if net.stats.delays_s:
+        p50, p90, p99 = np.percentile(net.stats.delays_s, (50.0, 90.0, 99.0))
+        result.delay_p50_s = float(p50)
+        result.delay_p90_s = float(p90)
+        result.delay_p99_s = float(p99)
     if elapsed > 0:
         result.throughput_bps = net.stats.delivered_bits / elapsed
     if result.generated > 0:
         # Radio + local deliveries — see RunResult's "Delivery accounting".
         result.delivery_rate = net.stats.total_delivered / result.generated
     result.energy_breakdown = net.energy_breakdown()
+    # Uplink tier counters (identically zero while routing is disabled).
+    result.cluster_delivered = net.stats.cluster_delivered
+    result.uplink_lost_channel = net.stats.uplink_lost_channel
+    result.uplink_dropped_retry = net.stats.uplink_dropped_retry
+    result.uplink_dropped_overflow = net.stats.uplink_dropped_overflow
+    result.uplink_stranded = net.stats.uplink_stranded
+    result.mean_hop_count = net.stats.mean_hop_count()
+    result.uplink_energy_j = (
+        result.energy_breakdown.get("uplink_tx", 0.0)
+        + result.energy_breakdown.get("uplink_rx", 0.0)
+    )
     result.wall_time_s = time.perf_counter() - wall_start
     return result

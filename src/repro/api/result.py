@@ -41,6 +41,15 @@ class RunResult:
     In short: energy-per-packet is a **radio-cost** metric, delivery rate
     is an **end-to-end** metric.  Both choices are intentional and
     consistent throughout the figures, benches, and stores.
+
+    With the uplink tier enabled (``routing.mode`` of ``"direct"`` or
+    ``"multihop"``) the same two rules hold with the sink moved to the end
+    of the relay stack: ``delivered`` counts packets that *reached the
+    network sink* over the air (members' and heads' own packets alike, so
+    ``delivered_local`` stays 0), and the ``uplink_*`` fields break down
+    what the relay stack lost in transit.  ``cluster_delivered`` counts
+    member→head hop completions (the relay ingress), so the cluster hop
+    remains observable even though it no longer terminates delivery.
     """
 
     protocol: str
@@ -74,7 +83,21 @@ class RunResult:
     #: see the class docstring's "Delivery accounting").
     energy_per_packet_j: Optional[float] = None
     mean_delay_s: float = 0.0
+    #: End-to-end delay distribution markers (None until any delivery).
+    delay_p50_s: Optional[float] = None
+    delay_p90_s: Optional[float] = None
+    delay_p99_s: Optional[float] = None
     throughput_bps: float = 0.0
+    # Uplink tier (all zero/None while routing.mode == "local").
+    cluster_delivered: int = 0
+    uplink_lost_channel: int = 0
+    uplink_dropped_retry: int = 0
+    uplink_dropped_overflow: int = 0
+    uplink_stranded: int = 0
+    #: Mean radio hops per sink delivery (0.0 while routing is disabled).
+    mean_hop_count: float = 0.0
+    #: Energy ledgered to the long-haul hops (uplink_tx + uplink_rx), J.
+    uplink_energy_j: float = 0.0
     #: End-to-end delivery: ``total_delivered / generated`` (radio + local
     #: — see the class docstring's "Delivery accounting").
     delivery_rate: Optional[float] = None

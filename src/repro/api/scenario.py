@@ -31,6 +31,7 @@ __all__ = ["Scenario"]
 #: NetworkConfig sub-config sections addressable via :meth:`Scenario.with_sub`.
 _SECTIONS = (
     "channel", "phy", "energy", "tone", "mac", "leach", "traffic", "policy",
+    "routing",
 )
 
 

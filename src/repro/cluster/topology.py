@@ -36,6 +36,9 @@ class Topology:
         # Pairwise distances, vectorised once (n is small: 100 nodes).
         diff = positions[:, None, :] - positions[None, :, :]
         self._dist = np.sqrt((diff ** 2).sum(axis=2))
+        # Data sink (uplink tier); unset until place_sink() is called.
+        self._sink_pos: Tuple[float, float] | None = None
+        self._sink_dist: np.ndarray | None = None
 
     # -- constructors -------------------------------------------------------------
 
@@ -88,6 +91,37 @@ class Topology:
         cand = np.asarray(candidates, dtype=int)
         row = self._dist[node, cand]
         return int(cand[int(np.argmin(row))])
+
+    # -- sink placement (uplink/routing tier) -----------------------------------
+
+    def place_sink(self, position: Tuple[float, float] | None = None) -> None:
+        """Place the network data sink; ``None`` uses the field centre.
+
+        The sink is the terminus of the head→sink uplink tier
+        (:mod:`repro.routing`); it may lie outside the field (sink-distance
+        sweeps).  Placement is idempotent and precomputes every node's
+        sink distance.
+        """
+        if position is None:
+            half = self.field_size_m / 2.0
+            position = (half, half)
+        x, y = float(position[0]), float(position[1])
+        if not (math.isfinite(x) and math.isfinite(y)):
+            raise ClusterError("sink position must be finite")
+        self._sink_pos = (x, y)
+        delta = self.positions - np.array([x, y])
+        self._sink_dist = np.sqrt((delta ** 2).sum(axis=1))
+
+    @property
+    def sink_position(self) -> Tuple[float, float] | None:
+        """The sink coordinates, or None before :meth:`place_sink`."""
+        return self._sink_pos
+
+    def sink_distance(self, node: int) -> float:
+        """Euclidean distance from ``node`` to the sink."""
+        if self._sink_dist is None:
+            raise ClusterError("no sink placed (call place_sink first)")
+        return float(self._sink_dist[node])
 
     def centroid(self) -> Tuple[float, float]:
         """Mean position (diagnostics)."""

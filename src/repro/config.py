@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Tuple
 
@@ -33,6 +34,7 @@ __all__ = [
     "LeachConfig",
     "TrafficConfig",
     "PolicyConfig",
+    "RoutingConfig",
     "NetworkConfig",
 ]
 
@@ -333,6 +335,76 @@ class PolicyConfig:
 
 
 @dataclass(frozen=True)
+class RoutingConfig:
+    """Head→sink uplink tier (extension; the paper stops at the head).
+
+    The paper's §III topology makes each cluster head the sink for its
+    cluster, so delivery ends at local aggregation.  With ``mode`` set to
+    ``"direct"`` or ``"multihop"`` the reproduction grows a routed uplink:
+    heads forward aggregated packets over a shared long-haul data channel
+    (orthogonal to every cluster channel) to a network sink, either in one
+    hop or greedily head→head→sink by sink distance.  The default
+    ``"local"`` keeps the paper's behaviour bit-for-bit.
+    """
+
+    #: "local" (paper: head is the sink), "direct" (one head→sink hop), or
+    #: "multihop" (greedy head→head→sink forwarding by sink distance).
+    mode: str = "local"
+    #: Sink coordinates (x, y) in metres; None places the sink at the
+    #: field centre.  May lie outside the field (sink-distance sweeps).
+    sink_position: Tuple[float, float] | None = None
+    #: Drop a packet whose accumulated radio hop count would exceed this
+    #: (greedy forwarding is loop-free; the cap is defensive).
+    max_hops: int = 8
+    #: Relay queue capacity at each head, packets.
+    relay_buffer_packets: int = 256
+    #: Packets per uplink burst (the cluster MAC's 8-packet cap applies
+    #: to the long-haul hop too unless overridden).
+    max_burst_packets: int = C.MAX_BURST_PACKETS
+    #: Uplink retry budget for a collided burst before it is shed.
+    max_retries: int = C.MAX_RETRIES
+    #: Base hold-off when the shared uplink channel is busy, s (actual
+    #: waits are jittered per head to break ties deterministically).
+    retry_delay_s: float = 5e-3
+    #: Sense→transmit turnaround of the long-haul radio, s: a head that
+    #: sensed the channel idle commits and keys up only after this window
+    #: (jittered per head), without re-sensing.  Two heads whose windows
+    #: overlap collide on the ledger — the CSMA vulnerable period.
+    turnaround_s: float = 0.5e-3
+    #: Long-haul TX power, W.  Heads boost power for the uplink (the
+    #: classic LEACH head→BS assumption); default 4x Table II's data TX
+    #: (+6 dB), which covers ~60 m hops at the calibrated noise floor.
+    uplink_tx_power_w: float = 4.0 * C.DATA_TX_POWER_W
+
+    def __post_init__(self) -> None:
+        _require(
+            self.mode in ("local", "direct", "multihop"),
+            f"unknown routing mode {self.mode!r}",
+        )
+        if self.sink_position is not None:
+            _require(
+                len(self.sink_position) == 2,
+                "sink position must be an (x, y) pair",
+            )
+            _require(
+                all(math.isfinite(v) for v in self.sink_position),
+                "sink position must be finite",
+            )
+        _require(self.max_hops >= 1, "max hops must be >= 1")
+        _require(self.relay_buffer_packets >= 1, "relay buffer must hold >= 1")
+        _require(self.max_burst_packets >= 1, "uplink burst must be >= 1")
+        _require(self.max_retries >= 0, "uplink retries must be >= 0")
+        _require(self.retry_delay_s > 0, "uplink retry delay must be > 0")
+        _require(self.turnaround_s > 0, "uplink turnaround must be > 0")
+        _require(self.uplink_tx_power_w > 0, "uplink tx power must be > 0")
+
+    @property
+    def enabled(self) -> bool:
+        """True when the uplink tier is active (non-paper modes)."""
+        return self.mode != "local"
+
+
+@dataclass(frozen=True)
 class NetworkConfig:
     """Top-level scenario configuration (paper Table II defaults)."""
 
@@ -353,6 +425,7 @@ class NetworkConfig:
     leach: LeachConfig = field(default_factory=LeachConfig)
     traffic: TrafficConfig = field(default_factory=TrafficConfig)
     policy: PolicyConfig = field(default_factory=PolicyConfig)
+    routing: RoutingConfig = field(default_factory=RoutingConfig)
 
     def __post_init__(self) -> None:
         _require(self.n_nodes >= 2, "need at least 2 nodes (1 CH + 1 sensor)")
@@ -381,6 +454,12 @@ class NetworkConfig:
         """Return a copy running a different protocol."""
         return dataclasses.replace(self, protocol=protocol)
 
+    def with_routing(self, **changes: Any) -> "NetworkConfig":
+        """Return a copy with routing fields replaced."""
+        return dataclasses.replace(
+            self, routing=dataclasses.replace(self.routing, **changes)
+        )
+
     # -- dict round-trip ---------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -402,13 +481,15 @@ class NetworkConfig:
             "leach": LeachConfig,
             "traffic": TrafficConfig,
             "policy": PolicyConfig,
+            "routing": RoutingConfig,
         }
         kwargs: Dict[str, Any] = {}
         for key, value in data.items():
             if key in sub:
                 payload = dict(value)
                 # JSON turns tuples into lists; restore tuple-typed fields.
-                for tup_field in ("rates_bps", "mode_thresholds_db"):
+                for tup_field in ("rates_bps", "mode_thresholds_db",
+                                  "sink_position"):
                     if tup_field in payload and payload[tup_field] is not None:
                         payload[tup_field] = tuple(payload[tup_field])
                 kwargs[key] = sub[key](**payload)

@@ -14,7 +14,14 @@ cause           meaning
 ``tone_rx``     tone radio monitoring (sensor waiting/measuring CSI)
 ``ch_idle``     cluster-head data radio idling between receptions
 ``sleep``       baseline draw of a sleeping node
+``uplink_tx``   head transmitting a relay burst on the long-haul channel
+``uplink_rx``   head (or relay) receiving a long-haul burst
 ==============  =============================================================
+
+The two ``uplink_*`` causes draw the same power as their cluster-hop
+counterparts (one data radio, retuned to the orthogonal long-haul
+frequency) but are ledgered separately so the uplink energy split is
+visible in breakdowns; with routing disabled they never appear.
 """
 
 from __future__ import annotations
@@ -32,15 +39,24 @@ CAUSES = (
     "tone_rx",
     "ch_idle",
     "sleep",
+    "uplink_tx",
+    "uplink_rx",
 )
 
 
 class RadioEnergyModel:
-    """Power lookup + simple energy helpers derived from :class:`EnergyConfig`."""
+    """Power lookup + simple energy helpers derived from :class:`EnergyConfig`.
+
+    ``uplink_tx_power_w`` prices the long-haul TX cause; it defaults to
+    the cluster-hop TX power and is overridden by the network layer from
+    :class:`~repro.config.RoutingConfig` when the uplink tier is enabled.
+    """
 
     __slots__ = ("cfg", "_power")
 
-    def __init__(self, cfg: EnergyConfig) -> None:
+    def __init__(
+        self, cfg: EnergyConfig, uplink_tx_power_w: float | None = None
+    ) -> None:
         self.cfg = cfg
         self._power = {
             "data_tx": cfg.data_tx_power_w,
@@ -50,6 +66,12 @@ class RadioEnergyModel:
             "tone_rx": cfg.tone_rx_power_w,
             "ch_idle": cfg.ch_idle_power_w,
             "sleep": cfg.sleep_power_w,
+            "uplink_tx": (
+                cfg.data_tx_power_w
+                if uplink_tx_power_w is None
+                else float(uplink_tx_power_w)
+            ),
+            "uplink_rx": cfg.data_rx_power_w,
         }
 
     def power_w(self, cause: str) -> float:

@@ -28,6 +28,7 @@ from .report import render_table, write_csv
 from .runner import RunResult, run_scenario
 from .sweep import SweepPoint, SweepResult, sweep
 from .tables import table1_tone_spec, table2_parameters
+from .uplink import ext_uplink
 
 __all__ = [
     "FigureResult",
@@ -51,4 +52,5 @@ __all__ = [
     "sweep",
     "table1_tone_spec",
     "table2_parameters",
+    "ext_uplink",
 ]

@@ -25,7 +25,6 @@ ledger arbitrates overlap.
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -222,16 +221,10 @@ class CaemSensorMac:
                 0.0,
                 self.mac_cfg.min_burst_wait_s - self.buffer.head_age_s(self.sim.now),
             )
-            target = self.sim.now + wait
-            if target <= self.sim.now:
-                # The remaining wait underflows the float resolution at the
-                # current clock: firing "now" would leave the head a hair
-                # under the age threshold and re-arm at the same instant
-                # forever.  Nudge to the next representable time so the
-                # clock (and the head's age) actually advances.
-                target = math.nextafter(self.sim.now, math.inf)
-            self._latency_handle = self.sim.call_at(
-                target, self._latency_expired
+            # Strict scheduling: firing "now" would leave the head a hair
+            # under the age threshold and re-arm at the same instant forever.
+            self._latency_handle = self.sim.call_in_strict(
+                wait, self._latency_expired
             )
 
     def _latency_expired(self) -> None:
@@ -294,7 +287,10 @@ class CaemSensorMac:
     def _begin_backoff(self) -> None:
         self.state = SensorMacState.BACKOFF
         delay = self.backoff.delay_s(self.retry)
-        self._backoff_handle = self.sim.call_in(delay, self._backoff_expired)
+        # Strict: a microsecond-scale backoff can underflow the clock at
+        # large sim times; expiring at the same instant would re-check the
+        # channel before anything changed.
+        self._backoff_handle = self.sim.call_in_strict(delay, self._backoff_expired)
 
     def _backoff_expired(self) -> None:
         self._backoff_handle = None

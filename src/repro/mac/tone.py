@@ -198,7 +198,9 @@ class ToneBroadcaster:
         for listener in tuple(self._listeners):
             listener.on_tone_pulse(kind, now)
         if pulse.period_s is not None and self._kind is kind:
-            self._pulse_handle = self.sim.call_in(pulse.period_s, self._emit)
+            # Strict re-arm: at large sim times a millisecond-scale period
+            # can underflow the float clock and freeze the pulse train.
+            self._pulse_handle = self.sim.call_in_strict(pulse.period_s, self._emit)
 
     # -- listeners ------------------------------------------------------------------
 

@@ -64,7 +64,9 @@ class TimeSeriesCollector:
     def _tick(self) -> None:
         self.times.append(self.sim.now)
         self.values.append(self.fn())
-        self._handle = self.sim.call_in(self.interval_s, self._tick)
+        # Strict re-arm: the sampling cadence must advance the clock even
+        # when the interval underflows float resolution at large sim times.
+        self._handle = self.sim.call_in_strict(self.interval_s, self._tick)
 
     # -- views -------------------------------------------------------------------
 

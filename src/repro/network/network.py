@@ -15,6 +15,15 @@ loop:
   signal, power down, and wait for the next round — §III-B);
 * meters are settled on a fixed cadence so battery deaths are detected
   promptly and metric snapshots are exact.
+
+With the uplink tier enabled (``cfg.routing.mode`` of ``"direct"`` or
+``"multihop"``) the network additionally owns the :class:`repro.routing`
+stack: a placed :class:`~repro.routing.sink.Sink`, one shared long-haul
+:class:`~repro.channel.medium.DataChannel` (orthogonal to every cluster
+channel), and a per-round :class:`~repro.routing.uplink.UplinkRelay` per
+head wired along the :func:`~repro.routing.policies.plan_routes` next-hop
+table.  The default ``"local"`` mode builds none of this and reproduces
+the paper's head-is-the-sink terminus bit-for-bit.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..channel import Link, LinkBudget
+from ..channel.medium import DataChannel
 from ..cluster import LeachElection, Topology
 from ..config import NetworkConfig
 from ..energy import RadioEnergyModel
@@ -29,7 +39,9 @@ from ..errors import SimulationError
 from ..mac import ClusterContext, ToneChannelSpec
 from ..phy import AbicmTable
 from ..rng import RngRegistry
+from ..routing import Sink, UplinkRelay, plan_routes
 from ..sim import Simulator, Tracer
+from ..traffic.packet import Packet
 from .node import NodeRole, SensorNode
 from .stats import NetworkStats
 
@@ -48,9 +60,17 @@ class SensorNetwork:
 
         # Shared substrate.
         self.abicm = AbicmTable.from_config(cfg.phy)
-        self.model = RadioEnergyModel(cfg.energy)
+        self.model = RadioEnergyModel(
+            cfg.energy, uplink_tx_power_w=cfg.routing.uplink_tx_power_w
+        )
         self.tone_spec = ToneChannelSpec(cfg.tone)
         self.budget = LinkBudget.from_config(cfg.channel)
+        #: Long-haul budget: same path loss and noise floor, boosted TX.
+        self.uplink_budget = LinkBudget(
+            self.budget.pathloss,
+            cfg.routing.uplink_tx_power_w,
+            cfg.channel.noise_floor_dbm,
+        )
         if cfg.placement == "grid":
             self.topology = Topology.grid(cfg.n_nodes, cfg.field_size_m)
         else:
@@ -58,6 +78,17 @@ class SensorNetwork:
                 cfg.n_nodes, cfg.field_size_m, self.rngs.stream("topology")
             )
         self.election = LeachElection(cfg.leach, self.rngs.stream("leach"))
+
+        # Uplink tier (None while routing.mode == "local").
+        self.sink: Optional[Sink] = None
+        self.uplink_channel: Optional[DataChannel] = None
+        if cfg.routing.enabled:
+            self.topology.place_sink(cfg.routing.sink_position)
+            self.sink = Sink(
+                self.topology.sink_position,
+                on_delivered=self.stats.on_sink_delivered,
+            )
+            self.uplink_channel = DataChannel(self.sim, name="uplink")
 
         # Nodes.
         self.nodes: List[SensorNode] = [
@@ -70,7 +101,7 @@ class SensorNetwork:
                 self.tone_spec,
                 self.rngs.stream(f"node/{i}"),
                 on_death=self._on_node_death,
-                on_local_delivery=self.stats.on_delivered_local,
+                on_head_ingress=self._on_head_ingress,
                 tracer=tracer,
             )
             for i in range(cfg.n_nodes)
@@ -79,6 +110,8 @@ class SensorNetwork:
         self.round_index = 0
         #: head id -> list of member nodes (current round).
         self._members_of: Dict[int, List[SensorNode]] = {}
+        #: head id -> this round's uplink relay (routing enabled only).
+        self._relays: Dict[int, UplinkRelay] = {}
         self._round_handle = None
         self._settle_handle = None
         #: Cadence for settling meters (death detection granularity).
@@ -95,7 +128,9 @@ class SensorNetwork:
         for node in self.nodes:
             node.start()
         self._start_round()
-        self._settle_handle = self.sim.call_in(self.settle_interval_s, self._settle_tick)
+        self._settle_handle = self.sim.call_in_strict(
+            self.settle_interval_s, self._settle_tick
+        )
 
     def run_until(self, t: float) -> None:
         """Advance the simulation (starting it first if needed)."""
@@ -112,12 +147,29 @@ class SensorNetwork:
             self._form_clusters(alive)
             self.round_index += 1
         # Keep the driver running even with nobody alive: metrics samplers
-        # may still want the tail of the time series.
-        self._round_handle = self.sim.call_in(
+        # may still want the tail of the time series.  Strict re-arm: the
+        # driver must never pin the clock at one instant.
+        self._round_handle = self.sim.call_in_strict(
             self.cfg.leach.round_duration_s, self._start_round
         )
 
     def _teardown_round(self) -> None:
+        # Stop relays first: uplink bursts abort on the ledger and every
+        # undelivered packet returns to its head's own buffer (it re-enters
+        # as ordinary traffic next round, keeping its birth time; its hop
+        # count restarts — see the repro.routing.uplink module docstring)
+        # — or is stranded if the head is no longer alive.
+        for head_id, relay in self._relays.items():
+            leftovers = relay.stop()
+            if not leftovers:
+                continue
+            node = self.nodes[head_id]
+            if node.alive:
+                for packet, _hops in leftovers:
+                    node.buffer.offer(packet)  # overflow drops are counted
+            else:
+                self.stats.on_uplink_stranded(len(leftovers))
+        self._relays.clear()
         for node in self.nodes:
             if node.mac.is_attached:
                 node.mac.detach()
@@ -135,12 +187,16 @@ class SensorNetwork:
                 self.sim.now, "leach.round",
                 index=self.round_index, heads=list(assignment.heads),
             )
+        # Relays must exist before become_head(): electing a head flushes
+        # its backlog through the ingress path immediately.
+        if self.cfg.routing.enabled:
+            self._build_relays(list(assignment.heads))
         contexts: Dict[int, ClusterContext] = {}
         for head_id in assignment.heads:
             head = self.nodes[head_id]
             contexts[head_id] = head.become_head(
                 self.rngs.stream(f"per/{head_id}"),
-                on_delivered=self.stats.on_delivered,
+                on_delivered=self._cluster_delivery_sink(head_id),
                 on_lost=self.stats.on_lost,
             )
             self._members_of[head_id] = []
@@ -159,11 +215,102 @@ class SensorNetwork:
             node.mac.attach(contexts[head_id], link)
             self._members_of[head_id].append(node)
 
+    # -- uplink tier -------------------------------------------------------------------
+
+    def _build_relays(self, heads: List[int]) -> None:
+        """Construct and wire this round's head→sink relay stack."""
+        routes = plan_routes(self.cfg.routing.mode, heads, self.topology)
+        for head_id in heads:
+            self._relays[head_id] = UplinkRelay(
+                self.sim,
+                head_id,
+                self.nodes[head_id].meter,
+                self.uplink_channel,
+                self.abicm,
+                self.cfg.phy,
+                self.cfg.routing,
+                self.rngs.stream(f"uplink/mac/{head_id}"),
+                self.stats,
+                tracer=self.tracer,
+            )
+        for head_id in heads:
+            next_id = routes[head_id]
+            if next_id is None:
+                distance = self.topology.sink_distance(head_id)
+                far_end = "sink"
+            else:
+                distance = self.topology.distance(head_id, next_id)
+                far_end = str(next_id)
+            link = Link(
+                distance,
+                self.uplink_budget,
+                self.cfg.channel,
+                self.rngs.stream(
+                    f"uplink/link/r{self.round_index}/{head_id}->{far_end}"
+                ),
+                name=f"uplink {head_id}->{far_end}",
+                start_time_s=self.sim.now,
+            )
+            self._relays[head_id].wire(
+                link,
+                None if next_id is None else self._relays[next_id],
+                self.sink,
+            )
+        if self.tracer is not None:
+            self.tracer.annotate(
+                self.sim.now, "uplink.routes",
+                round=self.round_index,
+                routes={h: routes[h] for h in heads},
+            )
+
+    def _cluster_delivery_sink(self, head_id: int):
+        """Where a head's cleanly received member bursts go.
+
+        Local routing: straight to the stats ledger (the paper's sink).
+        Uplink tier: counted as a cluster-hop delivery, then queued on the
+        head's relay with one radio hop already traversed.
+        """
+        if not self.cfg.routing.enabled:
+            return self.stats.on_delivered
+        relay = self._relays[head_id]
+
+        def deliver(packets: List[Packet], sender_id: int, now: float) -> None:
+            self.stats.on_cluster_delivered(packets, sender_id, now)
+            relay.offer([(p, 1) for p in packets])
+
+        return deliver
+
+    def _on_head_ingress(
+        self, packets: List[Packet], node_id: int, now: float
+    ) -> None:
+        """A head aggregated its own data (zero radio cost)."""
+        if not self.cfg.routing.enabled:
+            self.stats.on_delivered_local(packets, node_id, now)
+            return
+        relay = self._relays.get(node_id)
+        if relay is None:  # pragma: no cover - defensive
+            self.stats.on_uplink_stranded(len(packets))
+            return
+        relay.offer([(p, 0) for p in packets])
+
     # -- death handling -----------------------------------------------------------------
 
     def _on_node_death(self, node: SensorNode) -> None:
         if self.tracer is not None:
             self.tracer.annotate(self.sim.now, "node.death", node=node.id)
+        # A dying head's relay strands whatever it was carrying: those
+        # packets are counted exactly once, as uplink_stranded.
+        relay = self._relays.pop(node.id, None)
+        if relay is not None:
+            leftovers = relay.stop()
+            if leftovers:
+                self.stats.on_uplink_stranded(len(leftovers))
+                if self.tracer is not None:
+                    self.tracer.annotate(
+                        self.sim.now, "uplink.dropped",
+                        head=node.id, reason="head death",
+                        uids=[p.uid for p, _ in leftovers],
+                    )
         # A dying head strands its cluster until the next round (§III-B).
         members = self._members_of.pop(node.id, None)
         if members:
@@ -177,7 +324,7 @@ class SensorNetwork:
         for node in self.nodes:
             if node.alive:
                 node.settle()
-        self._settle_handle = self.sim.call_in(
+        self._settle_handle = self.sim.call_in_strict(
             self.settle_interval_s, self._settle_tick
         )
 

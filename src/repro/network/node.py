@@ -48,10 +48,12 @@ class SensorNode:
     ----------
     on_death:
         Network callback fired once when the battery empties.
-    on_local_delivery:
-        Called with (packets, node_id, now) when a head aggregates its own
-        sensed data (it *is* the sink for its cluster, so its packets are
-        delivered at zero radio cost).
+    on_head_ingress:
+        Called with (packets, node_id, now) when this node, acting as a
+        cluster head, aggregates its own sensed data at zero radio cost.
+        The network layer decides the terminus: with routing disabled the
+        head *is* the sink (the paper's local delivery); with the uplink
+        tier enabled the packets enter the head's relay queue instead.
     """
 
     def __init__(
@@ -64,7 +66,7 @@ class SensorNode:
         tone_spec: ToneChannelSpec,
         rng: np.random.Generator,
         on_death: Callable[["SensorNode"], None],
-        on_local_delivery: Callable[[List[Packet], int, float], None],
+        on_head_ingress: Callable[[List[Packet], int, float], None],
         tracer=None,
     ) -> None:
         self.sim = sim
@@ -73,7 +75,7 @@ class SensorNode:
         self.tone_spec = tone_spec
         self.role = NodeRole.SENSOR
         self._on_death = on_death
-        self._on_local_delivery = on_local_delivery
+        self._on_head_ingress = on_head_ingress
 
         self.battery = Battery(cfg.energy.initial_energy_j, self._battery_died)
         self.meter = EnergyMeter(sim, model, self.battery)
@@ -123,8 +125,9 @@ class SensorNode:
         if not self.alive:
             return
         if self.role is NodeRole.HEAD:
-            # The head is its own sink: local aggregation, no radio cost.
-            self._on_local_delivery([packet], self.id, self.sim.now)
+            # Head-local aggregation, no radio cost; the network routes it
+            # onward (or counts it delivered when the head is the sink).
+            self._on_head_ingress([packet], self.id, self.sim.now)
             return
         accepted = self.buffer.offer(packet)
         if accepted:
@@ -160,10 +163,11 @@ class SensorNode:
             on_lost=on_lost,
         )
         self.head_mac.start()
-        # Whatever the node had queued has reached the sink (itself).
+        # Whatever the node had queued is aggregated at zero radio cost
+        # (the head reaches itself for free); the network routes it on.
         backlog = self.buffer.take(len(self.buffer))
         if backlog:
-            self._on_local_delivery(backlog, self.id, self.sim.now)
+            self._on_head_ingress(backlog, self.id, self.sim.now)
         return ClusterContext(self.id, channel, broadcaster, self.head_mac)
 
     def become_sensor(self) -> None:

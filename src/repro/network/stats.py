@@ -5,6 +5,17 @@ module needs: delivery counts and delays, loss taxonomy (channel errors,
 collision-retry drops, buffer overflow), and generated totals.  Raw delays
 are kept (float list) because the paper's delay metric is an average but
 the extended experiments also report percentiles.
+
+Two delivery terminations exist:
+
+* **local** (paper default, ``routing.mode == "local"``): the cluster
+  head is its cluster's sink; member bursts land via :meth:`on_delivered`
+  and the head's own data via :meth:`on_delivered_local`.
+* **routed** (uplink tier): the sink sits at the end of the head→sink
+  relay stack; packets count as delivered only on sink arrival
+  (:meth:`on_sink_delivered`, which also records per-packet hop counts),
+  and the uplink's own loss taxonomy (``uplink_*`` counters) keeps every
+  displaced packet accounted exactly once.
 """
 
 from __future__ import annotations
@@ -30,12 +41,30 @@ class NetworkStats:
         self.delays_s: List[float] = []
         #: Per-delivery payload bits (throughput accounting).
         self.delivered_bits = 0
+        # -- uplink tier (all zero while routing is disabled) -------------
+        #: Cluster-hop completion *events* (the relay tier's ingress; under
+        #: local routing these are ``delivered``).  A packet displaced from
+        #: a relay at a round boundary re-enters as ordinary traffic and
+        #: counts again when re-transmitted, so this is not a unique-packet
+        #: tally — terminal outcomes (delivered / lost / dropped) are.
+        self.cluster_delivered = 0
+        #: Radio hops traversed per sink-delivered packet.
+        self.hop_counts: List[int] = []
+        #: Packets corrupted by PER on an uplink hop.
+        self.uplink_lost_channel = 0
+        #: Packets shed after the uplink collision-retry budget.
+        self.uplink_dropped_retry = 0
+        #: Packets dropped at a full relay queue.
+        self.uplink_dropped_overflow = 0
+        #: Packets stranded in transit (head death, dead next hop,
+        #: defensive hop cap).
+        self.uplink_stranded = 0
 
     # Generated / dropped totals are pulled from sources and buffers at
     # report time by the network, so they are not duplicated here.
 
     def on_delivered(self, packets: List[Packet], sender_id: int, now: float) -> None:
-        """Sink callback for over-the-air deliveries."""
+        """Sink callback for over-the-air deliveries (local routing)."""
         self.delivered += len(packets)
         for p in packets:
             self.delays_s.append(now - p.birth_s)
@@ -51,13 +80,66 @@ class NetworkStats:
         """Sink callback for PHY-corrupted packets."""
         self.lost_channel += len(packets)
 
+    # -- uplink tier callbacks ---------------------------------------------------
+
+    def on_cluster_delivered(
+        self, packets: List[Packet], sender_id: int, now: float
+    ) -> None:
+        """Member burst arrived at its head (routing enabled; not yet at
+        the sink, so not counted ``delivered``)."""
+        self.cluster_delivered += len(packets)
+
+    def on_sink_delivered(
+        self, packets: List[Packet], hops: List[int], sender_id: int, now: float
+    ) -> None:
+        """Packets completed their final uplink hop into the sink."""
+        self.delivered += len(packets)
+        for p, h in zip(packets, hops):
+            self.delays_s.append(now - p.birth_s)
+            self.delivered_bits += p.size_bits
+            self.hop_counts.append(h)
+
+    def on_uplink_lost(self, n: int) -> None:
+        """``n`` packets corrupted on an uplink hop."""
+        self.uplink_lost_channel += n
+
+    def on_uplink_dropped_retry(self, n: int) -> None:
+        """``n`` packets shed after the uplink retry budget."""
+        self.uplink_dropped_retry += n
+
+    def on_uplink_dropped_overflow(self, n: int) -> None:
+        """``n`` packets dropped at a full relay queue."""
+        self.uplink_dropped_overflow += n
+
+    def on_uplink_stranded(self, n: int) -> None:
+        """``n`` packets stranded in transit (death / hop cap)."""
+        self.uplink_stranded += n
+
+    # -- derived ---------------------------------------------------------------
+
     @property
     def total_delivered(self) -> int:
         """Over-the-air plus local deliveries."""
         return self.delivered + self.delivered_local
+
+    @property
+    def uplink_undelivered(self) -> int:
+        """Every packet the uplink tier lost or shed, by any cause."""
+        return (
+            self.uplink_lost_channel
+            + self.uplink_dropped_retry
+            + self.uplink_dropped_overflow
+            + self.uplink_stranded
+        )
 
     def mean_delay_s(self) -> float:
         """Average end-to-end delay of radio deliveries (0 if none)."""
         if not self.delays_s:
             return 0.0
         return sum(self.delays_s) / len(self.delays_s)
+
+    def mean_hop_count(self) -> float:
+        """Average radio hops per sink delivery (0 if routing disabled)."""
+        if not self.hop_counts:
+            return 0.0
+        return sum(self.hop_counts) / len(self.hop_counts)

@@ -1,0 +1,27 @@
+"""Head→sink uplink tier: sink placement, relay policies, relay MAC.
+
+The paper's §III topology terminates delivery at the cluster head (the
+head *is* its cluster's sink), so the reproduction's baseline never pays
+an uplink radio hop.  This package grows the routed transport that related
+work (Ren et al.'s data-gathering channel access, Adapt-P's head→sink
+modelling) treats as the dominant energy/delay term:
+
+* :func:`plan_routes` — per-round next-hop table over the elected heads
+  (``direct``: every head straight to the sink; ``multihop``: greedy
+  forwarding by sink distance, loop-free by construction);
+* :class:`Sink` — the mains-powered network terminus;
+* :class:`UplinkRelay` — per-head forwarding MAC on a shared long-haul
+  :class:`~repro.channel.medium.DataChannel` (orthogonal frequency to all
+  cluster channels), with per-hop energy ledgered through the
+  ``uplink_tx``/``uplink_rx`` causes and per-packet hop provenance traced
+  through :class:`~repro.sim.trace.Tracer`.
+
+With ``NetworkConfig.routing.mode == "local"`` (the default) none of this
+is constructed and the paper's behaviour is preserved bit-for-bit.
+"""
+
+from .policies import plan_routes
+from .sink import Sink
+from .uplink import UplinkRelay
+
+__all__ = ["plan_routes", "Sink", "UplinkRelay"]

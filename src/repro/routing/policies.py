@@ -1,0 +1,59 @@
+"""Relay-route planning over one round's elected cluster heads.
+
+Routes are recomputed at every LEACH round boundary because the head set
+changes; the plan is a plain next-hop table (head id → head id, or None
+for the sink), cheap enough to rebuild per round even at paper scale.
+
+``multihop`` uses greedy geographic forwarding: a head hands its traffic
+to the neighbouring head that makes the most progress toward the sink,
+and falls back to the sink directly when no head is strictly closer.
+Because every hop strictly decreases sink distance the route graph is a
+DAG — no loops, no TTL needed (the packet-level hop cap in
+:class:`~repro.config.RoutingConfig` is purely defensive).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..cluster.topology import Topology
+from ..errors import ClusterError
+
+__all__ = ["plan_routes"]
+
+
+def plan_routes(
+    mode: str,
+    heads: Sequence[int],
+    topology: Topology,
+) -> Dict[int, Optional[int]]:
+    """Next-hop table for this round: ``{head_id: next_head_id | None}``.
+
+    ``None`` means the head transmits straight to the sink.  The topology
+    must have a sink placed (:meth:`Topology.place_sink`).  Ties are
+    broken by lower node id so the plan is deterministic for a given head
+    set.
+    """
+    if topology.sink_position is None:
+        raise ClusterError("plan_routes requires a placed sink")
+    if mode == "direct":
+        return {h: None for h in heads}
+    if mode != "multihop":
+        raise ClusterError(f"unknown relay mode {mode!r}")
+
+    routes: Dict[int, Optional[int]] = {}
+    ordered = sorted(heads)  # ascending ids: ties resolve to the lower id
+    for h in ordered:
+        d_sink = topology.sink_distance(h)
+        best: Optional[int] = None
+        best_d = d_sink
+        for g in ordered:
+            if g == h:
+                continue
+            d_g = topology.sink_distance(g)
+            # Strict progress toward the sink; the hop itself must also be
+            # shorter than going direct, else relaying cannot save energy.
+            if d_g < best_d and topology.distance(h, g) < d_sink:
+                best, best_d = g, d_g
+        routes[h] = best
+    return routes

@@ -1,0 +1,47 @@
+"""The network data sink: the uplink tier's terminus.
+
+The sink models the paper's implied base station: mains-powered (no
+battery, no meter), always listening on the long-haul channel, positioned
+anywhere in or around the field.  It only counts and forwards deliveries
+to the stats layer; all radio/energy mechanics live in the relays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..traffic.packet import Packet
+
+__all__ = ["Sink"]
+
+#: Sink delivery callback: (packets, hop counts, sender head id, now).
+SinkDelivery = Callable[[List[Packet], List[int], int, float], None]
+
+
+class Sink:
+    """Mains-powered terminus of the head→sink relay stack."""
+
+    def __init__(
+        self,
+        position: Tuple[float, float],
+        on_delivered: Optional[SinkDelivery] = None,
+    ) -> None:
+        self.position = (float(position[0]), float(position[1]))
+        self.on_delivered = on_delivered
+        #: Total packets accepted.
+        self.packets_received = 0
+        #: Total radio hops over all accepted packets.
+        self.total_hops = 0
+
+    def deliver(
+        self, packets: List[Packet], hops: List[int], sender_id: int, now: float
+    ) -> None:
+        """Accept packets that completed their final uplink hop."""
+        self.packets_received += len(packets)
+        self.total_hops += sum(hops)
+        if self.on_delivered is not None:
+            self.on_delivered(packets, hops, sender_id, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        x, y = self.position
+        return f"<Sink at ({x:.1f}, {y:.1f}) rx={self.packets_received}>"

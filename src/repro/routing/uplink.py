@@ -1,0 +1,324 @@
+"""Per-head uplink relay: the forwarding MAC of the head→sink tier.
+
+One :class:`UplinkRelay` serves one cluster head for one LEACH round.  It
+owns a queue of ``(packet, hops_so_far)`` entries fed by the head's local
+aggregation (its own sensed data, hop 0) and by completed member bursts
+(hop 1), sends bursts over the **shared** long-haul
+:class:`~repro.channel.medium.DataChannel` (one per network, orthogonal
+frequency to every cluster channel, so relays contend only with each
+other), and forwards cleanly received packets either to the next relay on
+the route or to the :class:`~repro.routing.sink.Sink`.
+
+Modelling choices (documented, deliberate):
+
+* The head's data radio is already powered for cluster duty; retuning to
+  the long-haul frequency is free, but the airtime of every uplink burst
+  is charged at data-radio TX power under the dedicated ``uplink_tx``
+  cause (receive side: ``uplink_rx``), so breakdowns show the uplink
+  split exactly.
+* Contention is carrier-sense with a real vulnerable window: a relay that
+  senses the channel idle *commits*, keys up after the radio's
+  ``turnaround_s`` (jittered per head) and begins **without re-sensing**.
+  Two heads whose turnaround windows overlap collide on the transmission
+  ledger and retry after a jittered ``retry_delay_s`` hold-off (up to
+  ``max_retries``, then the burst is shed as ``uplink_dropped_retry``).
+* Per-hop corruption uses the same ABICM mode table and per-packet PER
+  machinery as the cluster hop, against a head→next-hop
+  :class:`~repro.channel.link.Link` drawn fresh each round from the
+  shared :class:`~repro.channel.budget.LinkBudget`.
+* Packets displaced by a round boundary are returned to the head's own
+  buffer: they re-enter as ordinary traffic, keeping their birth time (so
+  end-to-end delay stays exact) but restarting their hop count — the
+  recorded hops reflect the final path only, and a re-entering member
+  packet counts another ``cluster_delivered`` hop completion when it is
+  re-transmitted (that counter tallies cluster-hop *events*, not unique
+  packets).  Packets stranded by a head death are counted
+  ``uplink_stranded`` — never delivered *and* never double-counted among
+  the terminal outcomes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from ..channel.link import Link
+from ..channel.medium import DataChannel, TransmissionRecord
+from ..config import PhyConfig, RoutingConfig
+from ..energy.meter import EnergyMeter
+from ..phy.abicm import AbicmTable
+from ..phy.frame import BurstPlan, evaluate_burst, plan_burst
+from ..sim import Simulator
+from ..traffic.packet import Packet
+from .sink import Sink
+
+__all__ = ["UplinkRelay"]
+
+#: One queued unit: the packet and the radio hops it has traversed so far.
+Entry = Tuple[Packet, int]
+
+
+class UplinkRelay:
+    """Forwarding MAC for one cluster head on the shared uplink channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        head_id: int,
+        meter: EnergyMeter,
+        channel: DataChannel,
+        abicm: AbicmTable,
+        phy_cfg: PhyConfig,
+        routing_cfg: RoutingConfig,
+        rng: np.random.Generator,
+        stats,
+        tracer=None,
+    ) -> None:
+        self.sim = sim
+        self.head_id = head_id
+        self.meter = meter
+        self.channel = channel
+        self.abicm = abicm
+        self.phy_cfg = phy_cfg
+        self.cfg = routing_cfg
+        self.rng = rng
+        self.stats = stats
+        self.tracer = tracer
+
+        #: Route wiring for this round (set by :meth:`wire`).
+        self.link: Optional[Link] = None
+        self.next_relay: Optional["UplinkRelay"] = None
+        self.sink: Optional[Sink] = None
+
+        self._queue: Deque[Entry] = deque()
+        self._burst: List[Entry] = []
+        self._plan: Optional[BurstPlan] = None
+        self._snr_db = 0.0
+        self._retries = 0
+        self._retry_handle = None
+        self._start_handle = None
+        self._tx_handle = None
+        self._record: Optional[TransmissionRecord] = None
+        self._running = True
+
+        # Diagnostics.
+        self.bursts_sent = 0
+        self.bursts_collided = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def wire(
+        self,
+        link: Link,
+        next_relay: Optional["UplinkRelay"],
+        sink: Sink,
+    ) -> None:
+        """Attach this round's hop: the link and its far end."""
+        self.link = link
+        self.next_relay = next_relay
+        self.sink = sink
+
+    @property
+    def is_running(self) -> bool:
+        """True until the round ends or the head dies."""
+        return self._running
+
+    @property
+    def queued(self) -> int:
+        """Entries waiting (excluding any burst on the air)."""
+        return len(self._queue)
+
+    # -- ingress ----------------------------------------------------------------
+
+    def offer(self, entries: List[Entry]) -> None:
+        """Enqueue packets for the next uplink burst.
+
+        Called by the network for head-local aggregation (hops 0) and
+        completed member bursts (hops 1), and by upstream relays when a
+        hop completes.  Overflow beyond ``relay_buffer_packets`` tail-drops
+        the newest arrivals (the same policy as the member buffers).
+        """
+        if not self._running:
+            self._strand(entries, reason="stopped")
+            return
+        room = max(self.cfg.relay_buffer_packets - len(self._queue), 0)
+        # Tail-drop, like the member buffers: overflow falls on the newest
+        # arrivals; packets already waiting keep their place.
+        admitted, spilled = entries[:room], entries[room:]
+        self._queue.extend(admitted)
+        if spilled:
+            self.stats.on_uplink_dropped_overflow(len(spilled))
+            self._annotate("uplink.dropped", reason="overflow",
+                           uids=[p.uid for p, _ in spilled])
+        if admitted:
+            self._maybe_send()
+
+    # -- send loop ----------------------------------------------------------------
+
+    def _maybe_send(self) -> None:
+        if (
+            not self._running
+            or self._record is not None
+            or self._start_handle is not None
+            or self._retry_handle is not None
+            or not self._queue
+        ):
+            return
+        if not self.channel.is_idle:
+            self._arm_retry()
+            return
+        # Channel sensed idle: commit.  The burst keys up after the radio
+        # turnaround and does NOT re-sense — that window is the CSMA
+        # vulnerable period in which another head can also commit, and the
+        # ledger then corrupts both bursts.
+        delay = self.cfg.turnaround_s * (0.5 + float(self.rng.random()))
+        self._start_handle = self.sim.call_in_strict(delay, self._start_burst)
+
+    def _arm_retry(self) -> None:
+        # Jittered re-poll: breaks head-to-head ties deterministically via
+        # the per-head stream.
+        delay = self.cfg.retry_delay_s * (0.5 + float(self.rng.random()))
+        self._retry_handle = self.sim.call_in_strict(delay, self._retry_expired)
+
+    def _retry_expired(self) -> None:
+        self._retry_handle = None
+        self._maybe_send()
+
+    def _start_burst(self) -> None:
+        self._start_handle = None
+        if not self._running or not self._queue:  # pragma: no cover - defensive
+            return
+        n = min(len(self._queue), self.cfg.max_burst_packets)
+        self._burst = [self._queue.popleft() for _ in range(n)]
+        packets = [p for p, _ in self._burst]
+        now = self.sim.now
+        snr = self.link.snr_db(now)
+        mode = self.abicm.mode_for_snr(snr) or self.abicm.lowest
+        plan = plan_burst(
+            packets, mode, self.phy_cfg.packet_length_bits,
+            self.phy_cfg.burst_overhead_bits,
+        )
+        self._plan, self._snr_db = plan, snr
+        # TX energy first: the draw may empty the battery and tear this
+        # relay down reentrantly (network death handler calls stop()).
+        self.meter.charge("uplink_tx", plan.airtime_s)
+        if not self._running:
+            return
+        self._record = self.channel.begin(self.head_id, plan.airtime_s)
+        self._tx_handle = self.sim.call_in_strict(plan.airtime_s, self._tx_done)
+        self.bursts_sent += 1
+        self._annotate(
+            "uplink.burst", n=plan.n_packets, mode=mode.index, snr_db=snr,
+            next=self.next_relay.head_id if self.next_relay else "sink",
+        )
+
+    def _tx_done(self) -> None:
+        self._tx_handle = None
+        record, plan, burst = self._record, self._plan, self._burst
+        self._record, self._plan, self._burst = None, None, []
+        if record is None:  # pragma: no cover - defensive
+            return
+        corrupted = record.corrupted
+        self.channel.end(record)
+        if corrupted:
+            self.bursts_collided += 1
+            self._retries += 1
+            if self._retries > self.cfg.max_retries:
+                self.stats.on_uplink_dropped_retry(len(burst))
+                self._annotate("uplink.dropped", reason="retry",
+                               uids=[p.uid for p, _ in burst])
+                self._retries = 0
+            else:
+                self._queue.extendleft(reversed(burst))
+            self._arm_retry()
+            return
+        self._retries = 0
+        self._forward(plan, burst)
+        self._maybe_send()
+
+    def _forward(self, plan: BurstPlan, burst: List[Entry]) -> None:
+        """PER-evaluate a cleanly completed burst and pass survivors on."""
+        result = evaluate_burst(
+            plan, self._snr_db, self.phy_cfg.packet_length_bits, self.rng
+        )
+        now = self.sim.now
+        hops_by_uid = {p.uid: h for p, h in burst}
+        if result.corrupted:
+            self.stats.on_uplink_lost(len(result.corrupted))
+            self._annotate("uplink.lost",
+                           uids=[p.uid for p in result.corrupted])
+        if not result.delivered:
+            return
+        delivered = [(p, hops_by_uid[p.uid] + 1) for p in result.delivered]
+        nxt = self.next_relay
+        if nxt is None:
+            self.sink.deliver(
+                [p for p, _ in delivered], [h for _, h in delivered],
+                self.head_id, now,
+            )
+            self._annotate("uplink.delivered",
+                           uids=[p.uid for p, _ in delivered],
+                           hops=[h for _, h in delivered])
+            return
+        # RX energy on the receiving head (may tear it down reentrantly).
+        if nxt.is_running:
+            nxt.meter.charge("uplink_rx", plan.airtime_s)
+        if not nxt.is_running:
+            self._strand(delivered, reason="next-hop dead")
+            return
+        over, ok = [], []
+        for p, h in delivered:
+            (over if h >= self.cfg.max_hops else ok).append((p, h))
+        if over:
+            self._strand(over, reason="hop-cap")
+        if ok:
+            nxt.offer(ok)
+
+    # -- teardown ------------------------------------------------------------------
+
+    def stop(self) -> List[Entry]:
+        """End this relay's round; returns every undelivered entry.
+
+        Cancels timers, aborts any burst on the air (recovering its
+        packets), and hands the caller the queue so displaced packets can
+        be re-buffered (round boundary) or stranded (head death) —
+        accounted exactly once either way.
+        """
+        if not self._running:
+            return []
+        self._running = False
+        for name in ("_retry_handle", "_start_handle", "_tx_handle"):
+            handle = getattr(self, name)
+            if handle is not None:
+                handle.cancel()
+                setattr(self, name, None)
+        if self._record is not None and self._record.active:
+            self.channel.abort(self._record)
+        self._record = None
+        self._plan = None
+        leftovers = list(self._burst) + list(self._queue)
+        self._burst = []
+        self._queue.clear()
+        return leftovers
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _strand(self, entries: List[Entry], reason: str) -> None:
+        if not entries:
+            return
+        self.stats.on_uplink_stranded(len(entries))
+        self._annotate("uplink.dropped", reason=reason,
+                       uids=[p.uid for p, _ in entries])
+
+    def _annotate(self, kind: str, **data) -> None:
+        if self.tracer is not None:
+            self.tracer.annotate(self.sim.now, kind, head=self.head_id, **data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self._running else "stopped"
+        return (
+            f"<UplinkRelay head={self.head_id} {state} q={len(self._queue)} "
+            f"sent={self.bursts_sent}>"
+        )

@@ -11,11 +11,12 @@ Public surface:
 from .events import AllOf, AnyOf, Event
 from .process import Interrupt, Process, spawn
 from .scheduler import EventQueue, ScheduledCall
-from .simulator import Simulator
+from .simulator import Simulator, strictly_after
 from .trace import Annotation, TraceRecord, Tracer
 
 __all__ = [
     "Simulator",
+    "strictly_after",
     "Event",
     "AnyOf",
     "AllOf",

@@ -14,13 +14,35 @@ Design notes
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Optional
 
 from ..errors import SchedulerError, SimulationError
 from .events import AllOf, AnyOf, Event
 from .scheduler import EventQueue, ScheduledCall
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "strictly_after"]
+
+
+def strictly_after(now: float, delay: float) -> float:
+    """Absolute target time ``delay`` seconds after ``now``, guaranteed
+    to be strictly in the future.
+
+    At large simulation times a small positive ``delay`` can underflow the
+    float resolution of the clock (``now + delay == now``); a periodic
+    re-arm computed that way fires at the same instant forever, freezing
+    simulated time in a zero-delay event storm.  This helper nudges an
+    underflowed target to the next representable float instant so the
+    clock always advances.  Every periodic re-arm (meter settling, tone
+    trains, backoff, latency timers) should schedule through this guard —
+    see :meth:`Simulator.call_in_strict`.
+    """
+    if delay < 0:
+        raise SchedulerError(f"negative delay: {delay!r}")
+    target = now + delay
+    if target <= now:
+        return math.nextafter(now, math.inf)
+    return target
 
 
 class Simulator:
@@ -89,6 +111,20 @@ class Simulator:
         if delay < 0:
             raise SchedulerError(f"negative delay: {delay!r}")
         return self._queue.push(self._now + delay, fn, args, priority)
+
+    def call_in_strict(
+        self, delay: float, fn: Callable[..., Any], *args: Any, priority: int = 0
+    ) -> ScheduledCall:
+        """Like :meth:`call_in`, but guaranteed to fire strictly after now.
+
+        Use this for periodic re-arms: when ``now + delay`` underflows the
+        float clock resolution the target is nudged to the next
+        representable instant (see :func:`strictly_after`), so a re-arming
+        callback can never pin the clock in a same-instant loop.
+        """
+        return self._queue.push(
+            strictly_after(self._now, delay), fn, args, priority
+        )
 
     def schedule_now(self, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
         """Schedule ``fn(*args)`` at the current time (after current event)."""

@@ -71,7 +71,9 @@ class TrafficSource(ABC):
 
     def _schedule_next(self) -> None:
         delay = self.next_interarrival_s()
-        self._next_handle = self.sim.call_in(delay, self._fire)
+        # Strict re-arm: a sub-resolution gap (tiny exponential draw, or a
+        # CBR interval at large sim times) must still advance the clock.
+        self._next_handle = self.sim.call_in_strict(delay, self._fire)
 
     def _fire(self) -> None:
         if not self._running:

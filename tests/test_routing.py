@@ -1,0 +1,401 @@
+"""The head→sink uplink tier: routes, relays, accounting, death races.
+
+Covers the routing subsystem end to end: next-hop planning, sink
+placement, the relay MAC on the shared long-haul channel, exactly-once
+packet accounting under mid-round cluster-head death (tracked through
+Tracer provenance), and the documented radio/local delivery split.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import Topology
+from repro.config import NetworkConfig, Protocol, RoutingConfig
+from repro.errors import ClusterError, ConfigError
+from repro.network import NodeRole, SensorNetwork
+from repro.routing import plan_routes
+from repro.sim import Tracer
+
+
+def _routed(mode="direct", n_nodes=20, seed=3, sink=None, **kw):
+    cfg = NetworkConfig(
+        n_nodes=n_nodes, protocol=Protocol.CAEM_ADAPTIVE, seed=seed, **kw
+    )
+    return cfg.with_routing(mode=mode, sink_position=sink)
+
+
+class TestRoutingConfig:
+    def test_default_is_local_and_disabled(self):
+        cfg = NetworkConfig()
+        assert cfg.routing.mode == "local"
+        assert not cfg.routing.enabled
+
+    def test_enabled_modes(self):
+        assert RoutingConfig(mode="direct").enabled
+        assert RoutingConfig(mode="multihop").enabled
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            RoutingConfig(mode="flooding")
+
+    def test_rejects_bad_sink(self):
+        with pytest.raises(ConfigError):
+            RoutingConfig(sink_position=(1.0,))
+        with pytest.raises(ConfigError):
+            RoutingConfig(sink_position=(float("nan"), 0.0))
+
+    def test_dict_round_trip_with_routing(self):
+        cfg = NetworkConfig().with_routing(
+            mode="multihop", sink_position=(50.0, 150.0), max_hops=4
+        )
+        assert NetworkConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestSinkPlacement:
+    def test_default_sink_is_field_centre(self):
+        top = Topology.grid(9, 100.0)
+        top.place_sink()
+        assert top.sink_position == (50.0, 50.0)
+
+    def test_sink_may_lie_outside_field(self):
+        top = Topology.grid(9, 100.0)
+        top.place_sink((50.0, 250.0))
+        assert top.sink_distance(4) > 100.0
+
+    def test_distance_requires_placement(self):
+        top = Topology.grid(9, 100.0)
+        with pytest.raises(ClusterError):
+            top.sink_distance(0)
+
+
+class TestRoutePlanning:
+    def _topology(self):
+        top = Topology.grid(25, 100.0)
+        top.place_sink((50.0, 180.0))
+        return top
+
+    def test_direct_sends_every_head_to_sink(self):
+        top = self._topology()
+        routes = plan_routes("direct", [0, 6, 12], top)
+        assert routes == {0: None, 6: None, 12: None}
+
+    def test_requires_placed_sink(self):
+        with pytest.raises(ClusterError):
+            plan_routes("direct", [0], Topology.grid(9, 100.0))
+
+    def test_multihop_progress_is_strictly_toward_sink(self):
+        top = self._topology()
+        heads = [0, 6, 12, 18, 24]
+        routes = plan_routes("multihop", heads, top)
+        for h, nxt in routes.items():
+            if nxt is not None:
+                assert top.sink_distance(nxt) < top.sink_distance(h)
+
+    def test_multihop_is_loop_free(self):
+        top = self._topology()
+        heads = [0, 6, 12, 18, 24]
+        routes = plan_routes("multihop", heads, top)
+        for h in heads:
+            seen, cur = set(), h
+            while cur is not None:
+                assert cur not in seen
+                seen.add(cur)
+                cur = routes[cur]
+
+    def test_multihop_deterministic(self):
+        top = self._topology()
+        heads = [24, 0, 18, 6, 12]  # order must not matter
+        assert plan_routes("multihop", heads, top) == plan_routes(
+            "multihop", sorted(heads), top
+        )
+
+
+class TestLocalModeUntouched:
+    """With routing disabled the paper's terminus is preserved."""
+
+    def test_no_uplink_machinery_is_built(self):
+        net = SensorNetwork(NetworkConfig(n_nodes=12, seed=3))
+        net.run_until(25.0)
+        assert net.sink is None
+        assert net.uplink_channel is None
+        assert not net._relays
+        assert net.stats.hop_counts == []
+        assert net.stats.cluster_delivered == 0
+        assert net.stats.delivered_local > 0
+        assert not any(n.startswith("uplink/") for n in net.rngs.names())
+
+    def test_no_uplink_energy_causes(self):
+        net = SensorNetwork(NetworkConfig(n_nodes=12, seed=3))
+        net.run_until(25.0)
+        breakdown = net.energy_breakdown()
+        assert "uplink_tx" not in breakdown
+        assert "uplink_rx" not in breakdown
+
+
+class TestDirectUplink:
+    def test_packets_reach_the_sink(self):
+        net = SensorNetwork(_routed("direct", seed=3))
+        net.run_until(30.0)
+        s = net.stats
+        assert s.delivered > 0
+        assert s.cluster_delivered > 0
+        # Radio/local split: nothing terminates at the head any more.
+        assert s.delivered_local == 0
+        assert net.sink.packets_received == s.delivered
+
+    def test_hop_counts_are_one_or_two(self):
+        """Direct mode: head-own data takes 1 hop, member data takes 2."""
+        net = SensorNetwork(_routed("direct", seed=3))
+        net.run_until(30.0)
+        assert net.stats.hop_counts
+        assert set(net.stats.hop_counts) <= {1, 2}
+
+    def test_delays_measured_to_sink_are_positive(self):
+        net = SensorNetwork(_routed("direct", seed=3))
+        net.run_until(30.0)
+        assert net.stats.delays_s
+        assert all(d > 0 for d in net.stats.delays_s)
+
+    def test_uplink_energy_is_ledgered_separately(self):
+        net = SensorNetwork(_routed("direct", seed=3))
+        net.run_until(30.0)
+        breakdown = net.energy_breakdown()
+        assert breakdown.get("uplink_tx", 0.0) > 0.0
+
+    def test_determinism_same_seed(self):
+        a = SensorNetwork(_routed("direct", seed=9))
+        a.run_until(30.0)
+        b = SensorNetwork(_routed("direct", seed=9))
+        b.run_until(30.0)
+        assert a.stats.delivered == b.stats.delivered
+        assert a.stats.hop_counts == b.stats.hop_counts
+        assert a.sim.events_processed == b.sim.events_processed
+
+
+class TestMultihopUplink:
+    def _cfg(self):
+        base = NetworkConfig(
+            n_nodes=30, protocol=Protocol.CAEM_ADAPTIVE, seed=3,
+            leach=dataclasses.replace(
+                NetworkConfig().leach, ch_fraction=0.15
+            ),
+        )
+        return base.with_routing(mode="multihop", sink_position=(50.0, 180.0))
+
+    def test_relaying_happens(self):
+        net = SensorNetwork(self._cfg())
+        net.run_until(40.0)
+        s = net.stats
+        assert s.delivered > 0
+        # At least some packets took a head->head hop before the sink.
+        assert max(s.hop_counts) >= 3
+
+    def test_hop_cap_is_respected(self):
+        net = SensorNetwork(self._cfg())
+        net.run_until(40.0)
+        cap = net.cfg.routing.max_hops
+        assert all(h <= cap for h in net.stats.hop_counts)
+
+
+class TestUplinkCollisions:
+    """The shared channel's vulnerable window: simultaneous commits
+    collide on the ledger and are retried."""
+
+    def _harness(self, n_relays=2, max_retries=6):
+        import numpy as np
+
+        from repro.channel import Link, LinkBudget
+        from repro.channel.medium import DataChannel
+        from repro.config import ChannelConfig, EnergyConfig, PhyConfig
+        from repro.energy import Battery, EnergyMeter, RadioEnergyModel
+        from repro.network.stats import NetworkStats
+        from repro.phy import AbicmTable
+        from repro.rng import RngRegistry
+        from repro.routing import Sink, UplinkRelay
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        stats = NetworkStats()
+        sink = Sink((0.0, 0.0), on_delivered=stats.on_sink_delivered)
+        channel = DataChannel(sim, name="uplink")
+        chan_cfg = ChannelConfig()
+        routing = RoutingConfig(mode="direct", max_retries=max_retries)
+        abicm = AbicmTable.from_config(PhyConfig())
+        model = RadioEnergyModel(EnergyConfig())
+        rngs = RngRegistry(7)
+        relays = []
+        for i in range(n_relays):
+            meter = EnergyMeter(sim, model, Battery(100.0))
+            relay = UplinkRelay(
+                sim, i, meter, channel, abicm, PhyConfig(), routing,
+                rngs.stream(f"uplink/mac/{i}"), stats,
+            )
+            link = Link(10.0, LinkBudget.from_config(chan_cfg), chan_cfg,
+                        rngs.stream(f"uplink/link/{i}"), start_time_s=0.0)
+            relay.wire(link, None, sink)
+            relays.append(relay)
+        return sim, stats, relays
+
+    def _packets(self, src, n):
+        from repro.traffic.packet import Packet
+
+        return [(Packet(src, 0.0, 2048), 0) for _ in range(n)]
+
+    def test_simultaneous_commits_collide_and_retry(self):
+        sim, stats, (a, b) = self._harness()
+        # Both sense idle in the same instant -> both commit -> overlap.
+        a.offer(self._packets(100, 3))
+        b.offer(self._packets(200, 3))
+        sim.run(max_events=10_000)
+        assert a.bursts_collided + b.bursts_collided >= 2
+        # The retry machinery recovered: everything still got through.
+        assert stats.delivered == 6
+        assert stats.uplink_dropped_retry == 0
+
+    def test_retry_budget_sheds_burst(self):
+        sim, stats, (a, b) = self._harness(max_retries=0)
+        a.offer(self._packets(100, 3))
+        b.offer(self._packets(200, 3))
+        sim.run(max_events=10_000)
+        # Zero retry budget: the first collision sheds both bursts.
+        assert stats.uplink_dropped_retry == 6
+        assert stats.delivered == 0
+
+    def test_staggered_senders_do_not_collide(self):
+        sim, stats, (a, b) = self._harness()
+        a.offer(self._packets(100, 3))
+        # B arrives well after A's turnaround window closed.
+        sim.call_in(0.5, lambda: b.offer(self._packets(200, 3)))
+        sim.run(max_events=10_000)
+        assert a.bursts_collided == b.bursts_collided == 0
+        assert stats.delivered == 6
+
+
+class TestExactlyOnceAccounting:
+    def _uid_sets(self, tracer):
+        delivered, lost, dropped = [], [], []
+        for a in tracer.of_kind("uplink.delivered"):
+            delivered.extend(a.data["uids"])
+        for a in tracer.of_kind("uplink.lost"):
+            lost.extend(a.data["uids"])
+        for a in tracer.of_kind("uplink.dropped"):
+            dropped.extend(a.data["uids"])
+        return delivered, lost, dropped
+
+    def test_terminal_outcomes_are_disjoint(self):
+        tracer = Tracer()
+        net = SensorNetwork(_routed("direct", seed=3), tracer=tracer)
+        net.run_until(40.0)
+        delivered, lost, dropped = self._uid_sets(tracer)
+        assert len(delivered) == len(set(delivered)), "double delivery"
+        assert not set(delivered) & set(lost)
+        assert not set(delivered) & set(dropped)
+        assert not set(lost) & set(dropped)
+        assert len(delivered) == net.stats.delivered
+
+    def test_conservation_with_relay_tier(self):
+        """Every generated packet is delivered, lost once, or still queued
+        (same slack bound as the round-churn test: in-flight bursts)."""
+        net = SensorNetwork(_routed("direct", seed=9))
+        net.run_until(40.0)
+        s = net.stats
+        in_network = (
+            sum(len(n.buffer) for n in net.nodes)
+            + sum(r.queued for r in net._relays.values())
+        )
+        accounted = (
+            s.delivered
+            + s.lost_channel
+            + s.uplink_undelivered
+            + net.dropped_overflow()
+            + net.dropped_retry()
+            + in_network
+        )
+        assert abs(net.generated_packets() - accounted) <= 8 * len(net.nodes)
+
+
+class TestHeadDeathMidRound:
+    def _kill_a_head(self, net):
+        heads = [n for n in net.nodes if n.role is NodeRole.HEAD and n.alive]
+        assert heads
+        victim = heads[0]
+        members = list(net._members_of[victim.id])
+        victim.battery.draw(victim.battery.level_j + 1.0)
+        assert not victim.alive
+        return victim, members
+
+    def test_members_detach_and_relay_stops(self):
+        net = SensorNetwork(_routed("direct", seed=6))
+        net.run_until(7.0)
+        victim, members = self._kill_a_head(net)
+        assert victim.id not in net._relays
+        assert victim.id not in net._members_of
+        # Members of the dead head are powered down until the next round.
+        for member in members:
+            if member.alive:
+                assert not member.mac.is_attached
+        net.run_until(30.0)  # survives and re-clusters
+        assert net.sim.now == 30.0
+
+    def test_in_flight_packets_stranded_exactly_once(self):
+        tracer = Tracer()
+        net = SensorNetwork(_routed("direct", seed=6), tracer=tracer)
+        net.run_until(7.0)
+        before = net.stats.uplink_stranded
+        self._kill_a_head(net)
+        net.run_until(40.0)
+        delivered, lost, dropped = [], [], []
+        for a in tracer.of_kind("uplink.delivered"):
+            delivered.extend(a.data["uids"])
+        for a in tracer.of_kind("uplink.lost"):
+            lost.extend(a.data["uids"])
+        for a in tracer.of_kind("uplink.dropped"):
+            dropped.extend(a.data["uids"])
+        # Stranded packets (head death) never also count delivered/lost.
+        assert not set(dropped) & set(delivered)
+        assert not set(dropped) & set(lost)
+        assert len(delivered) == len(set(delivered))
+        assert net.stats.uplink_stranded >= before
+
+    def test_denominators_stay_consistent(self):
+        """The documented radio/local split survives head churn: routed
+        runs never count local deliveries, and delivery_rate's numerator
+        equals sink arrivals."""
+        from repro.api import RunOptions, simulate
+
+        cfg = _routed(
+            "direct", seed=6,
+            energy=dataclasses.replace(
+                NetworkConfig().energy, initial_energy_j=0.6
+            ),
+        )
+        result = simulate(cfg, RunOptions(horizon_s=80.0))
+        assert result.delivered_local == 0
+        assert result.total_delivered == result.delivered
+        if result.generated:
+            assert result.delivery_rate == pytest.approx(
+                result.delivered / result.generated
+            )
+        # Hop/energy metrics harvested.
+        assert result.mean_hop_count > 0
+        assert result.uplink_energy_j > 0
+        assert result.uplink_energy_j <= result.total_consumed_j
+
+
+class TestRunResultUplinkFields:
+    def test_round_trip_preserves_uplink_fields(self):
+        from repro.api import RunOptions, RunResult, simulate
+
+        cfg = _routed("direct", n_nodes=12, seed=3)
+        result = simulate(cfg, RunOptions(horizon_s=20.0))
+        clone = RunResult.from_dict(result.to_dict())
+        assert clone.mean_hop_count == result.mean_hop_count
+        assert clone.uplink_energy_j == result.uplink_energy_j
+        assert clone.delay_p90_s == result.delay_p90_s
+
+    def test_ext_uplink_registered(self):
+        from repro.api import get_experiment
+
+        spec = get_experiment("ext-uplink")
+        assert spec.kind == "extension"

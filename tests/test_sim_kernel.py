@@ -296,3 +296,92 @@ class TestEvents:
             sim.any_of()
         with pytest.raises(SimulationError):
             sim.all_of()
+
+
+class TestStrictScheduling:
+    """The float-resolution guard shared by every periodic re-arm."""
+
+    def test_strictly_after_normal_delay(self):
+        from repro.sim import strictly_after
+
+        assert strictly_after(10.0, 0.5) == 10.5
+
+    def test_strictly_after_nudges_underflowed_target(self):
+        import math
+
+        from repro.sim import strictly_after
+
+        now = 1e9
+        tiny = 1e-12  # far below eps(1e9) ~ 1.2e-7
+        assert now + tiny == now  # the raw target would not advance
+        target = strictly_after(now, tiny)
+        assert target > now
+        assert target == math.nextafter(now, math.inf)
+
+    def test_strictly_after_rejects_negative(self):
+        from repro.sim import strictly_after
+
+        with pytest.raises(SchedulerError):
+            strictly_after(0.0, -1.0)
+
+    def test_call_in_strict_advances_clock_at_large_times(self):
+        """A periodic re-arm with an underflowing delay must not freeze
+        the clock in a same-instant event storm (t >= 1e9 s regression)."""
+        sim = Simulator(start_time=4e15)  # eps(4e15) ~ 0.5 s
+        fired = []
+
+        def rearm():
+            fired.append(sim.now)
+            if len(fired) < 100:
+                sim.call_in_strict(0.05, rearm)  # 0.05 < eps: underflows
+
+        sim.call_in_strict(0.05, rearm)
+        sim.run(max_events=1000)
+        assert len(fired) == 100
+        # Strictly increasing times: the clock advanced at every firing.
+        assert all(b > a for a, b in zip(fired, fired[1:]))
+
+    def test_tone_train_advances_at_large_times(self):
+        """The tone broadcaster's re-arm goes through the guard."""
+        from repro.config import EnergyConfig
+        from repro.energy import Battery, EnergyMeter, RadioEnergyModel
+        from repro.mac import ToneBroadcaster, ToneChannelSpec, ToneKind
+
+        sim = Simulator(start_time=1e15)  # eps(1e15) ~ 0.125 > pulse periods
+        meter = EnergyMeter(
+            sim, RadioEnergyModel(EnergyConfig()), Battery(10.0)
+        )
+        bcast = ToneBroadcaster(sim, ToneChannelSpec(), meter)
+        bcast.start(ToneKind.IDLE)
+        sim.run(max_events=500)
+        assert sim.now > 1e15
+        assert bcast.pulses_emitted["idle"] >= 100
+
+    def test_network_settle_cadence_survives_large_offset(self):
+        """Sub-resolution settle/round cadences keep the clock moving."""
+        sim = Simulator(start_time=4e15)
+        ticks = []
+
+        def settle_tick():
+            ticks.append(sim.now)
+            if len(ticks) < 50:
+                sim.call_in_strict(0.1, settle_tick)  # underflows at 4e15
+
+        sim.call_in_strict(0.1, settle_tick)
+        sim.run(max_events=200)
+        assert len(ticks) == 50
+        assert all(b > a for a, b in zip(ticks, ticks[1:]))
+
+    def test_cbr_source_advances_at_large_times(self):
+        """Traffic-source re-arms go through the guard too: a CBR interval
+        below the clock resolution must not freeze the simulation."""
+        from repro.traffic import make_source
+
+        sim = Simulator(start_time=4e15)  # eps(4e15) ~ 0.5 s > 0.2 s interval
+        got = []
+        src = make_source("cbr", sim, 0, 100, got.append, 5.0, None)
+        src.start()
+        sim.run(max_events=50)
+        assert len(got) == 50
+        births = [p.birth_s for p in got]
+        assert all(b > a for a, b in zip(births, births[1:]))
