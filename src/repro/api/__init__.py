@@ -30,6 +30,7 @@ Quickstart::
         print(scenario.describe(), run.delivery_rate)
 """
 
+from .bench import BenchReport, BenchResult, run_bench
 from .campaign import Campaign, CampaignResult, default_jobs, run_scenarios
 from .engine import RunOptions, simulate
 from .registry import (
@@ -43,6 +44,8 @@ from .scenario import Scenario
 from .store import ResultStore
 
 __all__ = [
+    "BenchReport",
+    "BenchResult",
     "Campaign",
     "CampaignResult",
     "ExperimentSpec",
@@ -54,6 +57,7 @@ __all__ = [
     "experiment",
     "get_experiment",
     "list_experiments",
+    "run_bench",
     "run_scenarios",
     "simulate",
 ]

@@ -14,11 +14,12 @@ ablations can quantify how CAEM degrades with imperfect estimation.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from ..errors import ChannelError
+from ..rng import NormalBlockCache, as_normal_cache
 from .link import Link
 
 __all__ = ["CsiEstimator", "CsiSample"]
@@ -48,16 +49,18 @@ class CsiEstimator:
         Std-dev of zero-mean Gaussian measurement error in dB (0 = the
         paper's perfect-measurement assumption).
     rng:
-        Generator for the measurement noise (required if error > 0).
+        Dedicated generator for the measurement noise (required if error
+        > 0); drawn through a :class:`~repro.rng.NormalBlockCache`, so it
+        must not be shared with consumers that bypass this estimator.
     """
 
-    __slots__ = ("link", "error_sigma_db", "_rng", "_last")
+    __slots__ = ("link", "error_sigma_db", "_noise", "_last")
 
     def __init__(
         self,
         link: Link,
         error_sigma_db: float = 0.0,
-        rng: Optional[np.random.Generator] = None,
+        rng: Optional[Union[np.random.Generator, NormalBlockCache]] = None,
     ) -> None:
         if error_sigma_db < 0:
             raise ChannelError("CSI error sigma must be >= 0")
@@ -65,14 +68,14 @@ class CsiEstimator:
             raise ChannelError("CSI error requires an rng")
         self.link = link
         self.error_sigma_db = float(error_sigma_db)
-        self._rng = rng
+        self._noise = as_normal_cache(rng) if rng is not None else None
         self._last: Optional[CsiSample] = None
 
     def measure(self, t: float) -> CsiSample:
         """Take a fresh CSI measurement at time ``t`` (a tone-pulse arrival)."""
         snr = self.link.snr_db(t)
         if self.error_sigma_db > 0.0:
-            snr += float(self._rng.normal(0.0, self.error_sigma_db))
+            snr += self._noise.normal(0.0, self.error_sigma_db)
         self._last = CsiSample(snr, t)
         return self._last
 

@@ -31,15 +31,23 @@ with either
 from __future__ import annotations
 
 import math
+from typing import Dict, Tuple, Union
 
 import numpy as np
 from scipy.special import j0
 
 from ..errors import ChannelError
+from ..rng import NormalBlockCache, as_normal_cache
 
 __all__ = ["RayleighFading"]
 
 _SQRT_HALF = math.sqrt(0.5)
+
+#: Cap on the per-process ρ(Δ) memo (the MAC queries on a small set of
+#: recurring gaps — tone cadence, settle cadence, frame times — so the
+#: cache saturates at a few dozen entries in practice; the cap only
+#: guards against pathological query patterns).
+_RHO_CACHE_MAX = 4096
 
 
 class RayleighFading:
@@ -50,7 +58,9 @@ class RayleighFading:
     coherence_s:
         Coherence time τ_c of the fading process.
     rng:
-        Numpy generator (one per link; see :class:`repro.rng.RngRegistry`).
+        Numpy generator (one per link; see :class:`repro.rng.RngRegistry`)
+        or a :class:`~repro.rng.NormalBlockCache` shared with the other
+        processes consuming the same stream (how :class:`Link` builds it).
     kernel:
         ``"exponential"`` or ``"jakes"`` (see module docstring).
     rician_k:
@@ -61,19 +71,20 @@ class RayleighFading:
         "coherence_s",
         "kernel",
         "rician_k",
-        "_rng",
+        "_normals",
         "_time",
         "_x",
         "_y",
         "_los",
         "_scatter_scale",
         "_doppler_hz",
+        "_rho_cache",
     )
 
     def __init__(
         self,
         coherence_s: float,
-        rng: np.random.Generator,
+        rng: Union[np.random.Generator, NormalBlockCache],
         kernel: str = "exponential",
         rician_k: float = 0.0,
         start_time_s: float = 0.0,
@@ -87,16 +98,20 @@ class RayleighFading:
         self.coherence_s = float(coherence_s)
         self.kernel = kernel
         self.rician_k = float(rician_k)
-        self._rng = rng
+        self._normals = as_normal_cache(rng)
         self._time = float(start_time_s)
         # Scatter component scaled so total mean power is 1 with the LOS term.
         self._los = math.sqrt(rician_k / (rician_k + 1.0))
         self._scatter_scale = math.sqrt(1.0 / (rician_k + 1.0))
         # Stationary start: x, y ~ N(0, 1/2).
-        self._x = float(rng.normal(0.0, _SQRT_HALF))
-        self._y = float(rng.normal(0.0, _SQRT_HALF))
+        self._x = self._normals.normal(0.0, _SQRT_HALF)
+        self._y = self._normals.normal(0.0, _SQRT_HALF)
         # Jakes: classic coherence-time relation T_c ~= 0.423 / f_d.
         self._doppler_hz = 0.423 / self.coherence_s
+        #: Δ -> (ρ, bridge σ) memo; the sampling cadence recurs over a
+        #: tiny set of gaps, so ρ(Δ) (and the j0 call for Jakes) is paid
+        #: once per distinct gap instead of once per sample.
+        self._rho_cache: Dict[float, Tuple[float, float]] = {}
 
     # -- correlation kernels -------------------------------------------------
 
@@ -124,11 +139,17 @@ class RayleighFading:
         dt = t - self._time
         if dt <= 0.0:
             return
-        rho = self.correlation(dt)
-        sigma = math.sqrt(max(0.0, 1.0 - rho * rho)) * _SQRT_HALF
-        nx, ny = self._rng.normal(0.0, 1.0, size=2)
-        self._x = rho * self._x + sigma * float(nx)
-        self._y = rho * self._y + sigma * float(ny)
+        cached = self._rho_cache.get(dt)
+        if cached is None:
+            rho = self.correlation(dt)
+            sigma = math.sqrt(max(0.0, 1.0 - rho * rho)) * _SQRT_HALF
+            if len(self._rho_cache) < _RHO_CACHE_MAX:
+                self._rho_cache[dt] = (rho, sigma)
+        else:
+            rho, sigma = cached
+        normals = self._normals
+        self._x = rho * self._x + sigma * normals.standard_normal()
+        self._y = rho * self._y + sigma * normals.standard_normal()
         self._time = t
 
     def complex_gain(self, t: float):

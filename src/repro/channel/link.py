@@ -18,6 +18,7 @@ import numpy as np
 
 from ..config import ChannelConfig
 from ..errors import ChannelError
+from ..rng import NormalBlockCache
 from .budget import LinkBudget
 from .fading import RayleighFading
 from .shadowing import GaussMarkovShadowing
@@ -58,12 +59,17 @@ class Link:
         self.name = name
         self.distance_m = float(distance_m)
         self._mean_snr_db = float(budget.mean_snr_db(distance_m))
+        # One block-normal cache shared by both processes: they interleave
+        # draws on this link's dedicated stream, and sequential consumption
+        # through a single cache preserves that exact draw order (a cache
+        # per process would hand each its own contiguous chunk instead).
+        normals = NormalBlockCache(rng)
         self.shadowing = GaussMarkovShadowing(
-            cfg.shadowing_sigma_db, cfg.shadowing_tau_s, rng, start_time_s
+            cfg.shadowing_sigma_db, cfg.shadowing_tau_s, normals, start_time_s
         )
         self.fading = RayleighFading(
             cfg.fading_coherence_s,
-            rng,
+            normals,
             kernel=cfg.fading_kernel,
             rician_k=cfg.rician_k,
             start_time_s=start_time_s,

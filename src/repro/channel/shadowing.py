@@ -21,12 +21,17 @@ queries, not with any fixed sampling grid, and queries at arbitrary
 from __future__ import annotations
 
 import math
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
 from ..errors import ChannelError
+from ..rng import NormalBlockCache, as_normal_cache
 
 __all__ = ["GaussMarkovShadowing"]
+
+#: Same recurring-gap rationale and cap as repro.channel.fading.
+_RHO_CACHE_MAX = 4096
 
 
 class GaussMarkovShadowing:
@@ -39,18 +44,20 @@ class GaussMarkovShadowing:
     tau_s:
         Decorrelation time constant in seconds.
     rng:
-        Numpy generator (from :class:`repro.rng.RngRegistry`).
+        Numpy generator (from :class:`repro.rng.RngRegistry`) or a
+        :class:`~repro.rng.NormalBlockCache` shared with the other
+        processes consuming the same stream (how :class:`Link` builds it).
     start_time_s:
         Simulation time of the initial draw.
     """
 
-    __slots__ = ("sigma_db", "tau_s", "_rng", "_time", "_value")
+    __slots__ = ("sigma_db", "tau_s", "_normals", "_time", "_value", "_rho_cache")
 
     def __init__(
         self,
         sigma_db: float,
         tau_s: float,
-        rng: np.random.Generator,
+        rng: Union[np.random.Generator, NormalBlockCache],
         start_time_s: float = 0.0,
     ) -> None:
         if sigma_db < 0:
@@ -59,10 +66,14 @@ class GaussMarkovShadowing:
             raise ChannelError("shadowing tau must be > 0")
         self.sigma_db = float(sigma_db)
         self.tau_s = float(tau_s)
-        self._rng = rng
+        self._normals = as_normal_cache(rng)
         self._time = float(start_time_s)
+        #: Δ -> (ρ, σ·sqrt(1−ρ²)) memo over the recurring sampling gaps.
+        self._rho_cache: Dict[float, Tuple[float, float]] = {}
         # Stationary initial draw.
-        self._value = float(rng.normal(0.0, self.sigma_db)) if sigma_db > 0 else 0.0
+        self._value = (
+            self._normals.normal(0.0, self.sigma_db) if sigma_db > 0 else 0.0
+        )
 
     @property
     def last_time(self) -> float:
@@ -86,11 +97,16 @@ class GaussMarkovShadowing:
             return 0.0
         dt = t - self._time
         if dt > 0.0:
-            rho = math.exp(-dt / self.tau_s)
-            noise = self._rng.normal(0.0, 1.0)
-            self._value = rho * self._value + self.sigma_db * math.sqrt(
-                1.0 - rho * rho
-            ) * noise
+            cached = self._rho_cache.get(dt)
+            if cached is None:
+                rho = math.exp(-dt / self.tau_s)
+                scaled_sigma = self.sigma_db * math.sqrt(1.0 - rho * rho)
+                if len(self._rho_cache) < _RHO_CACHE_MAX:
+                    self._rho_cache[dt] = (rho, scaled_sigma)
+            else:
+                rho, scaled_sigma = cached
+            noise = self._normals.standard_normal()
+            self._value = rho * self._value + scaled_sigma * noise
             self._time = t
         return self._value
 

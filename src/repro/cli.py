@@ -11,6 +11,8 @@ table, or extension study shows up automatically::
     repro-caem run fig11 --store runs/fig11.jsonl      # persist raw runs
     repro-caem run fig11 --from runs/fig11.jsonl       # re-render, no sim
     repro-caem run all   --preset quick
+    repro-caem run fig8  --profile fig8.pstats         # find the hot spots
+    repro-caem bench --tier quick --fail-threshold 2.0 # perf regression gate
 
 ``--jobs N`` fans the experiment's scenario grid out over a process pool
 (tables are identical at any parallelism).  The pre-registry spelling
@@ -25,6 +27,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from .api import ResultStore, get_experiment, list_experiments
+from .api import bench as bench_mod
 from .errors import ExperimentError, ReproError
 
 __all__ = ["main", "build_parser"]
@@ -104,6 +107,47 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="re-render from a previously written store instead of simulating",
     )
+    run_p.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="run under cProfile; dump pstats data to PATH and print the "
+        "hottest functions to stderr (stdout stays byte-identical)",
+    )
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the perf-regression benchmark suite (serial)",
+    )
+    bench_p.add_argument(
+        "--tier",
+        default="full",
+        choices=("quick", "full"),
+        help="quick = kernel + 100-node macro run (CI); full adds the "
+        "figure-scale bench",
+    )
+    bench_p.add_argument(
+        "--baseline",
+        default=str(bench_mod.DEFAULT_BASELINE),
+        metavar="PATH",
+        help="committed pytest-benchmark JSON to compare against",
+    )
+    bench_p.add_argument(
+        "--json",
+        dest="trajectory",
+        default=str(bench_mod.DEFAULT_TRAJECTORY),
+        metavar="PATH",
+        help="trajectory file to append this run's entry to "
+        "('-' disables persistence)",
+    )
+    bench_p.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 if any bench is slower than X times its baseline "
+        "(e.g. 2.0 for the CI gate)",
+    )
     return parser
 
 
@@ -119,6 +163,63 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.profile:
+        return _profiled(_cmd_run_body, args)
+    return _cmd_run_body(args)
+
+
+def _profiled(body, args: argparse.Namespace) -> int:
+    """Run ``body(args)`` under cProfile; dump + summarise to stderr.
+
+    The profile summary goes to stderr so stdout remains byte-identical
+    to an unprofiled run (the store/figure diff workflows rely on that).
+    """
+    import cProfile
+    import pstats
+
+    # Fail fast on an unwritable dump path — discovering it in the
+    # finally block would waste the whole (possibly minutes-long) run
+    # and mask any exception the body itself raised.
+    try:
+        with open(args.profile, "wb"):
+            pass
+    except OSError as exc:
+        raise ExperimentError(
+            f"cannot write profile output {args.profile!r}: {exc}"
+        ) from exc
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        code = body(args)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+        sys.stderr.write(
+            f"profile data written to {args.profile} "
+            f"(inspect with: python -m pstats {args.profile})\n"
+        )
+    return code
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    trajectory = None if args.trajectory == "-" else args.trajectory
+    report = bench_mod.run_bench(
+        tier=args.tier,
+        baseline_path=args.baseline,
+        trajectory_path=trajectory,
+        fail_threshold=args.fail_threshold,
+        progress=lambda line: sys.stderr.write(line + "\n"),
+    )
+    sys.stdout.write(report.render())
+    if trajectory is not None:
+        sys.stdout.write(f"appended trajectory entry to {trajectory}\n")
+    return 0 if report.ok else 1
+
+
+def _cmd_run_body(args: argparse.Namespace) -> int:
     names = (
         _known_names() if args.experiment == "all" else [args.experiment]
     )
@@ -169,12 +270,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI body; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
     # Pre-registry compatibility: "repro-caem fig8 ..." == "run fig8 ...".
-    if argv and argv[0] not in ("run", "list", "-h", "--help"):
+    if argv and argv[0] not in ("run", "list", "bench", "-h", "--help"):
         argv.insert(0, "run")
     args = build_parser().parse_args(argv)
     try:
         if args.command == "list":
             return _cmd_list(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         return _cmd_run(args)
     except ReproError as exc:
         sys.stderr.write(f"error: {exc}\n")

@@ -15,11 +15,11 @@ via ``numpy.random.SeedSequence`` entropy spawning, so:
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Union
 
 import numpy as np
 
-__all__ = ["RngRegistry", "derive_seed"]
+__all__ = ["RngRegistry", "NormalBlockCache", "as_normal_cache", "derive_seed"]
 
 
 def derive_seed(master_seed: int, name: str) -> np.random.SeedSequence:
@@ -30,6 +30,79 @@ def derive_seed(master_seed: int, name: str) -> np.random.SeedSequence:
     """
     tag = zlib.crc32(name.encode("utf-8"))
     return np.random.SeedSequence(entropy=master_seed, spawn_key=(tag,))
+
+
+class NormalBlockCache:
+    """Standard normals drawn in blocks, served one at a time.
+
+    ``Generator.normal()`` pays the full numpy scalar-call overhead on
+    every draw — two orders of magnitude more than the ziggurat sample
+    itself.  The channel processes (fading, shadowing, CSI noise) consume
+    normals one at a time on the CSI-meter cadence, so this cache
+    pre-draws ``block_size`` standard normals with one vectorised
+    ``standard_normal`` call and serves them sequentially as plain Python
+    floats.
+
+    **Bit-reproducibility contract.** numpy generates block draws one
+    value at a time from the same bit stream as scalar draws, so the
+    sequence served here is *bit-identical* to what sequential
+    ``Generator.normal`` calls would have produced (asserted by the
+    stream-equivalence tests in ``tests/test_perf_golden.py``).  The one
+    requirement is ownership: every normal consumed from the underlying
+    generator must flow through the same cache.  That is exactly the
+    registry discipline — one dedicated stream per stochastic component —
+    so a :class:`~repro.channel.link.Link` builds a single cache and
+    shares it between its shadowing and fading processes, preserving
+    their interleaved draw order on the link's stream.
+    """
+
+    __slots__ = ("_gen", "_buf", "_idx", "block_size")
+
+    def __init__(self, gen: np.random.Generator, block_size: int = 256) -> None:
+        if block_size <= 0:
+            raise ValueError(f"block_size must be > 0, got {block_size}")
+        self._gen = gen
+        self.block_size = int(block_size)
+        self._buf: list = []
+        self._idx = 0
+
+    def standard_normal(self) -> float:
+        """The next N(0, 1) draw from the underlying stream."""
+        i = self._idx
+        buf = self._buf
+        if i >= len(buf):
+            buf = self._buf = self._gen.standard_normal(self.block_size).tolist()
+            i = 0
+        self._idx = i + 1
+        return buf[i]
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0) -> float:
+        """Scalar ``Generator.normal`` replacement (bit-identical result).
+
+        Mirrors numpy's ``loc + scale * standard_normal()`` formula so the
+        float result matches a direct generator call exactly.
+        """
+        return loc + scale * self.standard_normal()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NormalBlockCache(block_size={self.block_size}, "
+            f"buffered={len(self._buf) - self._idx})"
+        )
+
+
+def as_normal_cache(
+    rng: Union[np.random.Generator, NormalBlockCache]
+) -> NormalBlockCache:
+    """Wrap a generator in a :class:`NormalBlockCache`; pass caches through.
+
+    Lets the channel processes accept either a raw per-component stream
+    (tests, ad-hoc construction) or an explicitly shared cache (a Link's
+    shadowing + fading pair, which interleave draws on one stream).
+    """
+    if isinstance(rng, NormalBlockCache):
+        return rng
+    return NormalBlockCache(rng)
 
 
 class RngRegistry:

@@ -1,18 +1,28 @@
 """Binary-heap event queue with deterministic ordering.
 
-The queue stores :class:`ScheduledCall` handles ordered by ``(time, priority,
-seq)``.  The monotonically increasing sequence number makes simultaneous
+The heap stores plain ``(time, priority, seq, call)`` tuples so sift
+comparisons run entirely in C — tuple comparison never reaches the
+:class:`ScheduledCall` payload because the monotonically increasing
+sequence number is unique.  That same sequence number makes simultaneous
 events fire in scheduling order, which keeps runs bit-reproducible.
 
 Cancellation is O(1): handles are flagged and skipped when popped (lazy
 deletion), the standard approach for simulation heaps where cancelled
-timers are common (e.g. MAC backoff timers invalidated by a collision tone).
+timers are common (e.g. MAC backoff timers invalidated by a collision
+tone).
+
+This module is the innermost hot path of every simulation (see
+``benchmarks/bench_kernel.py``); :meth:`EventQueue.push` deliberately
+builds handles via ``__new__`` + attribute stores instead of calling the
+constructor, and the run loop in :mod:`repro.sim.simulator` reaches into
+``_heap`` directly.  Keep the ``(time, priority, seq)`` ordering contract
+and the lazy-cancellation invariants intact when touching either side.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import SchedulerError
 
@@ -71,13 +81,19 @@ class ScheduledCall:
         return f"<ScheduledCall t={self.time:.9g} {name} [{state}]>"
 
 
+#: Heap entry layout; index 3 is the handle.
+_Entry = Tuple[float, int, int, ScheduledCall]
+
+_new_call = ScheduledCall.__new__
+
+
 class EventQueue:
     """Min-heap of :class:`ScheduledCall` with lazy cancellation."""
 
     __slots__ = ("_heap", "_seq", "_live")
 
     def __init__(self) -> None:
-        self._heap: List[ScheduledCall] = []
+        self._heap: List[_Entry] = []
         self._seq = 0
         self._live = 0
 
@@ -98,36 +114,47 @@ class EventQueue:
         """Schedule ``fn(*args)`` at ``time``; returns a cancellable handle."""
         if time != time:  # NaN guard
             raise SchedulerError("cannot schedule at NaN time")
-        call = ScheduledCall(time, priority, self._seq, fn, args, self)
-        self._seq += 1
-        heapq.heappush(self._heap, call)
+        seq = self._seq
+        self._seq = seq + 1
+        call = _new_call(ScheduledCall)
+        call.time = time
+        call.priority = priority
+        call.seq = seq
+        call.fn = fn
+        call.args = args
+        call.cancelled = False
+        call._queue = self
+        heappush(self._heap, (time, priority, seq, call))
         self._live += 1
         return call
 
     def peek_time(self) -> Optional[float]:
         """Earliest live event time, or None if empty."""
-        self._drop_cancelled_head()
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heappop(heap)
+        return heap[0][0] if heap else None
 
     def pop(self) -> Optional[ScheduledCall]:
         """Remove and return the earliest live call, or None if empty."""
-        self._drop_cancelled_head()
-        if not self._heap:
-            return None
-        call = heapq.heappop(self._heap)
-        self._live -= 1
-        call._queue = None  # type: ignore[assignment]
-        return call
-
-    def _drop_cancelled_head(self) -> None:
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
+        while heap:
+            call = heappop(heap)[3]
+            if not call.cancelled:
+                self._live -= 1
+                call._queue = None  # type: ignore[assignment]
+                return call
+        return None
 
     def clear(self) -> None:
-        """Drop every scheduled call."""
-        for call in self._heap:
-            call.cancelled = True
-            call._queue = None  # type: ignore[assignment]
+        """Drop every scheduled call, releasing their callbacks eagerly.
+
+        Routed through :meth:`ScheduledCall.cancel` so cleared handles
+        also shed their ``fn``/``args`` references — a cleared queue must
+        not pin large node/packet object graphs any more than a cancelled
+        timer does.
+        """
+        for entry in self._heap:
+            entry[3].cancel()
         self._heap.clear()
         self._live = 0

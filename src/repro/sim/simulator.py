@@ -15,6 +15,7 @@ Design notes
 from __future__ import annotations
 
 import math
+from heapq import heappop
 from typing import Any, Callable, Optional
 
 from ..errors import SchedulerError, SimulationError
@@ -137,11 +138,20 @@ class Simulator:
         return Event(self, name)
 
     def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
-        """An event that succeeds ``delay`` seconds from now with ``value``."""
+        """An event that succeeds ``delay`` seconds from now with ``value``.
+
+        The target time goes through :func:`strictly_after` (parity with
+        :meth:`call_in_strict`): late in a long simulation a small positive
+        ``delay`` must not underflow the float clock into a same-instant
+        event, or a timeout-driven wait loop would freeze simulated time.
+        Consequently ``timeout(0)`` fires one float ulp after ``now``
+        (unlike :meth:`call_in` with delay 0, which fires at the current
+        instant) — a waited timeout always advances the clock.
+        """
         ev = Event(self, name or f"timeout({delay:.6g})")
         if delay < 0:
             raise SchedulerError(f"negative timeout: {delay!r}")
-        self._queue.push(self._now + delay, ev.succeed, (value,), 0)
+        self._queue.push(strictly_after(self._now, delay), ev.succeed, (value,), 0)
         return ev
 
     def any_of(self, *events: Event) -> AnyOf:
@@ -183,23 +193,66 @@ class Simulator:
             self._now = max(self._now, until)
 
     def _run_loop(self, until: Optional[float], max_events: Optional[int]) -> None:
+        """Inlined event dispatch — the innermost loop of every simulation.
+
+        One heap operation per event: the earliest live entry is inspected
+        in place and popped once, instead of the peek-then-pop double head
+        scan that :meth:`step` pays.  ``heappop``, the raw heap list, and
+        the trace decision are all bound outside the loop; the trace-off
+        fast path carries no per-event trace branch.  Events are tuples
+        ``(time, priority, seq, call)`` (see :mod:`repro.sim.scheduler`),
+        so ordering and lazy cancellation behave exactly as in
+        :meth:`step`/:meth:`EventQueue.pop`.
+        """
         if self._running:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
         self._stopped = False
         queue = self._queue
+        heap = queue._heap
+        pop = heappop
+        horizon = math.inf if until is None else until
+        # Negative = unbounded: the counter just keeps decrementing and
+        # never reaches zero.
+        remaining = -1 if max_events is None else max_events
         try:
-            remaining = max_events if max_events is not None else -1
-            while not self._stopped:
-                if remaining == 0:
-                    break
-                next_time = queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                self.step()
-                if remaining > 0:
+            if self.trace is None:
+                while remaining != 0 and not self._stopped:
+                    while heap and heap[0][3].cancelled:
+                        pop(heap)
+                    if not heap:
+                        break
+                    entry = heap[0]
+                    t = entry[0]
+                    if t > horizon:
+                        break
+                    pop(heap)
+                    call = entry[3]
+                    queue._live -= 1
+                    call._queue = None
+                    self._now = t
+                    self.events_processed += 1
+                    call.fn(*call.args)
+                    remaining -= 1
+            else:
+                trace = self.trace
+                while remaining != 0 and not self._stopped:
+                    while heap and heap[0][3].cancelled:
+                        pop(heap)
+                    if not heap:
+                        break
+                    entry = heap[0]
+                    t = entry[0]
+                    if t > horizon:
+                        break
+                    pop(heap)
+                    call = entry[3]
+                    queue._live -= 1
+                    call._queue = None
+                    self._now = t
+                    self.events_processed += 1
+                    trace.record(t, call)
+                    call.fn(*call.args)
                     remaining -= 1
         finally:
             self._running = False

@@ -1,0 +1,368 @@
+"""Bit-reproducibility guardrails for the hot-path optimizations.
+
+The allocation-free event kernel and the block-drawing channel RNG are
+only admissible because they change **zero output bytes**.  This module
+pins that contract three ways:
+
+* golden-hash regression tests: one figure table and the ext-uplink
+  experiment render to exactly the committed SHA-256 (hashes captured on
+  the pre-optimization code at the same seeds/preset);
+* stream-equivalence tests: :class:`repro.rng.NormalBlockCache` serves
+  the bit-exact per-draw sequence of scalar ``Generator.normal`` calls,
+  including across block boundaries and through the channel processes;
+* perf-harness unit tests: baseline parsing and the regression gate of
+  ``repro-caem bench``.
+
+If an intentional modelling change legitimately alters an artefact,
+recompute the hashes here in the same PR and say so in its description.
+"""
+
+import hashlib
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import get_experiment
+from repro.api.bench import BenchReport, BenchResult, load_baseline_times
+from repro.channel import Link, LinkBudget, RayleighFading
+from repro.channel.shadowing import GaussMarkovShadowing
+from repro.config import ChannelConfig
+from repro.rng import NormalBlockCache, RngRegistry, as_normal_cache
+from repro.sim import Simulator
+
+# SHA-256 of the rendered artefacts at preset="smoke", seeds=(1,),
+# loads_pps=(5.0, 15.0), captured on the pre-optimization tree (PR 2).
+GOLDEN = {
+    "fig8": "c89564452d1ed196759895e49e595bf34390c68c1e73e5f8fd79691c3b5ca626",
+    "ext-uplink": "8a1d315201fd5e2e7058c319e232248607cd84cb0d1a2c870bc403268e240dc6",
+}
+
+
+class TestGoldenArtefacts:
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_render_is_byte_identical_to_pre_optimization(self, name):
+        spec = get_experiment(name)
+        fig = spec.run(
+            preset="smoke", seeds=(1,), loads_pps=(5.0, 15.0), jobs=1
+        )
+        digest = hashlib.sha256(fig.render().encode("utf-8")).hexdigest()
+        assert digest == GOLDEN[name], (
+            f"{name} output changed — the hot-path optimizations must be "
+            f"byte-neutral (got {digest})"
+        )
+
+
+class TestNormalBlockCacheStreamEquivalence:
+    """The cache must reproduce the exact scalar-draw Generator sequence."""
+
+    def _pair(self, seed=42):
+        return (
+            np.random.Generator(np.random.PCG64(seed)),
+            NormalBlockCache(
+                np.random.Generator(np.random.PCG64(seed)), block_size=16
+            ),
+        )
+
+    def test_standard_normal_sequence_bit_identical(self):
+        gen, cache = self._pair()
+        # 100 draws cross the 16-wide block boundary six times.
+        ours = [cache.standard_normal() for _ in range(100)]
+        theirs = [float(gen.normal(0.0, 1.0)) for _ in range(100)]
+        assert ours == theirs
+
+    def test_scaled_normal_sequence_bit_identical(self):
+        gen, cache = self._pair(7)
+        sigma = math.sqrt(0.5)
+        ours = [cache.normal(0.0, sigma) for _ in range(64)]
+        theirs = [float(gen.normal(0.0, sigma)) for _ in range(64)]
+        assert ours == theirs
+
+    def test_block_size_does_not_change_the_stream(self):
+        seeds = np.random.PCG64(3), np.random.PCG64(3)
+        small = NormalBlockCache(np.random.Generator(seeds[0]), block_size=2)
+        large = NormalBlockCache(np.random.Generator(seeds[1]), block_size=512)
+        assert [small.standard_normal() for _ in range(50)] == [
+            large.standard_normal() for _ in range(50)
+        ]
+
+    def test_as_normal_cache_passes_caches_through(self):
+        cache = NormalBlockCache(np.random.default_rng(0))
+        assert as_normal_cache(cache) is cache
+        assert isinstance(
+            as_normal_cache(np.random.default_rng(0)), NormalBlockCache
+        )
+
+    def test_rejects_nonpositive_block(self):
+        with pytest.raises(ValueError):
+            NormalBlockCache(np.random.default_rng(0), block_size=0)
+
+    def test_fading_process_equals_manual_recurrence(self):
+        """RayleighFading through the cache == the AR(1) bridge computed
+        by hand from the same raw generator stream."""
+        fading = RayleighFading(
+            0.1, np.random.Generator(np.random.PCG64(11))
+        )
+        gen = np.random.Generator(np.random.PCG64(11))
+        s = math.sqrt(0.5)
+        x = 0.0 + s * float(gen.normal(0.0, 1.0))
+        y = 0.0 + s * float(gen.normal(0.0, 1.0))
+        t = 0.0
+        for step in (0.01, 0.01, 0.05, 0.01):  # repeated gaps hit the memo
+            t += step
+            rho = math.exp(-step / 0.1)
+            sigma = math.sqrt(max(0.0, 1.0 - rho * rho)) * s
+            x = rho * x + sigma * float(gen.normal(0.0, 1.0))
+            y = rho * y + sigma * float(gen.normal(0.0, 1.0))
+            assert fading.power_gain(t) == x * x + y * y
+
+    def test_shadowing_process_equals_manual_recurrence(self):
+        shadow = GaussMarkovShadowing(
+            4.0, 3.0, np.random.Generator(np.random.PCG64(13))
+        )
+        gen = np.random.Generator(np.random.PCG64(13))
+        value = 0.0 + 4.0 * float(gen.normal(0.0, 1.0))
+        t = 0.0
+        for step in (0.5, 0.5, 2.0, 0.5):
+            t += step
+            rho = math.exp(-step / 3.0)
+            value = rho * value + (4.0 * math.sqrt(1.0 - rho * rho)) * float(
+                gen.normal(0.0, 1.0)
+            )
+            assert shadow.value_db(t) == value
+
+    def test_link_shares_one_cache_across_processes(self):
+        """Shadowing and fading interleave draws on the link's dedicated
+        stream; the shared cache must preserve that exact order."""
+        cfg = ChannelConfig()
+        budget = LinkBudget.from_config(cfg)
+        link = Link(35.0, budget, cfg, RngRegistry(5).stream("link"))
+        gen = RngRegistry(5).stream("link")
+        # Construction order: shadowing init (1 draw), fading init (2).
+        shadow = 0.0 + cfg.shadowing_sigma_db * float(gen.normal(0.0, 1.0))
+        s = math.sqrt(0.5)
+        x = 0.0 + s * float(gen.normal(0.0, 1.0))
+        y = 0.0 + s * float(gen.normal(0.0, 1.0))
+        mean = float(budget.mean_snr_db(35.0))
+        t = 0.0
+        for step in (0.05, 0.05, 0.2):
+            t += step
+            # Per snr_db query: shadowing draws first, then fading x/y.
+            rho_s = math.exp(-step / cfg.shadowing_tau_s)
+            shadow = rho_s * shadow + (
+                cfg.shadowing_sigma_db * math.sqrt(1.0 - rho_s * rho_s)
+            ) * float(gen.normal(0.0, 1.0))
+            rho_f = math.exp(-step / cfg.fading_coherence_s)
+            sig_f = math.sqrt(max(0.0, 1.0 - rho_f * rho_f)) * s
+            x = rho_f * x + sig_f * float(gen.normal(0.0, 1.0))
+            y = rho_f * y + sig_f * float(gen.normal(0.0, 1.0))
+            gain_db = 10.0 * math.log10(x * x + y * y)
+            assert link.snr_db(t) == mean + shadow + gain_db
+
+    def test_same_seed_links_remain_identical(self):
+        cfg = ChannelConfig()
+        budget = LinkBudget.from_config(cfg)
+        a = Link(35.0, budget, cfg, RngRegistry(9).stream("l"))
+        b = Link(35.0, budget, cfg, RngRegistry(9).stream("l"))
+        times = [0.03 * i for i in range(1, 40)]
+        assert [a.snr_db(t) for t in times] == [b.snr_db(t) for t in times]
+
+
+class TestKernelSatellites:
+    def test_clear_releases_callback_references(self):
+        """A cleared queue must not pin node/packet object graphs."""
+        sim = Simulator()
+        payload = object()
+        handle = sim.call_in(1.0, lambda p: None, payload)
+        sim.reset()  # reset() goes through EventQueue.clear()
+        assert handle.cancelled
+        assert handle.fn is None
+        assert handle.args == ()
+
+    def test_clear_skips_already_cancelled_handles(self):
+        from repro.sim import EventQueue
+
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        h.cancel()
+        q.push(2.0, lambda: None)
+        q.clear()
+        assert len(q) == 0 and q.pop() is None
+
+    def test_timeout_advances_clock_at_large_times(self):
+        """timeout() goes through strictly_after: a sub-resolution delay
+        late in a long run must still fire strictly after now."""
+        sim = Simulator(start_time=4e15)  # eps(4e15) ~ 0.5 s
+        fired = []
+        ev = sim.timeout(0.05, value="late")  # 0.05 < eps: would underflow
+        ev.add_callback(lambda e: fired.append(sim.now))
+        sim.run(max_events=10)
+        assert fired and fired[0] > 4e15
+
+    def test_timeout_ordinary_delay_unchanged(self):
+        sim = Simulator()
+        fired = []
+        sim.timeout(2.5, value="v").add_callback(
+            lambda e: fired.append((sim.now, e.value))
+        )
+        sim.run()
+        assert fired == [(2.5, "v")]
+
+    def test_cancel_after_pop_keeps_live_count_consistent(self):
+        from repro.sim import EventQueue
+
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.pop() is h
+        h.cancel()  # cancelling a popped handle must not double-decrement
+        assert len(q) == 1
+
+    def test_events_processed_updates_during_run(self):
+        """The counter must advance per event (it is a live progress
+        metric), and a mid-run reset() must not be overwritten at exit."""
+        sim = Simulator()
+        seen = []
+        sim.call_in(1.0, lambda: seen.append(sim.events_processed))
+        sim.call_in(2.0, lambda: seen.append(sim.events_processed))
+        sim.call_in(3.0, sim.reset)
+        sim.run()
+        assert seen == [1, 2]
+        assert sim.events_processed == 0  # reset() ran last and sticks
+
+    def test_trace_on_and_off_paths_agree(self):
+        """The branch-free trace-off loop and the tracing loop must
+        execute the same events in the same order."""
+        from repro.sim import Tracer
+
+        def drive(trace):
+            sim = Simulator()
+            sim.trace = trace
+            out = []
+            sim.call_in(1.0, lambda: out.append("a"))
+            sim.call_in(1.0, lambda: out.append("b"))
+            h = sim.call_in(1.5, lambda: out.append("x"))
+            h.cancel()
+            sim.call_in(2.0, lambda: out.append("c"))
+            sim.run()
+            return out, sim.events_processed
+
+        tracer = Tracer(keep_kernel_events=True)
+        assert drive(None) == drive(tracer)
+        assert [r.time for r in tracer.records] == [1.0, 1.0, 2.0]
+
+
+class TestBenchHarness:
+    def test_load_baseline_times_reads_pytest_benchmark_json(self, tmp_path):
+        doc = {
+            "benchmarks": [
+                {"name": "test_kernel_event_throughput", "stats": {"min": 0.01}},
+                {"name": "test_network_100_node_quick_run", "stats": {"min": 0.6}},
+                {"name": "unrelated", "stats": {"min": 1.0}},
+            ]
+        }
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(doc))
+        times = load_baseline_times(path)
+        assert times == {
+            "kernel/event-throughput": 0.01,
+            "network/quick-run-100": 0.6,
+        }
+
+    def test_load_baseline_times_missing_file_is_empty(self, tmp_path):
+        assert load_baseline_times(tmp_path / "nope.json") == {}
+
+    def test_load_baseline_times_corrupt_file_is_an_error(self, tmp_path):
+        from repro.errors import ReproError
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"benchmarks": [{"name": "x", "stats": {}}]}')
+        with pytest.raises(ReproError, match="not pytest-benchmark"):
+            load_baseline_times(bad)
+
+    def test_gate_refuses_partial_baseline(self, tmp_path):
+        """A baseline matching only some gated benches must error: a
+        renamed test would otherwise silently leave the CI gate."""
+        from repro.api.bench import run_bench
+        from repro.errors import ReproError
+
+        partial = tmp_path / "partial.json"
+        partial.write_text(
+            json.dumps(
+                {
+                    "benchmarks": [
+                        {
+                            "name": "test_kernel_event_throughput",
+                            "stats": {"min": 0.01},
+                        }
+                    ]
+                }
+            )
+        )
+        with pytest.raises(ReproError, match="push-pop-cancel-churn"):
+            run_bench(
+                tier="quick",
+                baseline_path=partial,
+                trajectory_path=None,
+                fail_threshold=2.0,
+            )
+
+    def test_regression_gate(self):
+        report = BenchReport(
+            tier="quick",
+            results=[
+                BenchResult("a", seconds=0.5, rounds=1, baseline_s=1.0),
+                BenchResult("b", seconds=2.5, rounds=1, baseline_s=1.0),
+                BenchResult("c", seconds=9.9, rounds=1, baseline_s=None),
+            ],
+            fail_threshold=2.0,
+        )
+        assert not report.ok
+        assert [r.name for r in report.regressions] == ["b"]
+        rendered = report.render()
+        assert "FAIL" in rendered and "b" in rendered
+
+    def test_gate_passes_within_threshold(self):
+        report = BenchReport(
+            tier="quick",
+            results=[BenchResult("a", 1.5, 1, baseline_s=1.0)],
+            fail_threshold=2.0,
+        )
+        assert report.ok and "OK" in report.render()
+
+    def test_speedup_property(self):
+        assert BenchResult("a", 0.5, 1, baseline_s=1.0).speedup == 2.0
+        assert BenchResult("a", 0.5, 1).speedup is None
+
+    def test_gate_refuses_to_run_without_baseline(self, tmp_path):
+        """--fail-threshold with a missing/mismatched baseline must error,
+        not pass vacuously (the CI gate would otherwise be silently green)."""
+        from repro.api.bench import run_bench
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="no baseline entries"):
+            run_bench(
+                tier="quick",
+                baseline_path=tmp_path / "missing.json",
+                trajectory_path=None,
+                fail_threshold=2.0,
+            )
+
+    def test_cli_parser_accepts_bench(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["bench", "--tier", "quick", "--fail-threshold", "2.0"]
+        )
+        assert args.command == "bench"
+        assert args.tier == "quick"
+        assert args.fail_threshold == 2.0
+
+    def test_cli_run_accepts_profile(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "table1", "--profile", "out.pstats"]
+        )
+        assert args.profile == "out.pstats"
