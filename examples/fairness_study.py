@@ -10,7 +10,6 @@ growing queue buy a lower gate.
 Run:  python examples/fairness_study.py
 """
 
-import numpy as np
 
 from repro import NetworkConfig, Protocol, SensorNetwork
 from repro.metrics import jain_index, queue_length_std

@@ -87,12 +87,22 @@ def simulate(
         queue_series = TimeSeriesCollector(
             net.sim, opts.sample_interval_s, net.queue_lengths, "queues"
         )
+    up_series = None
+    if cfg.dynamics.enabled:
+        # Churn-aware companion to the alive series: alive counts track
+        # battery deaths (the paper's series), up counts subtract nodes
+        # transiently down at the sample instant.
+        up_series = TimeSeriesCollector(
+            net.sim, opts.sample_interval_s, lambda: net.up_count, "up"
+        )
 
     net.start()
     energy_series.start()
     alive_series.start()
     if queue_series is not None:
         queue_series.start()
+    if up_series is not None:
+        up_series.start()
 
     # Advance in sampler-sized chunks so the death rule is checked often.
     t = 0.0
@@ -108,6 +118,8 @@ def simulate(
     result.alive_counts = [int(v) for v in alive_series.values]
     if queue_series is not None:
         result.queue_snapshots = [list(v) for v in queue_series.values]
+    if up_series is not None:
+        result.up_counts = [int(v) for v in up_series.values]
 
     deaths = [n.death_time_s for n in net.nodes]
     result.death_times_s = deaths
@@ -152,5 +164,35 @@ def simulate(
         result.energy_breakdown.get("uplink_tx", 0.0)
         + result.energy_breakdown.get("uplink_rx", 0.0)
     )
+    # Dynamics.  Counters are identically zero while the block is off;
+    # the two churn-aware derived metrics below are always computed and
+    # equal their static counterparts on a churn-free run.
+    result.churn_failures = net.stats.churn_failures
+    result.churn_recoveries = net.stats.churn_recoveries
+    result.regime_shifts = net.stats.regime_shifts
+    result.orphaned = net.stats.orphaned
+    result.first_failure_s = net.stats.first_failure_s
+    result.lifetime_effective_s = result.lifetime_s
+    offered = result.generated - result.orphaned
+    if offered > 0:
+        result.delivery_rate_offered = net.stats.total_delivered / offered
+    if cfg.dynamics.enabled:
+        # A node down at the end (failed, never recovered) is dead for
+        # the churn-aware lifetime, from its last failure onward.
+        effective_deaths = [
+            n.death_time_s
+            if n.death_time_s is not None
+            else (n.last_failure_s if n.failed else None)
+            for n in net.nodes
+        ]
+        result.lifetime_effective_s = network_lifetime_s(
+            effective_deaths, cfg.n_nodes, cfg.dead_fraction
+        )
+        bysrc = net.stats.delivered_bits_by_source
+        if bysrc and elapsed > 0:
+            survivor_bits = sum(
+                bits for nid, bits in bysrc.items() if net.nodes[nid].is_up
+            )
+            result.survivor_throughput_bps = survivor_bits / elapsed
     result.wall_time_s = time.perf_counter() - wall_start
     return result

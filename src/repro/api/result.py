@@ -98,6 +98,36 @@ class RunResult:
     mean_hop_count: float = 0.0
     #: Energy ledgered to the long-haul hops (uplink_tx + uplink_rx), J.
     uplink_energy_j: float = 0.0
+    # Dynamics.  The counters and series below are identically
+    # zero/None/empty while the dynamics block is off;
+    # ``lifetime_effective_s`` and ``delivery_rate_offered`` are always
+    # computed and *collapse to* ``lifetime_s`` / ``delivery_rate`` on a
+    # churn-free run — filter dynamics runs by ``churn_failures`` or
+    # ``up_counts``, not by these two.
+    #: Operational-node counts sampled alongside ``alive_counts`` (an
+    #: "up" node has battery left *and* is not churn-failed); collected
+    #: only when dynamics are enabled.
+    up_counts: List[int] = field(default_factory=list)
+    #: Applied churn failures / recoveries and regime shifts.
+    churn_failures: int = 0
+    churn_recoveries: int = 0
+    regime_shifts: int = 0
+    #: Packets lost with the volatile memory of churn-failed nodes.
+    orphaned: int = 0
+    #: Time of the first applied churn failure (None: no churn).
+    first_failure_s: Optional[float] = None
+    #: Churn-aware lifetime: like ``lifetime_s`` but a node that was down
+    #: at the end of the run (failed, never recovered) counts as dead at
+    #: its last failure time.  Equal to ``lifetime_s`` without churn.
+    lifetime_effective_s: Optional[float] = None
+    #: Churn-aware delivery: ``total_delivered / (generated - orphaned)``
+    #: — the denominator excludes packets that died *with their node*
+    #: and were never the protocol's to deliver.  Equal to
+    #: ``delivery_rate`` when nothing was orphaned.
+    delivery_rate_offered: Optional[float] = None
+    #: Delivered payload bits/s credited to nodes still up at the end of
+    #: the run — what the surviving network actually sustained.
+    survivor_throughput_bps: float = 0.0
     #: End-to-end delivery: ``total_delivered / generated`` (radio + local
     #: — see the class docstring's "Delivery accounting").
     delivery_rate: Optional[float] = None

@@ -31,7 +31,7 @@ __all__ = ["Scenario"]
 #: NetworkConfig sub-config sections addressable via :meth:`Scenario.with_sub`.
 _SECTIONS = (
     "channel", "phy", "energy", "tone", "mac", "leach", "traffic", "policy",
-    "routing",
+    "routing", "dynamics",
 )
 
 
@@ -96,6 +96,12 @@ class Scenario:
     def with_protocol(self, protocol: Protocol) -> "Scenario":
         """Run a different protocol on an otherwise identical scenario."""
         return self.with_(protocol=protocol)
+
+    def with_dynamics(self, **changes: Any) -> "Scenario":
+        """Inject network dynamics (``failure_rate_hz``,
+        ``battery_jitter``, ``regime_mean_interval_s``, ...); see
+        :class:`~repro.config.DynamicsConfig`."""
+        return self.with_sub("dynamics", **changes)
 
     def with_seed(self, seed: int) -> "Scenario":
         """Re-seed the master RNG (every stream derives from this)."""

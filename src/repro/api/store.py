@@ -36,7 +36,7 @@ _SCALAR_FIELDS = [
     f.name
     for f in dataclasses.fields(RunResult)
     if f.name not in (
-        "sample_times_s", "mean_energy_j", "alive_counts",
+        "sample_times_s", "mean_energy_j", "alive_counts", "up_counts",
         "queue_snapshots", "death_times_s", "energy_breakdown",
     )
 ]

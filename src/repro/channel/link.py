@@ -80,6 +80,18 @@ class Link:
         """Distance-only (local average) SNR in dB."""
         return self._mean_snr_db
 
+    def shift_mean_snr_db(self, delta_db: float) -> None:
+        """Shift the link's mean attenuation by ``delta_db`` mid-run.
+
+        A shadowing *regime shift* (:mod:`repro.dynamics`): the local
+        environment changed — an obstacle moved, a weather front passed —
+        so the mean around which shadowing and fading fluctuate is
+        re-drawn.  Subsequent :meth:`snr_db` queries see the new mean
+        immediately; the stochastic processes (and their RNG streams) are
+        untouched, so the shift is deterministic given the timeline.
+        """
+        self._mean_snr_db += delta_db
+
     def snr_db(self, t: float) -> float:
         """Instantaneous SNR in dB at simulation time ``t``.
 

@@ -1,0 +1,16 @@
+"""``repro.dynamics`` — scripted and stochastic network adversity.
+
+The paper evaluates CAEM on a *static* network; this subsystem stresses
+the protocols with the conditions channel-adaptive energy management
+claims to survive: node churn (failure + recovery), heterogeneous
+initial batteries, mid-run shadowing regime shifts, and bursty traffic.
+
+Everything is driven by :class:`EventTimeline`, a deterministic seeded
+injector owned by :class:`repro.network.SensorNetwork`; configuration
+lives in :class:`repro.config.DynamicsConfig` (default: everything off,
+bit-identical to the static network).
+"""
+
+from .timeline import EventTimeline
+
+__all__ = ["EventTimeline"]

@@ -1,0 +1,172 @@
+"""Deterministic, seeded injection of network dynamics into a live run.
+
+:class:`EventTimeline` turns a :class:`~repro.config.DynamicsConfig`
+into simulation events: scripted kill/heal lists are scheduled verbatim
+at start, and the stochastic mechanisms (per-node Poisson churn,
+shadowing regime shifts) run as self-re-arming event chains.
+
+Determinism discipline
+----------------------
+Every stochastic mechanism owns a dedicated named stream from the run's
+:class:`~repro.rng.RngRegistry` (``dynamics/churn/<node>``,
+``dynamics/regime``), and each chain consumes its stream in a fixed
+order that does **not** depend on simulation state: a node's churn chain
+draws (failure gap, downtime) pairs unconditionally, even when the
+node is already battery-dead and the injection is a no-op.  Two runs
+with the same seed therefore produce the same timeline regardless of
+what the network does with it, and no ``dynamics/*`` draw ever perturbs
+the static simulation's streams.
+
+The timeline *injects*; the network *applies*.  Hooks (``fail``,
+``recover``, ``regime_shift``) are provided by
+:class:`~repro.network.SensorNetwork`, which owns the actual node and
+link state transitions and the churn accounting in
+:class:`~repro.network.stats.NetworkStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..config import DynamicsConfig
+from ..errors import ConfigError
+from ..rng import RngRegistry
+from ..sim import Simulator
+
+__all__ = ["EventTimeline"]
+
+
+class EventTimeline:
+    """Schedules one run's dynamics events (see module docstring).
+
+    Parameters
+    ----------
+    sim:
+        The run's simulator (events land on its clock).
+    cfg:
+        The dynamics block; an all-default block schedules nothing.
+    rngs:
+        The run's registry; the timeline draws only ``dynamics/*``
+        streams from it.
+    n_nodes:
+        Node count, for validating scripted ids and sizing the churn
+        chains.
+    fail / recover:
+        ``fn(node_id) -> None`` hooks; must be idempotent no-ops when
+        the transition does not apply (node already down, battery dead).
+    regime_shift:
+        ``fn(offset_db) -> None`` hook applying a newly drawn
+        network-wide mean attenuation offset.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: DynamicsConfig,
+        rngs: RngRegistry,
+        n_nodes: int,
+        fail: Callable[[int], None],
+        recover: Callable[[int], None],
+        regime_shift: Callable[[float], None],
+    ) -> None:
+        for label, events in (
+            ("scripted_failures", cfg.scripted_failures),
+            ("scripted_recoveries", cfg.scripted_recoveries),
+        ):
+            for _t, node in events:
+                if not 0 <= node < n_nodes:
+                    raise ConfigError(
+                        f"{label} names node {node}, but the network has "
+                        f"{n_nodes} nodes (valid ids: 0..{n_nodes - 1})"
+                    )
+        self.sim = sim
+        self.cfg = cfg
+        self.n_nodes = n_nodes
+        self._fail = fail
+        self._recover = recover
+        self._regime_shift = regime_shift
+        self._rngs = rngs
+        self._started = False
+        #: Nodes killed by the scripted list and not yet scripted back.
+        #: Scripted kills outrank the stochastic chain: a pending
+        #: stochastic repair must not silently revive a node the
+        #: kill-list says is down (the chain's draws continue untouched,
+        #: so determinism is unaffected).
+        self._scripted_down: set = set()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the scripted lists and arm the stochastic chains."""
+        if self._started:
+            return
+        self._started = True
+        for t, node in self.cfg.scripted_failures:
+            self.sim.call_at(t, self._scripted_fail, node)
+        for t, node in self.cfg.scripted_recoveries:
+            self.sim.call_at(t, self._scripted_recover, node)
+        if self.cfg.failure_rate_hz > 0:
+            for node in range(self.n_nodes):
+                self._arm_failure(node, self._churn_stream(node))
+        if self.cfg.regime_mean_interval_s > 0 and self.cfg.regime_sigma_db > 0:
+            self._arm_regime(self._rngs.stream("dynamics/regime"))
+
+    # -- scripted churn --------------------------------------------------------
+
+    def _scripted_fail(self, node: int) -> None:
+        self._scripted_down.add(node)
+        self._fail(node)
+
+    def _scripted_recover(self, node: int) -> None:
+        self._scripted_down.discard(node)
+        self._recover(node)
+
+    # -- stochastic churn ------------------------------------------------------
+
+    def _churn_stream(self, node: int) -> np.random.Generator:
+        return self._rngs.stream(f"dynamics/churn/{node}")
+
+    def _arm_failure(self, node: int, rng: np.random.Generator) -> None:
+        gap = float(rng.exponential(1.0 / self.cfg.failure_rate_hz))
+        self.sim.call_in_strict(gap, self._stochastic_fail, node, rng)
+
+    def _stochastic_fail(self, node: int, rng: np.random.Generator) -> None:
+        # Draw the downtime *before* applying the failure so the stream
+        # consumption order never depends on what the hook does.
+        downtime = (
+            float(rng.exponential(self.cfg.mean_downtime_s))
+            if self.cfg.mean_downtime_s > 0
+            else None
+        )
+        self._fail(node)
+        if downtime is None:
+            return  # permanent: the chain ends here
+        self.sim.call_in_strict(downtime, self._stochastic_recover, node, rng)
+
+    def _stochastic_recover(self, node: int, rng: np.random.Generator) -> None:
+        # A scripted kill outranks the stochastic repair chain.
+        if node not in self._scripted_down:
+            self._recover(node)
+        self._arm_failure(node, rng)
+
+    # -- regime shifts ---------------------------------------------------------
+
+    def _arm_regime(self, rng: np.random.Generator) -> None:
+        gap = float(rng.exponential(self.cfg.regime_mean_interval_s))
+        self.sim.call_in_strict(gap, self._regime_tick, rng)
+
+    def _regime_tick(self, rng: np.random.Generator) -> None:
+        offset_db = float(rng.normal(0.0, self.cfg.regime_sigma_db))
+        self._regime_shift(offset_db)
+        self._arm_regime(rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EventTimeline(n={self.n_nodes}, "
+            f"churn={self.cfg.failure_rate_hz:g}/s, "
+            f"scripted={len(self.cfg.scripted_failures)}"
+            f"+{len(self.cfg.scripted_recoveries)}, "
+            f"regime={self.cfg.regime_mean_interval_s:g}s)"
+        )

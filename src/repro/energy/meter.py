@@ -14,7 +14,7 @@ tick events are needed.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from ..errors import EnergyError
 from ..sim import Simulator

@@ -27,6 +27,7 @@ from .presets import PRESETS, Preset, get_preset, preset_config
 from .report import render_table, write_csv
 from .runner import RunResult, run_scenario
 from .sweep import SweepPoint, SweepResult, sweep
+from .dynamics import ext_dynamics
 from .tables import table1_tone_spec, table2_parameters
 from .uplink import ext_uplink
 
@@ -53,4 +54,5 @@ __all__ = [
     "table1_tone_spec",
     "table2_parameters",
     "ext_uplink",
+    "ext_dynamics",
 ]

@@ -25,7 +25,7 @@ ledger arbitrates overlap.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -331,8 +331,23 @@ class CaemSensorMac:
             packets, mode, self.phy_cfg.packet_length_bits,
             self.phy_cfg.burst_overhead_bits,
         )
+        # The next two calls can tear this MAC down reentrantly, before
+        # _record exists for detach() to abort: entering TX may settle a
+        # draw that empties our own battery, and begin() wakes the head's
+        # receiver, whose draw may empty *its* battery — either death
+        # cascade detaches us mid-call, so re-check and unwind by hand
+        # (same discipline as UplinkRelay._start_burst).
+        ctx = self._ctx
         self.data_radio.start_tx()
-        self._record = self._ctx.channel.begin(self.node_id, plan.airtime_s)
+        if self._ctx is not ctx:
+            self.buffer.requeue_front(packets)
+            return
+        record = ctx.channel.begin(self.node_id, plan.airtime_s)
+        if self._ctx is not ctx:
+            ctx.channel.abort(record)
+            self.buffer.requeue_front(packets)
+            return
+        self._record = record
         self._record.meta = plan
         self._plan = plan
         # Paper assumption 3: the gain is stationary over the transmission,

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Protocol as TypingProtocol
+from typing import List, Optional, Protocol as TypingProtocol
 
 from ..config import ToneConfig
 from ..energy.meter import EnergyMeter

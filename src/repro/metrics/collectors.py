@@ -9,7 +9,7 @@ during the observed time [and] average them").
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 import numpy as np
 

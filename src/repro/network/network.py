@@ -24,6 +24,15 @@ channel), and a per-round :class:`~repro.routing.uplink.UplinkRelay` per
 head wired along the :func:`~repro.routing.policies.plan_routes` next-hop
 table.  The default ``"local"`` mode builds none of this and reproduces
 the paper's head-is-the-sink terminus bit-for-bit.
+
+With dynamics enabled (any :class:`~repro.config.DynamicsConfig` knob
+non-zero) the network also owns a :class:`repro.dynamics.EventTimeline`
+that injects adversity mid-run: churn failures reuse the head-death
+machinery (members detach, relays strand their cargo, the failed node's
+queue is orphaned), recoveries re-enter at the next LEACH round, and
+shadowing regime shifts move every active link's mean SNR at once.  The
+all-default block builds none of this and stays byte-identical to the
+static network.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from ..channel import Link, LinkBudget
 from ..channel.medium import DataChannel
 from ..cluster import LeachElection, Topology
 from ..config import NetworkConfig
+from ..dynamics import EventTimeline
 from ..energy import RadioEnergyModel
 from ..errors import SimulationError
 from ..mac import ClusterContext, ToneChannelSpec
@@ -56,7 +66,7 @@ class SensorNetwork:
         self.sim = Simulator()
         self.tracer = tracer
         self.rngs = RngRegistry(cfg.seed)
-        self.stats = NetworkStats()
+        self.stats = NetworkStats(track_sources=cfg.dynamics.enabled)
 
         # Shared substrate.
         self.abicm = AbicmTable.from_config(cfg.phy)
@@ -90,6 +100,28 @@ class SensorNetwork:
             )
             self.uplink_channel = DataChannel(self.sim, name="uplink")
 
+        # Dynamics (repro.dynamics): per-node construction overrides are
+        # drawn up-front from dedicated streams, in node-id order, so
+        # they are deterministic and never touch the static streams.
+        # With dynamics disabled nothing is drawn and every override is
+        # None — construction is bit-identical to the static network.
+        energy_overrides: List[Optional[float]] = [None] * cfg.n_nodes
+        source_overrides: List[Optional[str]] = [None] * cfg.n_nodes
+        if cfg.dynamics.enabled:
+            if cfg.dynamics.battery_jitter > 0:
+                j = cfg.dynamics.battery_jitter
+                factors = self.rngs.stream("dynamics/battery").uniform(
+                    1.0 - j, 1.0 + j, cfg.n_nodes
+                )
+                base_j = cfg.energy.initial_energy_j
+                energy_overrides = [base_j * float(f) for f in factors]
+            if cfg.dynamics.bursty_fraction > 0:
+                picks = self.rngs.stream("dynamics/traffic").random(cfg.n_nodes)
+                source_overrides = [
+                    "onoff" if float(u) < cfg.dynamics.bursty_fraction else None
+                    for u in picks
+                ]
+
         # Nodes.
         self.nodes: List[SensorNode] = [
             SensorNode(
@@ -103,9 +135,26 @@ class SensorNetwork:
                 on_death=self._on_node_death,
                 on_head_ingress=self._on_head_ingress,
                 tracer=tracer,
+                initial_energy_j=energy_overrides[i],
+                source_model=source_overrides[i],
             )
             for i in range(cfg.n_nodes)
         ]
+
+        #: Current network-wide shadowing regime offset, dB (dynamics).
+        self._regime_offset_db = 0.0
+        #: The dynamics injector (None while every mechanism is off).
+        self.timeline: Optional[EventTimeline] = None
+        if cfg.dynamics.enabled:
+            self.timeline = EventTimeline(
+                self.sim,
+                cfg.dynamics,
+                self.rngs,
+                cfg.n_nodes,
+                fail=self._fail_node,
+                recover=self._recover_node,
+                regime_shift=self._apply_regime_shift,
+            )
 
         self.round_index = 0
         #: head id -> list of member nodes (current round).
@@ -127,6 +176,8 @@ class SensorNetwork:
         self._started = True
         for node in self.nodes:
             node.start()
+        if self.timeline is not None:
+            self.timeline.start()
         self._start_round()
         self._settle_handle = self.sim.call_in_strict(
             self.settle_interval_s, self._settle_tick
@@ -142,7 +193,10 @@ class SensorNetwork:
 
     def _start_round(self) -> None:
         self._teardown_round()
-        alive = [n for n in self.nodes if n.alive]
+        # Only operational nodes cluster: battery-dead nodes are gone for
+        # good, churn-failed nodes sit this round out (is_up == alive
+        # while dynamics are disabled).
+        alive = [n for n in self.nodes if n.is_up]
         if alive:
             self._form_clusters(alive)
             self.round_index += 1
@@ -164,7 +218,7 @@ class SensorNetwork:
             if not leftovers:
                 continue
             node = self.nodes[head_id]
-            if node.alive:
+            if node.is_up:
                 for packet, _hops in leftovers:
                     node.buffer.offer(packet)  # overflow drops are counted
             else:
@@ -212,6 +266,9 @@ class SensorNetwork:
                 name=f"{node.id}->{head_id}",
                 start_time_s=self.sim.now,
             )
+            if self._regime_offset_db != 0.0:
+                # Links born under a shifted regime start in it.
+                link.shift_mean_snr_db(self._regime_offset_db)
             node.mac.attach(contexts[head_id], link)
             self._members_of[head_id].append(node)
 
@@ -251,6 +308,8 @@ class SensorNetwork:
                 name=f"uplink {head_id}->{far_end}",
                 start_time_s=self.sim.now,
             )
+            if self._regime_offset_db != 0.0:
+                link.shift_mean_snr_db(self._regime_offset_db)
             self._relays[head_id].wire(
                 link,
                 None if next_id is None else self._relays[next_id],
@@ -293,13 +352,21 @@ class SensorNetwork:
             return
         relay.offer([(p, 0) for p in packets])
 
-    # -- death handling -----------------------------------------------------------------
+    # -- death / churn handling ---------------------------------------------------------
 
     def _on_node_death(self, node: SensorNode) -> None:
         if self.tracer is not None:
             self.tracer.annotate(self.sim.now, "node.death", node=node.id)
-        # A dying head's relay strands whatever it was carrying: those
-        # packets are counted exactly once, as uplink_stranded.
+        self._release_cluster_resources(node, reason="head death")
+
+    def _release_cluster_resources(self, node: SensorNode, reason: str) -> None:
+        """Unwind whatever cluster machinery a node going dark was running.
+
+        Shared by battery death and churn failure: a downed head's relay
+        strands whatever it was carrying (counted exactly once, as
+        uplink_stranded) and its members are detached until the next
+        round (§III-B).
+        """
         relay = self._relays.pop(node.id, None)
         if relay is not None:
             leftovers = relay.stop()
@@ -308,15 +375,65 @@ class SensorNetwork:
                 if self.tracer is not None:
                     self.tracer.annotate(
                         self.sim.now, "uplink.dropped",
-                        head=node.id, reason="head death",
+                        head=node.id, reason=reason,
                         uids=[p.uid for p, _ in leftovers],
                     )
-        # A dying head strands its cluster until the next round (§III-B).
         members = self._members_of.pop(node.id, None)
         if members:
             for member in members:
                 if member.mac.is_attached:
                     member.mac.detach()
+
+    # -- dynamics hooks (driven by the EventTimeline) -----------------------------------
+
+    def _fail_node(self, node_id: int) -> None:
+        """Apply a churn failure (no-op on already-down nodes)."""
+        node = self.nodes[node_id]
+        if not node.is_up:
+            return
+        was_head = node.role is NodeRole.HEAD
+        orphans = node.fail()
+        self.stats.on_churn_failure(node_id, len(orphans), self.sim.now)
+        if self.tracer is not None:
+            self.tracer.annotate(
+                self.sim.now, "node.fail",
+                node=node_id, was_head=was_head,
+                uids=[p.uid for p in orphans],
+            )
+        if was_head:
+            self._release_cluster_resources(node, reason="head churn failure")
+
+    def _recover_node(self, node_id: int) -> None:
+        """Apply a churn recovery (no-op unless the node is down-but-charged)."""
+        node = self.nodes[node_id]
+        if not node.recover():
+            return
+        self.stats.on_churn_recovery(node_id, self.sim.now)
+        if self.tracer is not None:
+            self.tracer.annotate(self.sim.now, "node.recover", node=node_id)
+
+    def _apply_regime_shift(self, offset_db: float) -> None:
+        """Re-draw the network-wide mean attenuation (a moved obstacle).
+
+        The freshly drawn ``offset_db`` replaces the previous regime
+        offset; every *active* link shifts by the delta immediately, and
+        links built in later rounds are born with the new offset applied
+        (see the Link constructions above).
+        """
+        delta = offset_db - self._regime_offset_db
+        self._regime_offset_db = offset_db
+        for node in self.nodes:
+            link = node.mac.link
+            if link is not None:
+                link.shift_mean_snr_db(delta)
+        for relay in self._relays.values():
+            if relay.link is not None:
+                relay.link.shift_mean_snr_db(delta)
+        self.stats.on_regime_shift(offset_db, self.sim.now)
+        if self.tracer is not None:
+            self.tracer.annotate(
+                self.sim.now, "regime.shift", offset_db=offset_db
+            )
 
     # -- settle cadence ---------------------------------------------------------------------
 
@@ -334,6 +451,13 @@ class SensorNetwork:
     def alive_count(self) -> int:
         """Nodes with battery remaining."""
         return sum(1 for n in self.nodes if n.alive)
+
+    @property
+    def up_count(self) -> int:
+        """Operational nodes: battery remaining *and* not churn-failed.
+
+        Equals :attr:`alive_count` while dynamics are disabled."""
+        return sum(1 for n in self.nodes if n.is_up)
 
     @property
     def dead_fraction(self) -> float:
@@ -381,8 +505,8 @@ class SensorNetwork:
         return sum(n.mac.stats.packets_dropped_retry for n in self.nodes)
 
     def queue_lengths(self) -> List[int]:
-        """Current queue length per alive node (fairness metric input)."""
-        return [len(n.buffer) for n in self.nodes if n.alive]
+        """Current queue length per operational node (fairness input)."""
+        return [len(n.buffer) for n in self.nodes if n.is_up]
 
     def energy_breakdown(self) -> Dict[str, float]:
         """Network-wide per-cause energy ledger."""

@@ -54,6 +54,12 @@ class SensorNode:
         The network layer decides the terminus: with routing disabled the
         head *is* the sink (the paper's local delivery); with the uplink
         tier enabled the packets enter the head's relay queue instead.
+    initial_energy_j:
+        Battery capacity override (heterogeneous-battery dynamics); None
+        uses the configured ``cfg.energy.initial_energy_j``.
+    source_model:
+        Traffic source override (bursty-traffic dynamics); None uses the
+        configured ``cfg.traffic.source_model``.
     """
 
     def __init__(
@@ -68,6 +74,8 @@ class SensorNode:
         on_death: Callable[["SensorNode"], None],
         on_head_ingress: Callable[[List[Packet], int, float], None],
         tracer=None,
+        initial_energy_j: Optional[float] = None,
+        source_model: Optional[str] = None,
     ) -> None:
         self.sim = sim
         self.id = node_id
@@ -77,7 +85,12 @@ class SensorNode:
         self._on_death = on_death
         self._on_head_ingress = on_head_ingress
 
-        self.battery = Battery(cfg.energy.initial_energy_j, self._battery_died)
+        self.battery = Battery(
+            cfg.energy.initial_energy_j
+            if initial_energy_j is None
+            else initial_energy_j,
+            self._battery_died,
+        )
         self.meter = EnergyMeter(sim, model, self.battery)
         self.data_radio = DataRadio(sim, self.meter, cfg.energy.startup_time_s)
         self.tone_radio = ToneRadio(
@@ -85,7 +98,7 @@ class SensorNode:
         )
         self.buffer = PacketBuffer(capacity=cfg.traffic.buffer_packets)
         self.source = make_source(
-            cfg.traffic.source_model,
+            cfg.traffic.source_model if source_model is None else source_model,
             sim,
             node_id,
             cfg.phy.packet_length_bits,
@@ -113,16 +126,21 @@ class SensorNode:
         self.head_mac: Optional[CaemClusterHeadMac] = None
         self.alive = True
         self.death_time_s: Optional[float] = None
+        # Churn state (repro.dynamics): a *failed* node is transiently
+        # down — battery intact, radios off, source silent — and may
+        # recover; ``alive`` keeps its battery-death meaning throughout.
+        self.failed = False
+        self.last_failure_s: Optional[float] = None
 
     # -- traffic -----------------------------------------------------------------
 
     def start(self) -> None:
         """Begin sensing (start the traffic source)."""
-        if self.alive:
+        if self.is_up:
             self.source.start()
 
     def _on_generated(self, packet: Packet) -> None:
-        if not self.alive:
+        if not self.is_up:
             return
         if self.role is NodeRole.HEAD:
             # Head-local aggregation, no radio cost; the network routes it
@@ -143,8 +161,8 @@ class SensorNode:
         on_lost,
     ) -> ClusterContext:
         """Assume cluster-head duty; returns the context sensors attach to."""
-        if not self.alive:
-            raise ClusterError(f"dead node {self.id} elected head")
+        if not self.is_up:
+            raise ClusterError(f"down node {self.id} elected head")
         self.mac.detach()
         self.role = NodeRole.HEAD
         channel = DataChannel(self.sim, name=f"cluster-{self.id}")
@@ -177,6 +195,56 @@ class SensorNode:
             self.head_mac = None
         self.role = NodeRole.SENSOR
 
+    # -- churn (repro.dynamics) ---------------------------------------------------------
+
+    @property
+    def is_up(self) -> bool:
+        """Operational: battery charged *and* not transiently failed.
+
+        With dynamics disabled ``failed`` is never set, so ``is_up``
+        equals ``alive`` and every caller behaves bit-identically to the
+        static network.
+        """
+        return self.alive and not self.failed
+
+    def fail(self) -> List[Packet]:
+        """Transient failure (churn): go dark, lose the queue.
+
+        The node powers both radios down and stops sensing, exactly as a
+        battery death does, but keeps its charge and may :meth:`recover`.
+        Returns the packets orphaned from its buffer (including any burst
+        that was on the air — the MAC aborts it on the ledger and requeues
+        it first), so the network can account for every one of them.
+        Already-down nodes return an empty list (idempotent no-op).
+        """
+        if not self.is_up:
+            return []
+        self.failed = True
+        self.last_failure_s = self.sim.now
+        self.source.stop()
+        if self.head_mac is not None:
+            self.head_mac.stop()
+            self.head_mac = None
+        self.role = NodeRole.SENSOR
+        # detach() aborts an in-flight burst and requeues it, so the
+        # buffer afterwards holds *every* packet this node still owned.
+        self.mac.detach()
+        return self.buffer.take(len(self.buffer))
+
+    def recover(self) -> bool:
+        """Return from a transient failure; no-op unless currently failed.
+
+        The node resumes sensing immediately (fresh, empty queue) and
+        rejoins a cluster at the next LEACH round — the same re-entry
+        path members stranded by a head death take.  A battery-dead node
+        never recovers.  Returns True when the transition applied.
+        """
+        if not self.alive or not self.failed:
+            return False
+        self.failed = False
+        self.source.start()
+        return True
+
     # -- death -------------------------------------------------------------------------
 
     def _battery_died(self) -> None:
@@ -203,7 +271,7 @@ class SensorNode:
         self.meter.settle_all()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "alive" if self.alive else "dead"
+        state = ("alive" if self.is_up else "down") if self.alive else "dead"
         return (
             f"<SensorNode {self.id} {self.role.value} {state} "
             f"E={self.battery.level_j:.2f}J q={len(self.buffer)}>"

@@ -20,7 +20,7 @@ Two delivery terminations exist:
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional
 
 from ..traffic.packet import Packet
 
@@ -28,9 +28,19 @@ __all__ = ["NetworkStats"]
 
 
 class NetworkStats:
-    """Counters + delay samples for one simulation run."""
+    """Counters + delay samples for one simulation run.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    track_sources:
+        When True (set by the network iff dynamics are enabled), every
+        delivery also credits its source node in
+        :attr:`delivered_bits_by_source`, which the engine needs for the
+        churn-aware *survivor throughput* metric.  Off by default so the
+        static hot path pays nothing.
+    """
+
+    def __init__(self, track_sources: bool = False) -> None:
         #: Packets handed to the sink over the air.
         self.delivered = 0
         #: Packets aggregated locally by their own cluster head.
@@ -59,9 +69,35 @@ class NetworkStats:
         #: Packets stranded in transit (head death, dead next hop,
         #: defensive hop cap).
         self.uplink_stranded = 0
+        # -- dynamics (all zero while repro.dynamics is disabled) ----------
+        #: Applied churn failures (no-op injections on already-down or
+        #: battery-dead nodes are not counted).
+        self.churn_failures = 0
+        #: Applied churn recoveries.
+        self.churn_recoveries = 0
+        #: Applied shadowing regime shifts.
+        self.regime_shifts = 0
+        #: Packets lost from the queue (or mid-flight burst) of a node
+        #: that churn-failed — gone with the node's volatile memory.
+        self.orphaned = 0
+        #: Time of the first applied churn failure (None: no churn).
+        self.first_failure_s: Optional[float] = None
+        #: Source node id -> payload bits it got delivered (only
+        #: populated when ``track_sources``; see the class docstring).
+        self.delivered_bits_by_source: Optional[Dict[int, int]] = (
+            {} if track_sources else None
+        )
 
     # Generated / dropped totals are pulled from sources and buffers at
     # report time by the network, so they are not duplicated here.
+
+    def _credit_sources(self, packets: List[Packet]) -> None:
+        """Credit each packet's source for survivor-throughput tracking."""
+        bysrc = self.delivered_bits_by_source
+        if bysrc is None:
+            return
+        for p in packets:
+            bysrc[p.source_id] = bysrc.get(p.source_id, 0) + p.size_bits
 
     def on_delivered(self, packets: List[Packet], sender_id: int, now: float) -> None:
         """Sink callback for over-the-air deliveries (local routing)."""
@@ -69,12 +105,14 @@ class NetworkStats:
         for p in packets:
             self.delays_s.append(now - p.birth_s)
             self.delivered_bits += p.size_bits
+        self._credit_sources(packets)
 
     def on_delivered_local(self, packets: List[Packet], node_id: int, now: float) -> None:
         """Sink callback for a head aggregating its own data."""
         self.delivered_local += len(packets)
         for p in packets:
             self.delivered_bits += p.size_bits
+        self._credit_sources(packets)
 
     def on_lost(self, packets: List[Packet], sender_id: int, now: float) -> None:
         """Sink callback for PHY-corrupted packets."""
@@ -98,6 +136,7 @@ class NetworkStats:
             self.delays_s.append(now - p.birth_s)
             self.delivered_bits += p.size_bits
             self.hop_counts.append(h)
+        self._credit_sources(packets)
 
     def on_uplink_lost(self, n: int) -> None:
         """``n`` packets corrupted on an uplink hop."""
@@ -114,6 +153,23 @@ class NetworkStats:
     def on_uplink_stranded(self, n: int) -> None:
         """``n`` packets stranded in transit (death / hop cap)."""
         self.uplink_stranded += n
+
+    # -- dynamics callbacks ------------------------------------------------------
+
+    def on_churn_failure(self, node_id: int, orphans: int, now: float) -> None:
+        """A churn failure was applied; ``orphans`` packets died with it."""
+        self.churn_failures += 1
+        self.orphaned += orphans
+        if self.first_failure_s is None:
+            self.first_failure_s = now
+
+    def on_churn_recovery(self, node_id: int, now: float) -> None:
+        """A churn recovery was applied."""
+        self.churn_recoveries += 1
+
+    def on_regime_shift(self, offset_db: float, now: float) -> None:
+        """A shadowing regime shift was applied network-wide."""
+        self.regime_shifts += 1
 
     # -- derived ---------------------------------------------------------------
 

@@ -13,7 +13,7 @@ buffer + policy observer).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 

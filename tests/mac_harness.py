@@ -8,7 +8,7 @@ the failure-injection tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from repro.channel import DataChannel
 from repro.config import (
@@ -103,7 +103,6 @@ def make_cell(
             (p, sender, now) for p in pkts
         ),
     )
-    ctx = ClusterContext(0, channel, broadcaster, ch_mac)
 
     macs, links, buffers, meters, batteries = [], [], [], [], []
     for i in range(n_sensors):

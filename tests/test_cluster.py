@@ -157,6 +157,5 @@ class TestClusterFormation:
         assert asg.n_clusters == len(asg.heads)
 
     def test_sensors_join_nearest_head(self):
-        topo = Topology(np.array([[0.0, 0.0], [10.0, 0.0], [1.0, 0.0]]), 20.0)
         asg = ClusterAssignment(0, (0, 1), {0: 0, 1: 1, 2: 0})
         assert asg.members_of(0) == [2]

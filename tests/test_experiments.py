@@ -1,7 +1,6 @@
 """Experiment harness: presets, runner, report, sweep, CLI, tables."""
 
 import io
-import json
 from contextlib import redirect_stdout
 
 import pytest

@@ -9,7 +9,6 @@ double-counts energy.
 
 import dataclasses
 
-import pytest
 
 from repro.config import NetworkConfig, Protocol
 from repro.mac import SensorMacState

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.metrics import (
-    Summary,
     TimeSeriesCollector,
     death_spread_s,
     first_death_s,

@@ -33,10 +33,24 @@ from repro.rng import NormalBlockCache, RngRegistry, as_normal_cache
 from repro.sim import Simulator
 
 # SHA-256 of the rendered artefacts at preset="smoke", seeds=(1,),
-# loads_pps=(5.0, 15.0), captured on the pre-optimization tree (PR 2).
+# loads_pps=(5.0, 15.0).  fig8 is the pre-optimization (PR 2) hash and
+# pins both the hot-path byte-neutrality and the dynamics-off inertness
+# (the default DynamicsConfig must leave the paper's figures untouched).
+# ext-uplink was recomputed in PR 4: fixing the reentrant-teardown leak
+# in CaemSensorMac._radio_ready (a burst begun in the same event in
+# which its head died was silently lost instead of requeued) shifts the
+# artefacts whose run-to-death scenarios hit the window (ext-uplink,
+# and at smoke scale fig9/fig10/fig11/ext-perf; fig8/fig12/tables are
+# unchanged).  That was a correctness fix, not drift: with the fix held
+# constant, adding the whole dynamics subsystem changes zero bytes in
+# any artefact (verified by re-rendering everything with only the MAC
+# fix stashed), and conservation is asserted by tests/test_dynamics.py.
+# ext-dynamics (seeds=(1,), default churn rates) pins the dynamics
+# subsystem's own determinism.
 GOLDEN = {
     "fig8": "c89564452d1ed196759895e49e595bf34390c68c1e73e5f8fd79691c3b5ca626",
-    "ext-uplink": "8a1d315201fd5e2e7058c319e232248607cd84cb0d1a2c870bc403268e240dc6",
+    "ext-uplink": "a6872e863e1f7e3d9f37ecfd0b4c4e8816ea7d0e4b41082a9b3dff48a033eb89",
+    "ext-dynamics": "49f678932281e51ea6680b57ef580a68c9ff3cdf1550068e1919297ecdb56919",
 }
 
 

@@ -1,6 +1,5 @@
 """PHY: modulation BER curves, coding model, ABICM table, frames."""
 
-import math
 
 import numpy as np
 import pytest

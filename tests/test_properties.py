@@ -2,13 +2,12 @@
 
 import math
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.channel import GaussMarkovShadowing, RayleighFading
 from repro.config import MacConfig, PhyConfig
 from repro.energy import Battery
-from repro.errors import EnergyError
 from repro.mac import BackoffPolicy
 from repro.metrics import jain_index, network_lifetime_s, queue_length_std
 from repro.phy import AbicmTable, BPSK, QAM16, QPSK

@@ -203,8 +203,6 @@ class TestUplinkCollisions:
     collide on the ledger and are retried."""
 
     def _harness(self, n_relays=2, max_retries=6):
-        import numpy as np
-
         from repro.channel import Link, LinkBudget
         from repro.channel.medium import DataChannel
         from repro.config import ChannelConfig, EnergyConfig, PhyConfig

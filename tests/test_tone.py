@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import EnergyConfig, ToneConfig
+from repro.config import EnergyConfig
 from repro.energy import Battery, EnergyMeter, RadioEnergyModel
 from repro.errors import MacError
 from repro.mac import ToneBroadcaster, ToneChannelSpec, ToneKind
