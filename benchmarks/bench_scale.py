@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Scale-tier benchmark: nodes versus wall clock and peak RSS.
+
+Runs the ``ext-scale`` workload (constant-density Table II network, two
+full LEACH rounds — see :func:`repro.experiments.scale.scale_config`) at
+a ladder of network sizes and records the scaling curve:
+
+* each size runs in a **fresh subprocess** so ``ru_maxrss`` is a true
+  per-size peak, not the monotone maximum of the whole sweep;
+* one trajectory entry (tier ``"scale"``) is appended to
+  ``benchmarks/BENCH_run.json``, the same file the kernel bench feeds,
+  so the nightly cache carries the curve forward;
+* the committed pre-PR baseline (``benchmarks/BENCH_scale.json``,
+  brute-force nearest-head + no pools, measured on the reference 1-CPU
+  container) is compared per size, and ``--require-speedup X`` turns the
+  largest baselined size into a gate: the run fails unless it is at
+  least ``X`` times faster than the baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py                # quick ladder
+    PYTHONPATH=src python benchmarks/bench_scale.py --nodes 100 300 1000 3000
+    PYTHONPATH=src python benchmarks/bench_scale.py --require-speedup 1.5
+    PYTHONPATH=src python benchmarks/bench_scale.py --with-brute   # also time
+                                                   # the brute/no-pool path
+
+Everything runs serially — the reference container has one CPU.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_scale.json"
+TRAJECTORY_PATH = Path(__file__).resolve().parent / "BENCH_run.json"
+
+DEFAULT_NODES = (100, 300, 1000)
+HORIZON_S = 40.0  # two full 20 s LEACH rounds (matches BENCH_scale.json)
+
+
+def _measure_single(n_nodes: int, rounds: int, brute: bool) -> dict:
+    """One size, in-process: best-of-``rounds`` wall seconds + peak RSS."""
+    from repro.config import Protocol
+    from repro.experiments.scale import scale_config
+    from repro.network import SensorNetwork
+
+    cfg = scale_config(n_nodes, Protocol.CAEM_ADAPTIVE, seed=1)
+    if brute:
+        cfg = cfg.with_scale(
+            spatial_index="brute", link_pool=False, reuse_head_stack=False
+        )
+    best = float("inf")
+    events = 0
+    for _ in range(rounds):
+        net = SensorNetwork(cfg)
+        t0 = time.perf_counter()
+        net.run_until(HORIZON_S)
+        elapsed = time.perf_counter() - t0
+        events = net.sim.events_processed
+        if elapsed < best:
+            best = elapsed
+    return {
+        "nodes": n_nodes,
+        "seconds": best,
+        "rounds": rounds,
+        "events": events,
+        "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "brute": brute,
+    }
+
+
+def _measure_subprocess(n_nodes: int, rounds: int, brute: bool) -> dict:
+    """Run one size in a fresh interpreter (clean per-size peak RSS)."""
+    cmd = [
+        sys.executable, str(Path(__file__).resolve()),
+        "--single", str(n_nodes), "--rounds", str(rounds),
+    ]
+    if brute:
+        cmd.append("--brute")
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, cwd=str(REPO_ROOT)
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"bench subprocess for N={n_nodes} failed:\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def _load_baseline() -> dict:
+    try:
+        doc = json.loads(BASELINE_PATH.read_text())
+    except FileNotFoundError:
+        return {}
+    return {int(k): v for k, v in doc.get("baseline", {}).items()}
+
+
+def _append_scale_trajectory(results: list, brute_results: list) -> None:
+    from repro.api.bench import BenchReport, BenchResult, _append_trajectory
+
+    report = BenchReport(tier="scale")
+    for r in results:
+        report.results.append(
+            BenchResult(
+                name=f"scale/quick-run-{r['nodes']}",
+                seconds=r["seconds"],
+                rounds=r["rounds"],
+            )
+        )
+    for r in brute_results:
+        report.results.append(
+            BenchResult(
+                name=f"scale/brute-no-pool-{r['nodes']}",
+                seconds=r["seconds"],
+                rounds=r["rounds"],
+            )
+        )
+    _append_trajectory(TRAJECTORY_PATH, report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, nargs="+",
+                        default=list(DEFAULT_NODES),
+                        help="network sizes to sweep (default: 100 300 1000)")
+    parser.add_argument("--rounds", type=int, default=2,
+                        help="best-of-N rounds per size (default 2)")
+    parser.add_argument("--with-brute", action="store_true",
+                        help="also time the brute-force/no-pool path per size")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless the largest baselined size runs at "
+                             "least X times faster than BENCH_scale.json")
+    parser.add_argument("--no-trajectory", action="store_true",
+                        help="skip appending to BENCH_run.json")
+    parser.add_argument("--single", type=int, default=None,
+                        help=argparse.SUPPRESS)  # subprocess worker mode
+    parser.add_argument("--brute", action="store_true",
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.single is not None:
+        print(json.dumps(_measure_single(args.single, args.rounds, args.brute)))
+        return 0
+
+    baseline = _load_baseline()
+    results = []
+    brute_results = []
+    print(f"scale benchmark: horizon {HORIZON_S:g} s, "
+          f"best-of-{args.rounds}, serial (1-CPU container)")
+    header = (f"{'nodes':>6} {'wall':>9} {'events':>9} {'kev/s':>7} "
+              f"{'rss MB':>7} {'baseline':>9} {'speedup':>8}")
+    print(header)
+    for n in args.nodes:
+        r = _measure_subprocess(n, args.rounds, brute=False)
+        results.append(r)
+        base = baseline.get(n)
+        base_s = f"{base['seconds']:.3f}s" if base else "—"
+        speed = f"{base['seconds'] / r['seconds']:.2f}x" if base else "—"
+        print(f"{n:>6} {r['seconds']:>8.3f}s {r['events']:>9} "
+              f"{r['events'] / r['seconds'] / 1e3:>7.1f} "
+              f"{r['ru_maxrss_kb'] / 1024:>7.1f} {base_s:>9} {speed:>8}")
+        if args.with_brute:
+            b = _measure_subprocess(n, args.rounds, brute=True)
+            brute_results.append(b)
+            print(f"{'':>6} {b['seconds']:>8.3f}s {b['events']:>9} "
+                  f"{b['events'] / b['seconds'] / 1e3:>7.1f} "
+                  f"{b['ru_maxrss_kb'] / 1024:>7.1f} "
+                  f"{'(brute/no-pool)':>18}")
+
+    if not args.no_trajectory:
+        _append_scale_trajectory(results, brute_results)
+        print(f"appended scale entry to {TRAJECTORY_PATH}")
+
+    if args.require_speedup is not None:
+        gated = [r for r in results if r["nodes"] in baseline]
+        if not gated:
+            print("speedup gate: FAIL (no baselined size was run)")
+            return 1
+        top = max(gated, key=lambda r: r["nodes"])
+        speedup = baseline[top["nodes"]]["seconds"] / top["seconds"]
+        verdict = "OK" if speedup >= args.require_speedup else "FAIL"
+        print(f"speedup gate at N={top['nodes']}: {speedup:.2f}x "
+              f"(required {args.require_speedup:g}x) -> {verdict}")
+        if verdict == "FAIL":
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ import numpy as np
 from ..config import NetworkConfig
 from ..errors import ExperimentError
 from ..metrics import TimeSeriesCollector
+from ..metrics.collectors import validate_max_samples
 from ..metrics.lifetime import death_spread_s, first_death_s, network_lifetime_s
 from ..network import SensorNetwork
 from .result import RunResult
@@ -35,18 +36,23 @@ class RunOptions:
     ``stop_when_dead`` ends the run early once the paper's dead-network
     rule triggers (saves wall time in lifetime sweeps).  ``collect_queues``
     stores per-node queue snapshots for the Fig. 12 fairness statistic.
+    ``max_series_samples`` bounds every collected time series by halving
+    decimation (scale tier: a 5000-node run's per-node queue snapshots
+    would otherwise grow without bound); ``None`` keeps exact series.
     """
 
     horizon_s: float = 60.0
     sample_interval_s: float = 5.0
     stop_when_dead: bool = False
     collect_queues: bool = False
+    max_series_samples: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
             raise ExperimentError("horizon must be > 0")
         if self.sample_interval_s <= 0:
             raise ExperimentError("sample interval must be > 0")
+        validate_max_samples(self.max_series_samples)
 
 
 def simulate(
@@ -68,6 +74,8 @@ def simulate(
         seed=cfg.seed,
         load_pps=cfg.traffic.packets_per_second,
         horizon_s=opts.horizon_s,
+        n_nodes=cfg.n_nodes,
+        config_digest=cfg.digest(),
     )
 
     def sample_energy() -> float:
@@ -76,16 +84,20 @@ def simulate(
     def sample_alive() -> int:
         return net.alive_count
 
+    cap = opts.max_series_samples
     energy_series = TimeSeriesCollector(
-        net.sim, opts.sample_interval_s, sample_energy, "mean_energy"
+        net.sim, opts.sample_interval_s, sample_energy, "mean_energy",
+        max_samples=cap,
     )
     alive_series = TimeSeriesCollector(
-        net.sim, opts.sample_interval_s, sample_alive, "alive"
+        net.sim, opts.sample_interval_s, sample_alive, "alive",
+        max_samples=cap,
     )
     queue_series = None
     if opts.collect_queues:
         queue_series = TimeSeriesCollector(
-            net.sim, opts.sample_interval_s, net.queue_lengths, "queues"
+            net.sim, opts.sample_interval_s, net.queue_lengths, "queues",
+            max_samples=cap,
         )
     up_series = None
     if cfg.dynamics.enabled:
@@ -93,7 +105,8 @@ def simulate(
         # battery deaths (the paper's series), up counts subtract nodes
         # transiently down at the sample instant.
         up_series = TimeSeriesCollector(
-            net.sim, opts.sample_interval_s, lambda: net.up_count, "up"
+            net.sim, opts.sample_interval_s, lambda: net.up_count, "up",
+            max_samples=cap,
         )
 
     net.start()
@@ -116,6 +129,7 @@ def simulate(
     result.sample_times_s = list(energy_series.times)
     result.mean_energy_j = [float(v) for v in energy_series.values]
     result.alive_counts = [int(v) for v in alive_series.values]
+    result.series_stride = energy_series.stride
     if queue_series is not None:
         result.queue_snapshots = [list(v) for v in queue_series.values]
     if up_series is not None:
@@ -130,6 +144,7 @@ def simulate(
     result.death_spread_s = death_spread_s(deaths)
 
     elapsed = net.sim.now
+    result.events_processed = net.sim.events_processed
     result.generated = net.generated_packets()
     result.delivered = net.stats.delivered
     result.delivered_local = net.stats.delivered_local

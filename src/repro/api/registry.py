@@ -111,4 +111,4 @@ def list_experiments(kind: Optional[str] = None) -> List[ExperimentSpec]:
 
 def _ensure_builtins() -> None:
     """Import the modules whose decorators populate the registry."""
-    from ..experiments import dynamics, figures, tables, uplink  # noqa: F401
+    from ..experiments import dynamics, figures, scale, tables, uplink  # noqa: F401

@@ -56,6 +56,19 @@ class RunResult:
     seed: int
     load_pps: float
     horizon_s: float
+    #: Network size the run simulated (informational; 0 in legacy
+    #: stores).  Store-to-scenario pairing is discriminated by
+    #: ``config_digest`` below, which covers this and every other config
+    #: field.
+    n_nodes: int = 0
+    #: SHA-256 of the full NetworkConfig that produced this run (stamped
+    #: by the engine).  The decisive store-resolution discriminator:
+    #: sweep cells that differ only inside a sub-config (churn rate,
+    #: sink position, relay mode, ...) share every scalar coordinate
+    #: above, and matching on the digest refuses a mis-pair loudly
+    #: instead of silently pairing stored runs by file order.  Empty
+    #: only in legacy stores, which are refused at re-render.
+    config_digest: str = ""
     #: Name of the registered experiment that produced this run (stamped
     #: by the figure harness); None for ad-hoc Scenario/Campaign runs.
     #: Stores use it to refuse re-rendering one experiment's table from
@@ -132,6 +145,13 @@ class RunResult:
     #: — see the class docstring's "Delivery accounting").
     delivery_rate: Optional[float] = None
     energy_breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Kernel callbacks executed — a deterministic size/work proxy the
+    #: scale experiment reports alongside wall time.
+    events_processed: int = 0
+    #: Decimation factor of the stored time series (1 = exact; > 1 when
+    #: RunOptions.max_series_samples bounded the series — samples are
+    #: ``stride`` base intervals apart).
+    series_stride: int = 1
     wall_time_s: float = 0.0
 
     @property

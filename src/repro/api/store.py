@@ -45,7 +45,7 @@ _INT_FIELDS = {
     f.name for f in dataclasses.fields(RunResult)
     if f.type in ("int", int)
 }
-_STRING_FIELDS = {"protocol", "experiment"}
+_STRING_FIELDS = {"protocol", "experiment", "config_digest"}
 _FLOAT_FIELDS = {
     f.name for f in dataclasses.fields(RunResult)
     if f.name in _SCALAR_FIELDS and f.name not in _INT_FIELDS

@@ -131,6 +131,20 @@ class RayleighFading:
         """Time of the most recent sample."""
         return self._time
 
+    def rebind(self, start_time_s: float) -> None:
+        """Restart the process as construction would, on the current cache.
+
+        Mirrors the constructor's tail exactly — the two stationary
+        in-phase/quadrature draws at ``start_time_s`` — so a pooled
+        :class:`~repro.channel.link.Link` whose block cache was rebound
+        to a fresh stream replays the draws of a fresh construction
+        bit-for-bit.  Keep this next to ``__init__``: the two must stay
+        draw-for-draw identical.
+        """
+        self._time = float(start_time_s)
+        self._x = self._normals.normal(0.0, _SQRT_HALF)
+        self._y = self._normals.normal(0.0, _SQRT_HALF)
+
     def _advance(self, t: float) -> None:
         if t < self._time:
             raise ChannelError(

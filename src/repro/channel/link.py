@@ -10,9 +10,25 @@ error modelled in :mod:`repro.channel.csi`.
 Assumption (3) — gain stationary over one packet — is realised by querying
 the SNR once per MAC transaction time-point; identical-time queries return
 identical values by construction of the lazy processes.
+
+Implementation note (scale tier): for the common configuration —
+Gauss-Markov shadowing with σ > 0, exponential-kernel Rayleigh fading,
+K = 0 — the link keeps the two AR(1) states inline and advances both with
+one shared ρ(Δ) memo and three block-cached normals per step.  The
+recurrences, draw order and float arithmetic are exactly those of
+:class:`~repro.channel.shadowing.GaussMarkovShadowing` and
+:class:`~repro.channel.fading.RayleighFading` (pinned by the
+stream-equivalence tests in ``tests/test_perf_golden.py``), so the fused
+path is bit-identical to composing the component processes; any other
+configuration constructs and composes the components as before.  Links are
+also **recyclable**: :meth:`Link.rebind` re-targets a pooled instance at a
+new endpoint pair and a fresh dedicated stream, byte-identical to a fresh
+allocation (see :class:`repro.config.ScaleConfig`).
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -24,6 +40,18 @@ from .fading import RayleighFading
 from .shadowing import GaussMarkovShadowing
 
 __all__ = ["Link"]
+
+_SQRT_HALF = math.sqrt(0.5)
+
+#: Same recurring-gap rationale and cap as the component processes.
+_RHO_CACHE_MAX = 4096
+
+#: Pool hygiene: random backoff timing makes many query gaps one-shot, so
+#: a *recycled* link's ρ(Δ) memo can accumulate hundreds of dead entries
+#: per round (~100 MB network-wide at 1000 nodes).  rebind() drops a memo
+#: that outgrew this bound; the genuinely recurring gaps (tone cadences,
+#: settle ticks) re-price in microseconds at the next round.
+_RHO_CACHE_PRUNE = 256
 
 
 class Link:
@@ -43,7 +71,23 @@ class Link:
         Label for diagnostics.
     """
 
-    __slots__ = ("name", "distance_m", "_mean_snr_db", "shadowing", "fading")
+    __slots__ = (
+        "name",
+        "distance_m",
+        "_mean_snr_db",
+        "shadowing",
+        "fading",
+        "_normals",
+        "_fused",
+        "_rho_cache",
+        "_sigma_db",
+        "_tau_s",
+        "_coherence_s",
+        "_time",
+        "_shadow_db",
+        "_x",
+        "_y",
+    )
 
     def __init__(
         self,
@@ -64,16 +108,94 @@ class Link:
         # through a single cache preserves that exact draw order (a cache
         # per process would hand each its own contiguous chunk instead).
         normals = NormalBlockCache(rng)
-        self.shadowing = GaussMarkovShadowing(
-            cfg.shadowing_sigma_db, cfg.shadowing_tau_s, normals, start_time_s
+        self._normals = normals
+        # Fused sampling (module docstring): only when both processes are
+        # Gauss-Markov and draw on every step — zero-sigma shadowing draws
+        # nothing and the Jakes kernel prices ρ(Δ) differently, so those
+        # configurations compose the component processes instead.
+        self._fused = (
+            cfg.shadowing_sigma_db > 0.0
+            and cfg.fading_kernel == "exponential"
+            and cfg.rician_k == 0.0
         )
-        self.fading = RayleighFading(
-            cfg.fading_coherence_s,
-            normals,
-            kernel=cfg.fading_kernel,
-            rician_k=cfg.rician_k,
-            start_time_s=start_time_s,
-        )
+        self._sigma_db = float(cfg.shadowing_sigma_db)
+        self._tau_s = float(cfg.shadowing_tau_s)
+        self._coherence_s = float(cfg.fading_coherence_s)
+        #: Δ -> (ρ_s, σ_s·√(1−ρ_s²), ρ_f, √(1−ρ_f²)/√2) for the fused path.
+        self._rho_cache = {}
+        if self._fused:
+            if self._tau_s <= 0:
+                raise ChannelError("shadowing tau must be > 0")
+            if self._coherence_s <= 0:
+                raise ChannelError("coherence time must be > 0")
+            self.shadowing = None
+            self.fading = None
+            # Stationary initial draws, in component construction order:
+            # shadowing (one), then fading in-phase/quadrature (two).
+            self._time = float(start_time_s)
+            self._shadow_db = 0.0 + self._sigma_db * normals.standard_normal()
+            self._x = 0.0 + _SQRT_HALF * normals.standard_normal()
+            self._y = 0.0 + _SQRT_HALF * normals.standard_normal()
+        else:
+            self.shadowing = GaussMarkovShadowing(
+                cfg.shadowing_sigma_db, cfg.shadowing_tau_s, normals,
+                start_time_s,
+            )
+            self.fading = RayleighFading(
+                cfg.fading_coherence_s,
+                normals,
+                kernel=cfg.fading_kernel,
+                rician_k=cfg.rician_k,
+                start_time_s=start_time_s,
+            )
+            self._time = float(start_time_s)
+            self._shadow_db = 0.0
+            self._x = 0.0
+            self._y = 0.0
+
+    def rebind(
+        self,
+        distance_m: float,
+        budget: LinkBudget,
+        rng: np.random.Generator,
+        name: str,
+        start_time_s: float,
+    ) -> None:
+        """Recycle this Link for a new round's endpoint pair.
+
+        Replays exactly what constructing a fresh ``Link`` with the same
+        arguments would do — rebind the shared block cache to the new
+        dedicated stream, then the stationary initial draws in
+        construction order (one shadowing, two fading) — so a pooled link
+        is bit-identical to a fresh allocation (pinned by
+        ``tests/test_scale.py``).  The channel config is the one the link
+        was built with (pools are per-network, configs are frozen); the
+        ρ(Δ) memos persist, which is part of the win — recurring gaps are
+        priced once per link lifetime, not once per round.
+        """
+        if distance_m < 0:
+            raise ChannelError("distance must be >= 0")
+        self.name = name
+        self.distance_m = float(distance_m)
+        self._mean_snr_db = float(budget.mean_snr_db(distance_m))
+        normals = self._normals
+        normals.rebind(rng)
+        if len(self._rho_cache) > _RHO_CACHE_PRUNE:
+            self._rho_cache.clear()
+        if self._fused:
+            self._time = float(start_time_s)
+            self._shadow_db = 0.0 + self._sigma_db * normals.standard_normal()
+            self._x = 0.0 + _SQRT_HALF * normals.standard_normal()
+            self._y = 0.0 + _SQRT_HALF * normals.standard_normal()
+            return
+        shadow = self.shadowing
+        if len(shadow._rho_cache) > _RHO_CACHE_PRUNE:
+            shadow._rho_cache.clear()
+        shadow.rebind(start_time_s)
+        fading = self.fading
+        if len(fading._rho_cache) > _RHO_CACHE_PRUNE:
+            fading._rho_cache.clear()
+        fading.rebind(start_time_s)
 
     @property
     def mean_snr_db(self) -> float:
@@ -98,11 +220,54 @@ class Link:
         Queries must be non-decreasing in time (enforced by the underlying
         processes); equal-time queries are free and identical.
         """
-        return (
-            self._mean_snr_db
-            + self.shadowing.value_db(t)
-            + self.fading.gain_db(t)
-        )
+        if not self._fused:
+            return (
+                self._mean_snr_db
+                + self.shadowing.value_db(t)
+                + self.fading.gain_db(t)
+            )
+        dt = t - self._time
+        if dt != 0.0:
+            if dt < 0.0:
+                raise ChannelError(
+                    f"shadowing queried backwards in time: {t} < {self._time}"
+                )
+            cached = self._rho_cache.get(dt)
+            if cached is None:
+                rho_s = math.exp(-dt / self._tau_s)
+                sig_s = self._sigma_db * math.sqrt(1.0 - rho_s * rho_s)
+                rho_f = math.exp(-dt / self._coherence_s)
+                sig_f = math.sqrt(max(0.0, 1.0 - rho_f * rho_f)) * _SQRT_HALF
+                if len(self._rho_cache) < _RHO_CACHE_MAX:
+                    self._rho_cache[dt] = (rho_s, sig_s, rho_f, sig_f)
+            else:
+                rho_s, sig_s, rho_f, sig_f = cached
+            # Inline equivalent of NormalBlockCache.take3(): measured on
+            # the N=1000 acceptance workload, even one bulk-take method
+            # call (plus tuple packing) per advance costs ~3% end to end,
+            # which is the margin of the 1.5x scale gate.  The buffer
+            # invariants live in repro.rng (see take3); the draw-sequence
+            # identity is pinned by test_perf_golden's link stream tests.
+            normals = self._normals
+            buf = normals._buf
+            i = normals._idx
+            if i + 3 <= len(buf):
+                n1 = buf[i]
+                n2 = buf[i + 1]
+                n3 = buf[i + 2]
+                normals._idx = i + 3
+            else:
+                n1, n2, n3 = normals.take3()
+            self._shadow_db = rho_s * self._shadow_db + sig_s * n1
+            self._x = rho_f * self._x + sig_f * n2
+            self._y = rho_f * self._y + sig_f * n3
+            self._time = t
+        x = self._x
+        y = self._y
+        g = x * x + y * y
+        if g <= 0.0:  # pragma: no cover - numerically unreachable
+            return float("-inf")
+        return self._mean_snr_db + self._shadow_db + 10.0 * math.log10(g)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -80,6 +80,19 @@ class DataChannel:
         self.total_transmissions = 0
         self.total_collisions = 0
 
+    def reset(self) -> None:
+        """Recycle the ledger for a new round (head-stack reuse).
+
+        Only legal while quiescent — round teardown aborts every active
+        transmission, so a pooled channel is always empty here; the guard
+        turns a teardown bug into a loud error instead of ghost traffic.
+        """
+        if self._active:
+            raise MacError("cannot reset a channel with active transmissions")
+        self._in_collision = False
+        self.total_transmissions = 0
+        self.total_collisions = 0
+
     # -- state ---------------------------------------------------------------
 
     @property

@@ -80,6 +80,23 @@ class GaussMarkovShadowing:
         """Time of the most recent sample."""
         return self._time
 
+    def rebind(self, start_time_s: float) -> None:
+        """Restart the process as construction would, on the current cache.
+
+        Mirrors the constructor's tail exactly — one stationary initial
+        draw (none when sigma is zero) at ``start_time_s`` — so a pooled
+        :class:`~repro.channel.link.Link` whose block cache was rebound
+        to a fresh stream replays the draws of a fresh construction
+        bit-for-bit.  Keep this next to ``__init__``: the two must stay
+        draw-for-draw identical.
+        """
+        self._time = float(start_time_s)
+        self._value = (
+            self._normals.normal(0.0, self.sigma_db)
+            if self.sigma_db > 0
+            else 0.0
+        )
+
     def value_db(self, t: float) -> float:
         """Shadowing in dB at time ``t`` (must be >= the previous query).
 

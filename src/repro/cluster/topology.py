@@ -9,7 +9,7 @@ for tests and worked examples.
 from __future__ import annotations
 
 import math
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -17,11 +17,29 @@ from ..errors import ClusterError
 
 __all__ = ["Topology"]
 
+#: Above this node count the O(N^2) pairwise matrix is skipped and
+#: distances are evaluated lazily per query — ~200 MB at 5000 nodes is
+#: most of the 1-CPU container's budget, and the lazy path computes the
+#: identical IEEE doubles (same subtract/square/sum/sqrt sequence).
+MATRIX_MAX_NODES = 600
+
 
 class Topology:
-    """Static node positions in a square field, with distance queries."""
+    """Static node positions in a square field, with distance queries.
 
-    def __init__(self, positions: np.ndarray, field_size_m: float) -> None:
+    ``precompute_matrix`` controls the pairwise-distance storage: ``True``
+    builds the full N x N matrix up front (fast queries, O(N^2) memory),
+    ``False`` computes rows on demand, and ``None`` (default) picks by
+    node count (:data:`MATRIX_MAX_NODES`).  Both modes return bit-identical
+    distances, so the choice is purely a memory/speed trade.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        field_size_m: float,
+        precompute_matrix: Optional[bool] = None,
+    ) -> None:
         positions = np.asarray(positions, dtype=float)
         if positions.ndim != 2 or positions.shape[1] != 2:
             raise ClusterError("positions must be an (n, 2) array")
@@ -33,9 +51,13 @@ class Topology:
             raise ClusterError("positions must lie inside the field")
         self.positions = positions
         self.field_size_m = float(field_size_m)
-        # Pairwise distances, vectorised once (n is small: 100 nodes).
-        diff = positions[:, None, :] - positions[None, :, :]
-        self._dist = np.sqrt((diff ** 2).sum(axis=2))
+        if precompute_matrix is None:
+            precompute_matrix = positions.shape[0] <= MATRIX_MAX_NODES
+        self._dist: Optional[np.ndarray] = None
+        if precompute_matrix:
+            # Pairwise distances, vectorised once.
+            diff = positions[:, None, :] - positions[None, :, :]
+            self._dist = np.sqrt((diff ** 2).sum(axis=2))
         # Data sink (uplink tier); unset until place_sink() is called.
         self._sink_pos: Tuple[float, float] | None = None
         self._sink_dist: np.ndarray | None = None
@@ -73,11 +95,19 @@ class Topology:
 
     def distance(self, a: int, b: int) -> float:
         """Euclidean distance between nodes ``a`` and ``b``."""
-        return float(self._dist[a, b])
+        if self._dist is not None:
+            return float(self._dist[a, b])
+        pos = self.positions
+        dx = pos[a, 0] - pos[b, 0]
+        dy = pos[a, 1] - pos[b, 1]
+        return math.sqrt(dx * dx + dy * dy)
 
     def distances_from(self, node: int) -> np.ndarray:
         """Vector of distances from ``node`` to every node."""
-        return self._dist[node]
+        if self._dist is not None:
+            return self._dist[node]
+        diff = self.positions - self.positions[node]
+        return np.sqrt((diff ** 2).sum(axis=1))
 
     def nearest(self, node: int, candidates: Sequence[int]) -> int:
         """The candidate closest to ``node`` (ties broken by lower id).
@@ -89,7 +119,11 @@ class Topology:
         if len(candidates) == 0:
             raise ClusterError("no candidates")
         cand = np.asarray(candidates, dtype=int)
-        row = self._dist[node, cand]
+        if self._dist is not None:
+            row = self._dist[node, cand]
+        else:
+            diff = self.positions[cand] - self.positions[node]
+            row = np.sqrt((diff ** 2).sum(axis=1))
         return int(cand[int(np.argmin(row))])
 
     # -- sink placement (uplink/routing tier) -----------------------------------

@@ -36,6 +36,7 @@ __all__ = [
     "PolicyConfig",
     "RoutingConfig",
     "DynamicsConfig",
+    "ScaleConfig",
     "NetworkConfig",
 ]
 
@@ -520,6 +521,53 @@ class DynamicsConfig:
 
 
 @dataclass(frozen=True)
+class ScaleConfig:
+    """Scale-tier machinery knobs (all output-neutral).
+
+    The spatial grid index and the link/MAC reuse pools make 1000+ node
+    runs practical; both are **bit-identical** to the brute-force /
+    fresh-allocation paths they replace (pinned by the equivalence tests
+    in ``tests/test_topology_index.py`` and ``tests/test_scale.py``), so
+    they default *on* at every network size.  The toggles exist for the
+    equivalence tests themselves and for attributing speedups in
+    ``benchmarks/bench_scale.py`` — disabling them changes wall clock and
+    memory, never a single output byte.
+    """
+
+    #: Nearest-head resolution: "grid" (spatial index) or "brute"
+    #: (the original full scan).
+    spatial_index: str = "grid"
+    #: Head sets smaller than this always use the brute scan (the index
+    #: cannot win below it).
+    grid_min_heads: int = 8
+    #: Recycle member->head ``Link`` objects (and their block-normal
+    #: caches) across rounds instead of reallocating.
+    link_pool: bool = True
+    #: Recycle each node's head-role stack (data channel, tone
+    #: broadcaster, head MAC) across its head terms.
+    reuse_head_stack: bool = True
+    #: Memory bound on the per-delivery delay/hop sample lists: ``None``
+    #: keeps the exact unbounded lists (every release so far); an integer
+    #: switches :class:`repro.network.stats.NetworkStats` to a seeded
+    #: reservoir sample of that size (delay *means* stay exact; the
+    #: percentiles become estimates).  The one scale knob that is **not**
+    #: output-neutral — set it only on runs too big for exact lists.
+    max_delay_samples: int | None = None
+
+    def __post_init__(self) -> None:
+        _require(
+            self.spatial_index in ("grid", "brute"),
+            f"unknown spatial index {self.spatial_index!r}",
+        )
+        _require(self.grid_min_heads >= 1, "grid_min_heads must be >= 1")
+        if self.max_delay_samples is not None:
+            _require(
+                self.max_delay_samples >= 1,
+                "max_delay_samples must be >= 1",
+            )
+
+
+@dataclass(frozen=True)
 class NetworkConfig:
     """Top-level scenario configuration (paper Table II defaults)."""
 
@@ -542,6 +590,7 @@ class NetworkConfig:
     policy: PolicyConfig = field(default_factory=PolicyConfig)
     routing: RoutingConfig = field(default_factory=RoutingConfig)
     dynamics: DynamicsConfig = field(default_factory=DynamicsConfig)
+    scale: ScaleConfig = field(default_factory=ScaleConfig)
 
     def __post_init__(self) -> None:
         _require(self.n_nodes >= 2, "need at least 2 nodes (1 CH + 1 sensor)")
@@ -582,6 +631,12 @@ class NetworkConfig:
             self, dynamics=dataclasses.replace(self.dynamics, **changes)
         )
 
+    def with_scale(self, **changes: Any) -> "NetworkConfig":
+        """Return a copy with scale-tier fields replaced."""
+        return dataclasses.replace(
+            self, scale=dataclasses.replace(self.scale, **changes)
+        )
+
     # -- dict round-trip ---------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -589,6 +644,21 @@ class NetworkConfig:
         out = dataclasses.asdict(self)
         out["protocol"] = self.protocol.value
         return out
+
+    def digest(self) -> str:
+        """Stable SHA-256 over the full configuration.
+
+        Stamped into every :class:`repro.api.RunResult` and used by the
+        experiment layer to pair stored runs back to scenario grid cells:
+        two configs differing anywhere (a churn rate, a sink offset, a
+        scale knob) digest differently, so a stale or reordered store can
+        never silently fill the wrong cell.
+        """
+        import hashlib
+        import json
+
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "NetworkConfig":
@@ -605,6 +675,7 @@ class NetworkConfig:
             "policy": PolicyConfig,
             "routing": RoutingConfig,
             "dynamics": DynamicsConfig,
+            "scale": ScaleConfig,
         }
         kwargs: Dict[str, Any] = {}
         for key, value in data.items():

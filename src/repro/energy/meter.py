@@ -10,6 +10,15 @@ It also supports *continuous* draws for long-lived states (tone monitoring,
 CH idle): ``open_draw`` returns a handle that integrates power over wall
 (simulation) time until closed, charging lazily on close — no periodic
 tick events are needed.
+
+Hot-path note: radio state machines transition hundreds of times per node
+per second, and every transition closes one draw and opens another.  The
+meter therefore keeps only *open* draws in its registry (closed handles
+are removed immediately, preserving the opening-order settle sequence)
+and recycles handle objects through a small free list, so steady-state
+transitions allocate nothing.  All arithmetic — ``power · dt`` then a
+single battery draw per settle — is unchanged, keeping every run
+bit-identical to the allocating implementation.
 """
 
 from __future__ import annotations
@@ -53,7 +62,13 @@ class ContinuousDraw:
         return self._open
 
     def checkpoint(self, now: float) -> float:
-        """Settle energy accrued since the last settle; returns joules charged."""
+        """Settle energy accrued since the last settle; returns joules charged.
+
+        The cause was validated when the draw was opened, so this charges
+        the battery directly — same ``power · dt`` product and the same
+        single :meth:`~repro.energy.battery.Battery.draw` call as routing
+        through :meth:`EnergyMeter.charge_energy`.
+        """
         if not self._open:
             return 0.0
         dt = now - self._last_settle_s
@@ -62,19 +77,30 @@ class ContinuousDraw:
         self._last_settle_s = now
         if dt == 0.0 or self.power_w == 0.0:
             return 0.0
-        return self.meter.charge_energy(self.cause, self.power_w * dt)
+        meter = self.meter
+        actual = meter.battery.draw(self.power_w * dt)
+        if actual > 0.0:
+            by_cause = meter.by_cause
+            cause = self.cause
+            by_cause[cause] = by_cause.get(cause, 0.0) + actual
+        return actual
 
     def close(self, now: float) -> float:
         """Settle and close; returns the final joules charged."""
         charged = self.checkpoint(now)
         self._open = False
+        self.meter._release(self)
         return charged
 
 
 class EnergyMeter:
     """Per-node energy gateway and ledger."""
 
-    __slots__ = ("sim", "model", "battery", "by_cause", "_open_draws")
+    __slots__ = ("sim", "model", "battery", "by_cause", "_open_draws", "_free")
+
+    #: Free-list cap: a node has at most a handful of concurrently open
+    #: draws (one per radio state machine), so a short list suffices.
+    _FREE_MAX = 8
 
     def __init__(self, sim: Simulator, model: RadioEnergyModel, battery: Battery) -> None:
         self.sim = sim
@@ -82,7 +108,10 @@ class EnergyMeter:
         self.battery = battery
         #: Joules actually drawn, keyed by cause.
         self.by_cause: Dict[str, float] = {}
+        #: Currently *open* draws, in opening order (closed draws are
+        #: removed immediately — see the module docstring).
         self._open_draws: list[ContinuousDraw] = []
+        self._free: list[ContinuousDraw] = []
 
     # -- one-shot charges -------------------------------------------------------
 
@@ -100,6 +129,19 @@ class EnergyMeter:
             self.by_cause[cause] = self.by_cause.get(cause, 0.0) + actual
         return actual
 
+    def charge_known(self, cause: str, energy_j: float) -> float:
+        """Charge a pre-priced, pre-validated energy amount (hot paths).
+
+        Identical ledger arithmetic to :meth:`charge_energy`; callers must
+        have validated ``cause`` once up front and guarantee
+        ``energy_j >= 0``.
+        """
+        actual = self.battery.draw(energy_j)
+        if actual > 0.0:
+            by_cause = self.by_cause
+            by_cause[cause] = by_cause.get(cause, 0.0) + actual
+        return actual
+
     def charge_startup(self) -> float:
         """Charge one data-radio sleep→active transition."""
         return self.charge_energy("startup", self.model.startup_energy_j)
@@ -113,19 +155,51 @@ class EnergyMeter:
         states (e.g. synchronized tone listening wakes the receiver only
         around expected pulse times).
         """
-        draw = ContinuousDraw(self, cause, self.sim.now, scale)
+        if scale < 0:
+            raise EnergyError("draw scale must be >= 0")
+        return self.open_draw_known(cause, self.model.power_w(cause) * scale)
+
+    def open_draw_known(self, cause: str, power_w: float) -> ContinuousDraw:
+        """Open a draw whose power is already priced (radio hot path).
+
+        ``power_w`` must be ``model.power_w(cause) · scale`` — the radio
+        state machines compute it once per state at construction instead
+        of per transition.
+        """
+        free = self._free
+        if free:
+            draw = free.pop()
+        else:
+            draw = ContinuousDraw.__new__(ContinuousDraw)
+        now = self.sim._now
+        draw.meter = self
+        draw.cause = cause
+        draw.power_w = power_w
+        draw.start_s = now
+        draw._last_settle_s = now
+        draw._open = True
         self._open_draws.append(draw)
         return draw
 
+    def _release(self, draw: ContinuousDraw) -> None:
+        """Drop a closed draw from the registry and recycle the handle."""
+        try:
+            self._open_draws.remove(draw)
+        except ValueError:  # a hand-built draw never registered
+            return
+        if len(self._free) < self._FREE_MAX:
+            self._free.append(draw)
+
     def settle_all(self) -> None:
-        """Checkpoint every open draw at the current time (metric snapshots)."""
+        """Checkpoint every open draw at the current time (metric snapshots).
+
+        Iterates a snapshot: a checkpoint can empty the battery, whose
+        death cascade closes draws (mutating the registry) reentrantly.
+        """
         now = self.sim.now
-        still_open = []
-        for draw in self._open_draws:
-            if draw.is_open:
+        for draw in tuple(self._open_draws):
+            if draw._open:
                 draw.checkpoint(now)
-                still_open.append(draw)
-        self._open_draws = still_open
 
     # -- reporting ---------------------------------------------------------------
 

@@ -133,6 +133,11 @@ class CaemSensorMac:
 
         self._ctx: Optional[ClusterContext] = None
         self._link: Optional[Link] = None
+        #: Sensing delay of the attached cluster's tone spec, cached at
+        #: attach() — read on every idle pulse while monitoring.
+        self._sensing_delay_s = 0.0
+        self._min_burst = mac_cfg.min_burst_packets
+        self._min_burst_wait_s = mac_cfg.min_burst_wait_s
         self._monitor_since: Optional[float] = None
         self._backoff_handle = None
         self._tx_end_handle = None
@@ -163,6 +168,7 @@ class CaemSensorMac:
             self.detach()
         self._ctx = ctx
         self._link = link
+        self._sensing_delay_s = ctx.broadcaster.spec.cfg.sensing_delay_s
         # Contend right away if the buffer already qualifies.
         self._maybe_start_monitoring()
 
@@ -199,11 +205,14 @@ class CaemSensorMac:
             self._maybe_start_monitoring()
 
     def _qualifies(self) -> bool:
-        if not self.buffer:
+        # Hot path (every idle pulse for every monitoring sensor): read
+        # the buffer's deque directly rather than through __len__.
+        queue = self.buffer._queue
+        if not queue:
             return False
-        if len(self.buffer) >= self.mac_cfg.min_burst_packets:
+        if len(queue) >= self._min_burst:
             return True
-        return self.buffer.head_age_s(self.sim.now) >= self.mac_cfg.min_burst_wait_s
+        return self.sim._now - queue[0].birth_s >= self._min_burst_wait_s
 
     def _maybe_start_monitoring(self) -> None:
         if (
@@ -265,7 +274,7 @@ class CaemSensorMac:
         # §III-A: the sensor needs the sensing delay to classify the train.
         if (
             self._monitor_since is None
-            or pulse_time - self._monitor_since < self._sensing_delay()
+            or pulse_time - self._monitor_since < self._sensing_delay_s
         ):
             return
         if not self._qualifies():
@@ -278,9 +287,6 @@ class CaemSensorMac:
             self.stats.quality_deferrals += 1
             return
         self._begin_backoff()
-
-    def _sensing_delay(self) -> float:
-        return self._ctx.broadcaster.spec.cfg.sensing_delay_s
 
     # -- backoff state -------------------------------------------------------------------
 
@@ -496,6 +502,32 @@ class CaemClusterHeadMac:
         channel.on_idle = self._on_idle
 
     # -- lifecycle ---------------------------------------------------------------
+
+    def reset(
+        self,
+        rng: np.random.Generator,
+        on_delivered: Optional[DeliverySink],
+        on_lost: Optional[DeliverySink],
+    ) -> None:
+        """Recycle this head MAC for a new term (head-stack reuse).
+
+        The channel and broadcaster are reset to their freshly-built
+        state and the per-term wiring (delivery sinks, PHY stream) is
+        replaced; the observer hooks installed at construction stay bound
+        to this same object.  ``rng`` is the node's registry-cached
+        ``per/<id>`` stream, so the PER draw sequence continues exactly
+        where a freshly constructed MAC (handed the same cached stream)
+        would continue — reuse is draw-neutral.
+        """
+        if self._running:
+            raise MacError("cannot reset a running cluster head")
+        self.rng = rng
+        self.on_delivered = on_delivered
+        self.on_lost = on_lost
+        self.packets_received = 0
+        self.packets_corrupted = 0
+        self.channel.reset()
+        self.broadcaster.reset()
 
     def start(self) -> None:
         """Power up: data radio awake+idle, idle tone train running."""

@@ -132,9 +132,21 @@ class ToneBroadcaster:
         self.meter = meter
         self.name = name
         self._listeners: List[ToneListener] = []
+        #: Cached delivery snapshot; rebuilt lazily after (un)subscribes
+        #: so the per-pulse fan-out allocates nothing in steady state.
+        self._listener_snapshot: Optional[tuple] = None
         self._kind: Optional[ToneKind] = None
         self._pulse_handle = None
         self._running = False
+        #: kind -> (pulse spec, per-pulse tone_tx joules), priced once —
+        #: the emit path is per-pulse-per-cluster hot.
+        self._per_kind = {
+            kind: (
+                spec.pulse(kind),
+                meter.model.power_w("tone_tx") * spec.pulse(kind).duration_s,
+            )
+            for kind in ToneKind
+        }
         #: Total pulses emitted, by kind value (diagnostics).
         self.pulses_emitted = {k.value: 0 for k in ToneKind}
 
@@ -160,6 +172,23 @@ class ToneBroadcaster:
     def is_running(self) -> bool:
         """True while the CH is broadcasting."""
         return self._running
+
+    def reset(self) -> None:
+        """Recycle for a new head term (head-stack reuse).
+
+        Restores the state a freshly constructed broadcaster starts with;
+        only legal while stopped, and a stale pulse handle here means a
+        teardown failed to cancel — raise rather than let a zombie train
+        keep pulsing into the new round.
+        """
+        if self._running:
+            raise MacError("cannot reset a running broadcaster")
+        if self._pulse_handle is not None:
+            raise MacError("stale pulse handle survived stop()")
+        self._listeners.clear()
+        self._listener_snapshot = None
+        self._kind = None
+        self.pulses_emitted = {k.value: 0 for k in ToneKind}
 
     @property
     def current_kind(self) -> Optional[ToneKind]:
@@ -189,13 +218,17 @@ class ToneBroadcaster:
         if not self._running or self._kind is None:
             return
         kind = self._kind
-        pulse = self.spec.pulse(kind)
+        pulse, pulse_energy_j = self._per_kind[kind]
         # Energy: the pulse itself.
-        self.meter.charge("tone_tx", pulse.duration_s)
+        self.meter.charge_known("tone_tx", pulse_energy_j)
         self.pulses_emitted[kind.value] += 1
         now = self.sim.now
-        # Deliver to a snapshot of listeners (they may unsubscribe inside).
-        for listener in tuple(self._listeners):
+        # Deliver to a snapshot of listeners (they may unsubscribe inside);
+        # the snapshot is cached across pulses until the roster changes.
+        snapshot = self._listener_snapshot
+        if snapshot is None:
+            snapshot = self._listener_snapshot = tuple(self._listeners)
+        for listener in snapshot:
             listener.on_tone_pulse(kind, now)
         if pulse.period_s is not None and self._kind is kind:
             # Strict re-arm: at large sim times a millisecond-scale period
@@ -208,6 +241,7 @@ class ToneBroadcaster:
         """Sensor turned its tone radio on."""
         if listener not in self._listeners:
             self._listeners.append(listener)
+            self._listener_snapshot = None
 
     def unsubscribe(self, listener: ToneListener) -> None:
         """Sensor turned its tone radio off."""
@@ -215,6 +249,8 @@ class ToneBroadcaster:
             self._listeners.remove(listener)
         except ValueError:
             pass
+        else:
+            self._listener_snapshot = None
 
     @property
     def n_listeners(self) -> int:

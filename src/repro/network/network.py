@@ -51,6 +51,7 @@ from ..phy import AbicmTable
 from ..rng import RngRegistry
 from ..routing import Sink, UplinkRelay, plan_routes
 from ..sim import Simulator, Tracer
+from ..topology import GridNearest
 from ..traffic.packet import Packet
 from .node import NodeRole, SensorNode
 from .stats import NetworkStats
@@ -66,7 +67,15 @@ class SensorNetwork:
         self.sim = Simulator()
         self.tracer = tracer
         self.rngs = RngRegistry(cfg.seed)
-        self.stats = NetworkStats(track_sources=cfg.dynamics.enabled)
+        self.stats = NetworkStats(
+            track_sources=cfg.dynamics.enabled,
+            max_delay_samples=cfg.scale.max_delay_samples,
+            reservoir_rng=(
+                self.rngs.stream("stats/reservoir")
+                if cfg.scale.max_delay_samples is not None
+                else None
+            ),
+        )
 
         # Shared substrate.
         self.abicm = AbicmTable.from_config(cfg.phy)
@@ -88,6 +97,13 @@ class SensorNetwork:
                 cfg.n_nodes, cfg.field_size_m, self.rngs.stream("topology")
             )
         self.election = LeachElection(cfg.leach, self.rngs.stream("leach"))
+        # Nearest-head resolution: the spatial grid index answers exactly
+        # what the brute scan answers (ties included) but in ~O(1) per
+        # sensor, which is what keeps 1000+ node rounds affordable.
+        if cfg.scale.spatial_index == "grid":
+            self._nearest = GridNearest(self.topology, cfg.scale.grid_min_heads)
+        else:
+            self._nearest = self.topology.nearest
 
         # Uplink tier (None while routing.mode == "local").
         self.sink: Optional[Sink] = None
@@ -157,6 +173,13 @@ class SensorNetwork:
             )
 
         self.round_index = 0
+        #: Scale-tier link pools (see ScaleConfig.link_pool): a member's
+        #: Link (and its block-normal cache) is recycled across rounds via
+        #: Link.rebind instead of reallocated — bit-identical because each
+        #: round's dedicated stream is rebound into the recycled cache.
+        #: Keyed by member id (cluster tier) / head id (uplink tier).
+        self._link_pool: Dict[int, Link] = {}
+        self._uplink_link_pool: Dict[int, Link] = {}
         #: head id -> list of member nodes (current round).
         self._members_of: Dict[int, List[SensorNode]] = {}
         #: head id -> this round's uplink relay (routing enabled only).
@@ -233,8 +256,11 @@ class SensorNetwork:
 
     def _form_clusters(self, alive: List[SensorNode]) -> None:
         alive_ids = [n.id for n in alive]
+        if isinstance(self._nearest, GridNearest):
+            # New round, new head set: drop the cached per-round index.
+            self._nearest.invalidate()
         assignment = self.election.form_clusters(
-            self.round_index, alive_ids, self.topology.nearest
+            self.round_index, alive_ids, self._nearest
         )
         if self.tracer is not None:
             self.tracer.annotate(
@@ -254,23 +280,58 @@ class SensorNetwork:
                 on_lost=self.stats.on_lost,
             )
             self._members_of[head_id] = []
+        pool = self._link_pool if self.cfg.scale.link_pool else None
         for node in alive:
             head_id = assignment.membership[node.id]
             if head_id == node.id:
                 continue
-            link = Link(
+            link = self._lease_link(
+                pool,
+                node.id,
                 self.topology.distance(node.id, head_id),
                 self.budget,
-                self.cfg.channel,
-                self.rngs.stream(f"link/r{self.round_index}/{node.id}->{head_id}"),
-                name=f"{node.id}->{head_id}",
-                start_time_s=self.sim.now,
+                f"link/r{self.round_index}/{node.id}->{head_id}",
+                f"{node.id}->{head_id}",
             )
-            if self._regime_offset_db != 0.0:
-                # Links born under a shifted regime start in it.
-                link.shift_mean_snr_db(self._regime_offset_db)
             node.mac.attach(contexts[head_id], link)
             self._members_of[head_id].append(node)
+
+    def _lease_link(
+        self,
+        pool: Optional[Dict[int, Link]],
+        key: int,
+        distance: float,
+        budget,
+        stream_name: str,
+        name: str,
+    ) -> Link:
+        """One round's Link for an endpoint pair: pooled rebind or fresh.
+
+        Shared by the cluster and uplink tiers so the leasing policy —
+        uncached per-round stream derivation (the registry stays bounded
+        at scale), pool recycle via :meth:`Link.rebind`, and regime-offset
+        application for links born under a shifted regime — lives in one
+        place.
+        """
+        stream = self.rngs.derive(stream_name)
+        link = pool.get(key) if pool is not None else None
+        now = self.sim.now
+        if link is None:
+            link = Link(
+                distance,
+                budget,
+                self.cfg.channel,
+                stream,
+                name=name,
+                start_time_s=now,
+            )
+            if pool is not None:
+                pool[key] = link
+        else:
+            link.rebind(distance, budget, stream, name, now)
+        if self._regime_offset_db != 0.0:
+            link.shift_mean_snr_db(self._regime_offset_db)
+        return link
 
     # -- uplink tier -------------------------------------------------------------------
 
@@ -290,6 +351,7 @@ class SensorNetwork:
                 self.stats,
                 tracer=self.tracer,
             )
+        pool = self._uplink_link_pool if self.cfg.scale.link_pool else None
         for head_id in heads:
             next_id = routes[head_id]
             if next_id is None:
@@ -298,18 +360,14 @@ class SensorNetwork:
             else:
                 distance = self.topology.distance(head_id, next_id)
                 far_end = str(next_id)
-            link = Link(
+            link = self._lease_link(
+                pool,
+                head_id,
                 distance,
                 self.uplink_budget,
-                self.cfg.channel,
-                self.rngs.stream(
-                    f"uplink/link/r{self.round_index}/{head_id}->{far_end}"
-                ),
-                name=f"uplink {head_id}->{far_end}",
-                start_time_s=self.sim.now,
+                f"uplink/link/r{self.round_index}/{head_id}->{far_end}",
+                f"uplink {head_id}->{far_end}",
             )
-            if self._regime_offset_db != 0.0:
-                link.shift_mean_snr_db(self._regime_offset_db)
             self._relays[head_id].wire(
                 link,
                 None if next_id is None else self._relays[next_id],

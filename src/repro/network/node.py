@@ -122,8 +122,13 @@ class SensorNode:
             rng,
             tracer,
         )
-        # Head-role machinery (built lazily per round).
+        # Head-role machinery (built lazily per round).  With
+        # ``cfg.scale.reuse_head_stack`` the channel/broadcaster/MAC trio
+        # survives between this node's head terms and is reset instead of
+        # reallocated (construction draws nothing, so reuse is
+        # bit-identical — see CaemClusterHeadMac.reset).
         self.head_mac: Optional[CaemClusterHeadMac] = None
+        self._head_stack: Optional[tuple] = None
         self.alive = True
         self.death_time_s: Optional[float] = None
         # Churn state (repro.dynamics): a *failed* node is transiently
@@ -165,21 +170,28 @@ class SensorNode:
             raise ClusterError(f"down node {self.id} elected head")
         self.mac.detach()
         self.role = NodeRole.HEAD
-        channel = DataChannel(self.sim, name=f"cluster-{self.id}")
-        broadcaster = ToneBroadcaster(
-            self.sim, self.tone_spec, self.meter, name=f"tone-{self.id}"
-        )
-        self.head_mac = CaemClusterHeadMac(
-            self.sim,
-            self.id,
-            channel,
-            broadcaster,
-            self.data_radio,
-            self.cfg.phy,
-            phy_rng,
-            on_delivered=on_delivered,
-            on_lost=on_lost,
-        )
+        if self._head_stack is not None:
+            channel, broadcaster, head_mac = self._head_stack
+            head_mac.reset(phy_rng, on_delivered, on_lost)
+            self.head_mac = head_mac
+        else:
+            channel = DataChannel(self.sim, name=f"cluster-{self.id}")
+            broadcaster = ToneBroadcaster(
+                self.sim, self.tone_spec, self.meter, name=f"tone-{self.id}"
+            )
+            self.head_mac = CaemClusterHeadMac(
+                self.sim,
+                self.id,
+                channel,
+                broadcaster,
+                self.data_radio,
+                self.cfg.phy,
+                phy_rng,
+                on_delivered=on_delivered,
+                on_lost=on_lost,
+            )
+            if self.cfg.scale.reuse_head_stack:
+                self._head_stack = (channel, broadcaster, self.head_mac)
         self.head_mac.start()
         # Whatever the node had queued is aggregated at zero radio cost
         # (the head reaches itself for free); the network routes it on.

@@ -38,17 +38,49 @@ class NetworkStats:
         :attr:`delivered_bits_by_source`, which the engine needs for the
         churn-aware *survivor throughput* metric.  Off by default so the
         static hot path pays nothing.
+    max_delay_samples:
+        When set (see :attr:`repro.config.ScaleConfig.max_delay_samples`),
+        :attr:`delays_s` and :attr:`hop_counts` become bounded reservoir
+        samples of that size (Vitter's Algorithm R on the seeded
+        ``reservoir_rng`` stream, so runs stay deterministic).  The delay
+        *mean* stays exact either way — it is computed from running
+        accumulators, not the sample — only the percentiles become
+        estimates.  ``None`` (the default) keeps the exact unbounded
+        lists, byte-identical to every prior release.
+    reservoir_rng:
+        Dedicated generator for the reservoir draws; required when
+        ``max_delay_samples`` is set.
     """
 
-    def __init__(self, track_sources: bool = False) -> None:
+    def __init__(
+        self,
+        track_sources: bool = False,
+        max_delay_samples: Optional[int] = None,
+        reservoir_rng=None,
+    ) -> None:
+        if max_delay_samples is not None:
+            if max_delay_samples < 1:
+                raise ValueError("max_delay_samples must be >= 1")
+            if reservoir_rng is None:
+                raise ValueError(
+                    "max_delay_samples requires a dedicated reservoir_rng"
+                )
+        self.max_delay_samples = max_delay_samples
+        self._reservoir_rng = reservoir_rng
         #: Packets handed to the sink over the air.
         self.delivered = 0
         #: Packets aggregated locally by their own cluster head.
         self.delivered_local = 0
         #: Packets corrupted by channel errors (PHY PER).
         self.lost_channel = 0
-        #: End-to-end delays (generation -> sink), seconds; radio path only.
+        #: End-to-end delays (generation -> sink), seconds; radio path
+        #: only.  Exact list, or a reservoir sample when
+        #: ``max_delay_samples`` is set (see the class docstring).
         self.delays_s: List[float] = []
+        #: Running accumulators: the delay count/sum over *every*
+        #: delivery, independent of the reservoir.
+        self.delay_count = 0
+        self.delay_sum_s = 0.0
         #: Per-delivery payload bits (throughput accounting).
         self.delivered_bits = 0
         # -- uplink tier (all zero while routing is disabled) -------------
@@ -58,8 +90,11 @@ class NetworkStats:
         #: counts again when re-transmitted, so this is not a unique-packet
         #: tally — terminal outcomes (delivered / lost / dropped) are.
         self.cluster_delivered = 0
-        #: Radio hops traversed per sink-delivered packet.
+        #: Radio hops traversed per sink-delivered packet (reservoir
+        #: sample under ``max_delay_samples``, like ``delays_s``).
         self.hop_counts: List[int] = []
+        self.hop_count_n = 0
+        self.hop_sum = 0
         #: Packets corrupted by PER on an uplink hop.
         self.uplink_lost_channel = 0
         #: Packets shed after the uplink collision-retry budget.
@@ -99,11 +134,36 @@ class NetworkStats:
         for p in packets:
             bysrc[p.source_id] = bysrc.get(p.source_id, 0) + p.size_bits
 
+    def _record_delay(self, delay_s: float) -> None:
+        """Accumulate one delivery delay (exact list or reservoir)."""
+        self.delay_count += 1
+        self.delay_sum_s += delay_s
+        cap = self.max_delay_samples
+        if cap is None or len(self.delays_s) < cap:
+            self.delays_s.append(delay_s)
+        else:
+            # Vitter's Algorithm R: uniform over everything seen so far.
+            j = int(self._reservoir_rng.integers(self.delay_count))
+            if j < cap:
+                self.delays_s[j] = delay_s
+
+    def _record_hops(self, hops: int) -> None:
+        """Accumulate one sink delivery's hop count (list or reservoir)."""
+        self.hop_count_n += 1
+        self.hop_sum += hops
+        cap = self.max_delay_samples
+        if cap is None or len(self.hop_counts) < cap:
+            self.hop_counts.append(hops)
+        else:
+            j = int(self._reservoir_rng.integers(self.hop_count_n))
+            if j < cap:
+                self.hop_counts[j] = hops
+
     def on_delivered(self, packets: List[Packet], sender_id: int, now: float) -> None:
         """Sink callback for over-the-air deliveries (local routing)."""
         self.delivered += len(packets)
         for p in packets:
-            self.delays_s.append(now - p.birth_s)
+            self._record_delay(now - p.birth_s)
             self.delivered_bits += p.size_bits
         self._credit_sources(packets)
 
@@ -133,9 +193,9 @@ class NetworkStats:
         """Packets completed their final uplink hop into the sink."""
         self.delivered += len(packets)
         for p, h in zip(packets, hops):
-            self.delays_s.append(now - p.birth_s)
+            self._record_delay(now - p.birth_s)
             self.delivered_bits += p.size_bits
-            self.hop_counts.append(h)
+            self._record_hops(h)
         self._credit_sources(packets)
 
     def on_uplink_lost(self, n: int) -> None:
@@ -189,13 +249,17 @@ class NetworkStats:
         )
 
     def mean_delay_s(self) -> float:
-        """Average end-to-end delay of radio deliveries (0 if none)."""
-        if not self.delays_s:
+        """Average end-to-end delay of radio deliveries (0 if none).
+
+        Computed from the running accumulators, so it is exact even when
+        ``delays_s`` is a bounded reservoir sample (the additions happen
+        in delivery order either way — identical float result)."""
+        if self.delay_count == 0:
             return 0.0
-        return sum(self.delays_s) / len(self.delays_s)
+        return self.delay_sum_s / self.delay_count
 
     def mean_hop_count(self) -> float:
         """Average radio hops per sink delivery (0 if routing disabled)."""
-        if not self.hop_counts:
+        if self.hop_count_n == 0:
             return 0.0
-        return sum(self.hop_counts) / len(self.hop_counts)
+        return self.hop_sum / self.hop_count_n

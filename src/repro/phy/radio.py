@@ -58,7 +58,13 @@ _TONE_CAUSE = {
 
 
 class _EnergyStateMachine:
-    """Shared mechanics: each state holds an open continuous draw."""
+    """Shared mechanics: each state holds an open continuous draw.
+
+    State transitions are the single hottest energy path (hundreds per
+    node per second), so the per-state ``(cause, power)`` pair is priced
+    once at construction and every ``_enter`` goes through the meter's
+    allocation-free :meth:`~repro.energy.meter.EnergyMeter.open_draw_known`.
+    """
 
     def __init__(
         self, sim: Simulator, meter: EnergyMeter, initial, cause_map,
@@ -68,12 +74,19 @@ class _EnergyStateMachine:
         self.meter = meter
         self._cause_map = cause_map
         self._scale_map = scale_map or {}
+        #: state -> (cause, power_w·scale) | None, priced up front.
+        self._draw_info = {}
+        for state, cause in cause_map.items():
+            self._draw_info[state] = (
+                cause,
+                meter.model.power_w(cause) * self._scale_map.get(state, 1.0),
+            )
         self._state = initial
         self._draw: Optional[ContinuousDraw] = None
         self.transitions = 0
-        cause = cause_map.get(initial)
-        if cause is not None:
-            self._draw = meter.open_draw(cause, self._scale_map.get(initial, 1.0))
+        info = self._draw_info.get(initial)
+        if info is not None:
+            self._draw = meter.open_draw_known(info[0], info[1])
 
     @property
     def state(self):
@@ -81,15 +94,15 @@ class _EnergyStateMachine:
         return self._state
 
     def _enter(self, state) -> None:
-        now = self.sim.now
-        if self._draw is not None:
-            self._draw.close(now)
+        draw = self._draw
+        if draw is not None:
+            draw.close(self.sim._now)
             self._draw = None
         self._state = state
         self.transitions += 1
-        cause = self._cause_map.get(state)
-        if cause is not None:
-            self._draw = self.meter.open_draw(cause, self._scale_map.get(state, 1.0))
+        info = self._draw_info.get(state)
+        if info is not None:
+            self._draw = self.meter.open_draw_known(info[0], info[1])
 
     def settle(self) -> None:
         """Checkpoint the open draw (exact levels for metric snapshots)."""

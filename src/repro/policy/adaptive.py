@@ -61,6 +61,10 @@ class AdaptiveThresholdPolicy(TransmissionPolicy):
         self.arm_queue_length = cfg.arm_queue_length
         self._initial_class = initial
         self._class = initial
+        #: Current class's SNR gate, mirrored here so the per-pulse
+        #: allows() check is one float compare (kept in sync by
+        #: _set_class; the ladder is immutable).
+        self._threshold_db = ladder.snr_db(initial)
         self._on_change = on_change
 
         # Sampling state (Fig. 6 locals).
@@ -77,11 +81,11 @@ class AdaptiveThresholdPolicy(TransmissionPolicy):
 
     def allows(self, snr_db: float) -> bool:
         """Transmit iff measured CSI clears the current class threshold."""
-        return snr_db >= self.ladder.snr_db(self._class)
+        return snr_db >= self._threshold_db
 
     def threshold_db(self) -> float:
         """Current SNR threshold."""
-        return self.ladder.snr_db(self._class)
+        return self._threshold_db
 
     def threshold_class(self) -> int:
         """Current 0-based class index."""
@@ -141,6 +145,7 @@ class AdaptiveThresholdPolicy(TransmissionPolicy):
         if new_class == old:
             return
         self._class = new_class
+        self._threshold_db = self.ladder.snr_db(new_class)
         if new_class < old:
             self.lowers += 1
         else:

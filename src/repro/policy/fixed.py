@@ -29,14 +29,15 @@ class FixedThresholdPolicy(TransmissionPolicy):
             )
         self.ladder = ladder
         self._class = klass
+        self._threshold_db = ladder.snr_db(klass)
 
     def allows(self, snr_db: float) -> bool:
         """Transmit iff CSI clears the pinned threshold."""
-        return snr_db >= self.ladder.snr_db(self._class)
+        return snr_db >= self._threshold_db
 
     def threshold_db(self) -> float:
         """The pinned SNR threshold."""
-        return self.ladder.snr_db(self._class)
+        return self._threshold_db
 
     def threshold_class(self) -> int:
         """The pinned class index."""

@@ -84,6 +84,41 @@ class NormalBlockCache:
         """
         return loc + scale * self.standard_normal()
 
+    def take3(self):
+        """Three sequential draws as a tuple (bulk take).
+
+        Exactly ``(standard_normal(), standard_normal(), standard_normal())``
+        — the buffered fast path just avoids three method calls when the
+        block holds enough.  The fused Link sampler additionally inlines
+        this body's fast path (even one method call per advance is
+        measurable against the scale gate) and falls back here across
+        block boundaries; any change to ``_buf``/``_idx`` bookkeeping
+        must update that inline copy in :mod:`repro.channel.link`.
+        """
+        buf = self._buf
+        i = self._idx
+        if i + 3 <= len(buf):
+            self._idx = i + 3
+            return buf[i], buf[i + 1], buf[i + 2]
+        return (
+            self.standard_normal(),
+            self.standard_normal(),
+            self.standard_normal(),
+        )
+
+    def rebind(self, gen: np.random.Generator) -> None:
+        """Point the cache at a fresh generator, discarding buffered draws.
+
+        The next draw pulls a new block from ``gen``'s start, so a rebound
+        cache serves exactly the sequence a newly constructed cache would
+        — this is what lets a pooled :class:`~repro.channel.link.Link`
+        recycle its cache object across rounds without perturbing any
+        stream.
+        """
+        self._gen = gen
+        self._buf = []
+        self._idx = 0
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"NormalBlockCache(block_size={self.block_size}, "
@@ -145,6 +180,21 @@ class RngRegistry:
             )
             self._streams[name] = gen
         return gen
+
+    def derive(self, name: str) -> np.random.Generator:
+        """A fresh generator for ``name``, *not* cached in the registry.
+
+        Identical stream to what :meth:`stream` would create for the same
+        name — use it for single-consumer, never-revisited names (the
+        per-round ``link/r<N>/...`` streams), where caching would grow the
+        registry by thousands of dead generators per simulated round.
+        Never mix: a name must go through either :meth:`stream` or
+        :meth:`derive`, since a derived generator cannot continue a cached
+        stream's position.
+        """
+        return np.random.Generator(
+            np.random.PCG64(derive_seed(self._master_seed, name))
+        )
 
     def names(self) -> Iterable[str]:
         """Names of all streams created so far (insertion order)."""

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+import numpy as np
+
 from ..cluster.topology import Topology
 from ..errors import ClusterError
 
@@ -33,6 +35,11 @@ def plan_routes(
     must have a sink placed (:meth:`Topology.place_sink`).  Ties are
     broken by lower node id so the plan is deterministic for a given head
     set.
+
+    The multihop plan is evaluated with vectorised distance rows (one per
+    head) instead of the original nested Python scan — the selection rule
+    is the same argmin-with-first-occurrence the scan implemented, so the
+    table is identical for any head set.
     """
     if topology.sink_position is None:
         raise ClusterError("plan_routes requires a placed sink")
@@ -43,17 +50,18 @@ def plan_routes(
 
     routes: Dict[int, Optional[int]] = {}
     ordered = sorted(heads)  # ascending ids: ties resolve to the lower id
-    for h in ordered:
-        d_sink = topology.sink_distance(h)
-        best: Optional[int] = None
-        best_d = d_sink
-        for g in ordered:
-            if g == h:
-                continue
-            d_g = topology.sink_distance(g)
-            # Strict progress toward the sink; the hop itself must also be
-            # shorter than going direct, else relaying cannot save energy.
-            if d_g < best_d and topology.distance(h, g) < d_sink:
-                best, best_d = g, d_g
-        routes[h] = best
+    idx = np.asarray(ordered, dtype=int)
+    d_sink_all = np.array([topology.sink_distance(h) for h in ordered])
+    for pos, h in enumerate(ordered):
+        d_sink = d_sink_all[pos]
+        # Strict progress toward the sink; the hop itself must also be
+        # shorter than going direct, else relaying cannot save energy.
+        hop_d = topology.distances_from(h)[idx]
+        mask = (d_sink_all < d_sink) & (hop_d < d_sink)
+        mask[pos] = False
+        if mask.any():
+            cand = np.where(mask, d_sink_all, np.inf)
+            routes[h] = int(idx[int(np.argmin(cand))])
+        else:
+            routes[h] = None
     return routes

@@ -1,0 +1,205 @@
+"""Uniform-cell spatial grid with brute-force-identical nearest queries.
+
+The index buckets candidate points into square cells of roughly one
+candidate each and answers nearest-neighbour queries by expanding ring
+search.  Two properties make it a drop-in replacement for the brute-force
+scan in :meth:`repro.cluster.topology.Topology.nearest`:
+
+* **identical arithmetic** — candidate distances are evaluated as
+  ``sqrt(dx*dx + dy*dy)`` in double precision, the exact float sequence
+  the vectorised pairwise matrix produces, so comparisons see the same
+  (possibly rounded) values;
+* **identical tie order** — among equal distances the candidate earliest
+  in the *candidate sequence* wins, matching ``np.argmin``'s
+  first-occurrence rule.  Bucket lists keep candidate order, and ring
+  expansion only stops once a strictly closer ring is impossible
+  (``ring_min > best``), so an equal-distance candidate in a farther ring
+  is still found and resolved by order.
+
+Queries may lie outside the indexed field (the sink in a sink-distance
+sweep): cell coordinates are unclamped and the ring lower bound
+``(r - 1) * cell`` holds for any query position.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ClusterError
+
+__all__ = ["GridIndex", "GridNearest"]
+
+
+class GridIndex:
+    """Spatial hash over a fixed set of candidate points.
+
+    Parameters
+    ----------
+    points:
+        ``(k, 2)`` array of candidate coordinates, in *candidate order*
+        (the order ties resolve to — for cluster formation, the elected
+        head sequence).
+    field_size_m:
+        Extent used to pick the cell size; points may lie anywhere.
+    cell_size_m:
+        Explicit cell size override (defaults to ``field / sqrt(k)``,
+        about one candidate per cell for uniform deployments).
+    """
+
+    __slots__ = (
+        "n",
+        "_xs",
+        "_ys",
+        "_cell",
+        "_buckets",
+        "_bx_min",
+        "_bx_max",
+        "_by_min",
+        "_by_max",
+    )
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        field_size_m: float,
+        cell_size_m: Optional[float] = None,
+    ) -> None:
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ClusterError("grid index needs an (k, 2) point array")
+        k = points.shape[0]
+        if k < 1:
+            raise ClusterError("grid index needs at least one point")
+        if field_size_m <= 0:
+            raise ClusterError("field size must be > 0")
+        self.n = k
+        self._xs: List[float] = points[:, 0].tolist()
+        self._ys: List[float] = points[:, 1].tolist()
+        if cell_size_m is None:
+            cell_size_m = field_size_m / max(1.0, math.sqrt(k))
+        if cell_size_m <= 0:
+            raise ClusterError("cell size must be > 0")
+        self._cell = float(cell_size_m)
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        cell = self._cell
+        for order in range(k):
+            key = (int(self._xs[order] // cell), int(self._ys[order] // cell))
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [order]
+            else:
+                bucket.append(order)
+        self._buckets = buckets
+        bxs = [key[0] for key in buckets]
+        bys = [key[1] for key in buckets]
+        self._bx_min, self._bx_max = min(bxs), max(bxs)
+        self._by_min, self._by_max = min(bys), max(bys)
+
+    def nearest(self, x: float, y: float) -> int:
+        """Candidate-order index of the point nearest ``(x, y)``.
+
+        Equivalent to ``argmin`` over the candidate distance row: the
+        strictly nearest candidate, ties broken by candidate order.
+        """
+        cell = self._cell
+        cx = int(x // cell)
+        cy = int(y // cell)
+        buckets = self._buckets
+        xs = self._xs
+        ys = self._ys
+        best_d = math.inf
+        best_order = -1
+        # All occupied cells lie within this Chebyshev radius of the query.
+        max_ring = max(
+            cx - self._bx_min,
+            self._bx_max - cx,
+            cy - self._by_min,
+            self._by_max - cy,
+            0,
+        )
+        r = 0
+        while True:
+            if r == 0:
+                ring: Sequence[Tuple[int, int]] = ((cx, cy),)
+            else:
+                ring = self._ring_cells(cx, cy, r)
+            for key in ring:
+                bucket = buckets.get(key)
+                if bucket is None:
+                    continue
+                for order in bucket:
+                    dx = xs[order] - x
+                    dy = ys[order] - y
+                    d = math.sqrt(dx * dx + dy * dy)
+                    if d < best_d or (d == best_d and order < best_order):
+                        best_d = d
+                        best_order = order
+            # Ring r+1 is at least r*cell away; <= keeps expanding while an
+            # exact-distance tie (with a lower candidate order) is possible.
+            if best_order >= 0 and r * cell > best_d:
+                break
+            r += 1
+            if r > max_ring:
+                break
+        return best_order
+
+    @staticmethod
+    def _ring_cells(cx: int, cy: int, r: int) -> List[Tuple[int, int]]:
+        """Cells at Chebyshev distance exactly ``r`` from ``(cx, cy)``."""
+        cells: List[Tuple[int, int]] = []
+        top, bottom = cy + r, cy - r
+        for gx in range(cx - r, cx + r + 1):
+            cells.append((gx, top))
+            cells.append((gx, bottom))
+        for gy in range(cy - r + 1, cy + r):
+            cells.append((cx - r, gy))
+            cells.append((cx + r, gy))
+        return cells
+
+
+class GridNearest:
+    """Per-round ``nearest(node, candidates)`` adapter over :class:`GridIndex`.
+
+    The LEACH election resolves every sensor's nearest head through one
+    callable; this adapter builds a :class:`GridIndex` over the head set
+    the first time a round queries it and serves all further queries
+    from the index.  Head sets smaller than ``min_candidates`` fall back
+    to the brute-force scan, where the index cannot win.
+
+    **Caller contract.**  Within one round every query must pass the
+    *same candidate sequence object*, unmutated — that object's identity
+    is the cache key (``LeachElection.form_clusters`` passes its one
+    ``heads`` list for the whole round, which is exactly this shape).
+    The network additionally calls :meth:`invalidate` at each round
+    boundary, so a stale index can never leak across rounds even if a
+    future caller recycles a list object.
+    """
+
+    __slots__ = ("topology", "min_candidates", "_cand", "_index")
+
+    def __init__(self, topology, min_candidates: int = 8) -> None:
+        self.topology = topology
+        self.min_candidates = min_candidates
+        self._cand: Optional[Sequence[int]] = None
+        self._index: Optional[GridIndex] = None
+
+    def invalidate(self) -> None:
+        """Drop the cached index (call at every round boundary)."""
+        self._cand = None
+        self._index = None
+
+    def __call__(self, node: int, candidates: Sequence[int]) -> int:
+        if len(candidates) < self.min_candidates:
+            return self.topology.nearest(node, candidates)
+        if candidates is not self._cand:
+            self._cand = candidates
+            self._index = GridIndex(
+                self.topology.positions[np.asarray(candidates, dtype=int)],
+                self.topology.field_size_m,
+            )
+        pos = self.topology.positions
+        order = self._index.nearest(float(pos[node, 0]), float(pos[node, 1]))
+        return int(candidates[order])

@@ -1,0 +1,200 @@
+"""Spatial-index equivalence: the grid must answer exactly like brute force.
+
+The scale tier's grid index is only admissible because every nearest
+query returns the *same node* the brute-force scan returns — including
+exact-distance ties, which must resolve to the candidate earliest in the
+candidate sequence (``np.argmin`` first-occurrence semantics).  These
+property tests drive randomized topologies, duplicated positions, grid
+placements (systematic ties) and out-of-field query points at both
+implementations and require equality everywhere; they also pin the
+lazy (matrix-free) Topology distance path to the matrix bit-for-bit,
+and the vectorised multihop route planner to the original nested scan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import Topology
+from repro.config import NetworkConfig
+from repro.errors import ClusterError
+from repro.network import SensorNetwork
+from repro.routing import plan_routes
+from repro.topology import GridIndex, GridNearest
+
+
+def _random_topology(rng, n=None, field=None):
+    n = int(rng.integers(2, 150)) if n is None else n
+    field = float(rng.uniform(5.0, 400.0)) if field is None else field
+    return Topology(rng.uniform(0.0, field, size=(n, 2)), field)
+
+
+class TestGridNearestEquivalence:
+    def test_matches_brute_force_on_random_topologies(self):
+        rng = np.random.default_rng(1234)
+        for _ in range(60):
+            topo = _random_topology(rng)
+            n = topo.n_nodes
+            k = int(rng.integers(1, n + 1))
+            cands = list(rng.choice(n, size=k, replace=False))
+            adapter = GridNearest(topo, min_candidates=1)
+            for node in range(n):
+                assert adapter(node, cands) == topo.nearest(node, cands)
+
+    def test_ties_resolve_to_first_candidate_in_sequence(self):
+        # A grid placement puts many nodes at identical distances; the
+        # winner must be whichever tied head appears first in the
+        # candidate sequence, not the lower id.
+        topo = Topology.grid(36, 120.0)
+        rng = np.random.default_rng(7)
+        for _ in range(40):
+            k = int(rng.integers(1, 37))
+            cands = list(rng.permutation(36)[:k])
+            adapter = GridNearest(topo, min_candidates=1)
+            for node in range(36):
+                assert adapter(node, cands) == topo.nearest(node, cands)
+
+    def test_duplicate_positions_tie_exactly(self):
+        # Nodes stacked on the same point: distances are bit-equal, so
+        # candidate order is the only discriminator.
+        pts = np.array([[10.0, 10.0]] * 5 + [[30.0, 30.0]] * 5)
+        topo = Topology(pts, 50.0)
+        adapter = GridNearest(topo, min_candidates=1)
+        for cands in ([3, 1, 8, 6], [8, 6, 3, 1], [4, 2], [9, 0]):
+            for node in range(10):
+                assert adapter(node, cands) == topo.nearest(node, cands)
+
+    def test_query_point_outside_field(self):
+        # Sink-style queries may lie far outside the indexed field.
+        rng = np.random.default_rng(11)
+        pts = rng.uniform(0.0, 100.0, size=(50, 2))
+        index = GridIndex(pts, 100.0)
+        for q in [(-80.0, -80.0), (250.0, 40.0), (50.0, -1.0), (99.9, 99.9)]:
+            d = np.sqrt(((pts - np.asarray(q)) ** 2).sum(axis=1))
+            assert index.nearest(*q) == int(np.argmin(d))
+
+    def test_single_candidate(self):
+        topo = _random_topology(np.random.default_rng(2), n=20)
+        adapter = GridNearest(topo, min_candidates=1)
+        for node in range(20):
+            assert adapter(node, [13]) == 13
+
+    def test_adapter_falls_back_below_min_candidates(self):
+        topo = _random_topology(np.random.default_rng(3), n=30)
+        adapter = GridNearest(topo, min_candidates=8)
+        assert adapter(0, [5, 9]) == topo.nearest(0, [5, 9])
+        assert adapter._index is None  # brute path taken, no index built
+
+    def test_adapter_reuses_index_for_same_candidate_object(self):
+        topo = _random_topology(np.random.default_rng(4), n=40)
+        adapter = GridNearest(topo, min_candidates=1)
+        cands = list(range(12))
+        adapter(0, cands)
+        built = adapter._index
+        adapter(1, cands)
+        assert adapter._index is built  # same round: same index
+        adapter(1, list(range(12)))  # new list object = new round
+        assert adapter._index is not built
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ClusterError):
+            GridIndex(np.empty((0, 2)), 10.0)
+        with pytest.raises(ClusterError):
+            GridIndex(np.zeros((3, 3)), 10.0)
+        with pytest.raises(ClusterError):
+            GridIndex(np.zeros((3, 2)), 0.0)
+
+
+class TestLazyTopologyEquivalence:
+    """Matrix-free distances must be bit-identical to the matrix."""
+
+    def _pair(self, seed, n=80, field=120.0):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0.0, field, size=(n, 2))
+        return (
+            Topology(pos, field, precompute_matrix=True),
+            Topology(pos, field, precompute_matrix=False),
+        )
+
+    def test_distance_bitwise_equal(self):
+        dense, lazy = self._pair(21)
+        assert lazy._dist is None and dense._dist is not None
+        for a in range(0, 80, 7):
+            for b in range(80):
+                assert dense.distance(a, b) == lazy.distance(a, b)
+
+    def test_distances_from_bitwise_equal(self):
+        dense, lazy = self._pair(22)
+        for node in range(0, 80, 11):
+            assert (dense.distances_from(node) == lazy.distances_from(node)).all()
+
+    def test_nearest_identical(self):
+        dense, lazy = self._pair(23)
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            cands = list(rng.choice(80, size=int(rng.integers(1, 20)),
+                                    replace=False))
+            for node in range(0, 80, 5):
+                assert dense.nearest(node, cands) == lazy.nearest(node, cands)
+
+    def test_auto_threshold(self):
+        rng = np.random.default_rng(6)
+        small = Topology(rng.uniform(0, 10, size=(50, 2)), 10.0)
+        assert small._dist is not None
+        big = Topology(rng.uniform(0, 10, size=(700, 2)), 10.0)
+        assert big._dist is None
+
+
+class TestPlanRoutesEquivalence:
+    """The vectorised multihop planner equals the original nested scan."""
+
+    @staticmethod
+    def _reference_plan(heads, topology):
+        routes = {}
+        ordered = sorted(heads)
+        for h in ordered:
+            d_sink = topology.sink_distance(h)
+            best, best_d = None, d_sink
+            for g in ordered:
+                if g == h:
+                    continue
+                d_g = topology.sink_distance(g)
+                if d_g < best_d and topology.distance(h, g) < d_sink:
+                    best, best_d = g, d_g
+            routes[h] = best
+        return routes
+
+    def test_matches_reference_on_random_head_sets(self):
+        rng = np.random.default_rng(31)
+        for _ in range(40):
+            topo = _random_topology(rng, n=int(rng.integers(5, 60)))
+            topo.place_sink(
+                (float(rng.uniform(-50, topo.field_size_m + 50)),
+                 float(rng.uniform(-50, topo.field_size_m + 50)))
+            )
+            k = int(rng.integers(1, topo.n_nodes + 1))
+            heads = list(rng.choice(topo.n_nodes, size=k, replace=False))
+            assert plan_routes("multihop", heads, topo) == \
+                self._reference_plan(heads, topo)
+
+    def test_direct_mode_unchanged(self):
+        topo = _random_topology(np.random.default_rng(32), n=10)
+        topo.place_sink(None)
+        assert plan_routes("direct", [3, 7], topo) == {3: None, 7: None}
+
+
+class TestNetworkUsesGrid:
+    def test_brute_and_grid_networks_form_identical_clusters(self):
+        for seed in (1, 5):
+            cfg = NetworkConfig(n_nodes=60, seed=seed)
+            grid_net = SensorNetwork(cfg)
+            brute_net = SensorNetwork(
+                cfg.with_scale(spatial_index="brute",
+                               grid_min_heads=1)
+            )
+            grid_net.run_until(25.0)
+            brute_net.run_until(25.0)
+            assert isinstance(grid_net._nearest, GridNearest)
+            assert [sorted(m.id for m in grid_net._members_of[h])
+                    for h in sorted(grid_net._members_of)] == \
+                   [sorted(m.id for m in brute_net._members_of[h])
+                    for h in sorted(brute_net._members_of)]
