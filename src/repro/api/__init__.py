@@ -31,7 +31,14 @@ Quickstart::
 """
 
 from .bench import BenchReport, BenchResult, run_bench
-from .campaign import Campaign, CampaignResult, default_jobs, run_scenarios
+from .campaign import (
+    Campaign,
+    CampaignResult,
+    active_run_cache,
+    default_jobs,
+    run_scenarios,
+    use_run_cache,
+)
 from .engine import RunOptions, simulate
 from .registry import (
     ExperimentSpec,
@@ -53,6 +60,7 @@ __all__ = [
     "RunOptions",
     "RunResult",
     "Scenario",
+    "active_run_cache",
     "default_jobs",
     "experiment",
     "get_experiment",
@@ -60,4 +68,5 @@ __all__ = [
     "run_bench",
     "run_scenarios",
     "simulate",
+    "use_run_cache",
 ]

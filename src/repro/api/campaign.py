@@ -23,6 +23,8 @@ in the same order, only faster.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import dataclasses
 import itertools
 import os
@@ -43,9 +45,49 @@ from ..errors import ExperimentError
 from .result import RunResult
 from .scenario import Scenario, _SECTIONS
 
-__all__ = ["Campaign", "CampaignResult", "run_scenarios", "default_jobs"]
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "run_scenarios",
+    "default_jobs",
+    "use_run_cache",
+    "active_run_cache",
+    "NO_CACHE",
+]
 
 _TOP_FIELDS = {f.name for f in dataclasses.fields(NetworkConfig)}
+
+#: Sentinel for ``run_scenarios(cache=NO_CACHE)``: force plain execution
+#: even when a cache is active in the calling context (the cache itself
+#: uses this to simulate its misses without recursing).
+NO_CACHE = object()
+
+#: The ambient run cache (see :func:`use_run_cache`).  A ContextVar so
+#: the campaign server's worker threads can each activate their own cache
+#: without interfering.
+_ACTIVE_CACHE: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_run_cache", default=None
+)
+
+
+@contextlib.contextmanager
+def use_run_cache(cache):
+    """Route every :func:`run_scenarios` call in this context through
+    ``cache`` (a :class:`repro.service.RunCache`): cells whose config
+    digest already has a stored row are served from the result database,
+    only the misses are simulated.  The CLI's ``--cache`` flag and the
+    campaign server both wrap execution in this.
+    """
+    token = _ACTIVE_CACHE.set(cache)
+    try:
+        yield cache
+    finally:
+        _ACTIVE_CACHE.reset(token)
+
+
+def active_run_cache():
+    """The cache installed by :func:`use_run_cache`, or ``None``."""
+    return _ACTIVE_CACHE.get()
 
 
 def default_jobs() -> int:
@@ -66,6 +108,8 @@ def run_scenarios(
     jobs: int = 1,
     store=None,
     progress: Optional[Callable[[int, int, Scenario], None]] = None,
+    experiment: Optional[str] = None,
+    cache=None,
 ) -> List[RunResult]:
     """Execute ``scenarios`` and return their results **in input order**.
 
@@ -77,11 +121,26 @@ def run_scenarios(
     :class:`~repro.api.store.ResultStore` — receives every result as it is
     collected (in order), so an interrupted campaign keeps the runs that
     finished.
+
+    ``experiment`` stamps every result's :attr:`RunResult.experiment`
+    *before* it reaches the store, so persisted rows carry their
+    provenance.  ``cache`` overrides the ambient run cache: ``None``
+    consults :func:`active_run_cache`, :data:`NO_CACHE` forces plain
+    execution, anything else is used as the cache for this call.
     """
     scenarios = list(scenarios)
+    if cache is None:
+        cache = active_run_cache()
+    if cache is not None and cache is not NO_CACHE:
+        return cache.execute(
+            scenarios, jobs=jobs, store=store, progress=progress,
+            experiment=experiment,
+        )
     results: List[RunResult] = []
 
     def collect(run: RunResult) -> None:
+        if experiment is not None:
+            run.experiment = experiment
         results.append(run)
         if store is not None:
             store.append(run)
@@ -214,11 +273,15 @@ class Campaign:
         jobs: Optional[int] = None,
         store=None,
         progress: Optional[Callable[[int, int, Scenario], None]] = None,
+        cache=None,
     ) -> CampaignResult:
         """Execute the whole grid and return the index-aligned results.
 
         ``jobs=None`` falls back to :func:`default_jobs` (the ``REPRO_JOBS``
-        environment variable, else serial).
+        environment variable, else serial).  ``cache`` — a
+        :class:`repro.service.RunCache` — serves already-stored cells
+        from its result database and simulates only the rest (results are
+        identical either way; see the cache's ``stats``).
         """
         scenarios = self.scenarios()
         if not scenarios:
@@ -228,5 +291,6 @@ class Campaign:
             jobs=default_jobs() if jobs is None else jobs,
             store=store,
             progress=progress,
+            cache=cache,
         )
         return CampaignResult(scenarios=scenarios, runs=runs)

@@ -37,6 +37,10 @@ class ExperimentSpec:
     #: One-line human summary (defaults to the callable's first doc line).
     summary: str = ""
 
+    def to_dict(self) -> Dict[str, str]:
+        """JSON-safe metadata view (the campaign server's ``/experiments``)."""
+        return {"name": self.name, "kind": self.kind, "summary": self.summary}
+
     def accepts(self, option: str) -> bool:
         """Does the underlying callable declare this keyword option?"""
         params = inspect.signature(self.fn).parameters

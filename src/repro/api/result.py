@@ -14,7 +14,20 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-__all__ = ["RunResult"]
+__all__ = ["RunResult", "SERIES_FIELDS"]
+
+#: RunResult fields that hold time series / per-node vectors rather than
+#: scalars.  The CSV store drops these columns, and
+#: :meth:`RunResult.scalar_summary` (the query/browse view) omits them.
+SERIES_FIELDS = (
+    "sample_times_s",
+    "mean_energy_j",
+    "alive_counts",
+    "up_counts",
+    "queue_snapshots",
+    "death_times_s",
+    "energy_breakdown",
+)
 
 
 @dataclass
@@ -164,6 +177,18 @@ class RunResult:
     def to_dict(self) -> Dict[str, Any]:
         """Flatten to a JSON-serialisable dict (inverse of :meth:`from_dict`)."""
         return dataclasses.asdict(self)
+
+    def scalar_summary(self) -> Dict[str, Any]:
+        """Scalar-only view (series dropped) for query/browse output.
+
+        This is what ``repro-caem query`` prints and what the campaign
+        server's ``/runs`` endpoint returns per row — the full record
+        (series included) stays available via :meth:`to_dict`.
+        """
+        data = self.to_dict()
+        for name in SERIES_FIELDS:
+            data.pop(name, None)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunResult":

@@ -14,6 +14,14 @@ table, or extension study shows up automatically::
     repro-caem run fig8  --profile fig8.pstats         # find the hot spots
     repro-caem bench --tier quick --fail-threshold 2.0 # perf regression gate
 
+The service tier (see :mod:`repro.service`) adds the result database,
+the content-addressed run cache, and the campaign server::
+
+    repro-caem run fig10 --cache results.sqlite   # repeat = pure reads
+    repro-caem migrate runs/fig11.jsonl results.sqlite
+    repro-caem query results.sqlite --experiment fig10 --where 'delivery_rate>0.9'
+    repro-caem serve --db results.sqlite --port 8351
+
 ``--jobs N`` fans the experiment's scenario grid out over a process pool
 (tables are identical at any parallelism).  The pre-registry spelling
 ``repro-caem fig8 ...`` still works as an alias for ``run fig8 ...``.
@@ -23,10 +31,11 @@ table, or extension study shows up automatically::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional, Sequence
 
-from .api import ResultStore, get_experiment, list_experiments
+from .api import get_experiment, list_experiments, use_run_cache
 from .api import bench as bench_mod
 from .errors import ExperimentError, ReproError
 
@@ -98,14 +107,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--store",
         default=None,
         metavar="PATH",
-        help="append every raw RunResult to this .jsonl/.csv store",
+        help="append every raw RunResult to this .jsonl/.csv/.sqlite store",
     )
     run_p.add_argument(
         "--from",
         dest="from_store",
         default=None,
         metavar="PATH",
-        help="re-render from a previously written store instead of simulating",
+        help="re-render from a previously written store (.jsonl or a "
+        ".sqlite result database) instead of simulating",
+    )
+    run_p.add_argument(
+        "--cache",
+        default=None,
+        metavar="DB",
+        help="content-addressed run cache: serve grid cells already in "
+        "this .sqlite result database, simulate and store only the "
+        "misses (a repeated run is 100%% reads; cache stats go to stderr)",
     )
     run_p.add_argument(
         "--profile",
@@ -148,6 +166,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 if any bench is slower than X times its baseline "
         "(e.g. 2.0 for the CI gate)",
     )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the campaign server (JSON HTTP API over a result DB)",
+    )
+    serve_p.add_argument(
+        "--db",
+        default="results.sqlite",
+        metavar="PATH",
+        help="SQLite result database to serve (created if absent)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=8351,
+        help="TCP port (0 picks a free one and prints it)",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="concurrent campaign jobs (worker threads)",
+    )
+    serve_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="default simulation processes per job (the run --jobs pool)",
+    )
+    serve_p.add_argument(
+        "--quiet", action="store_true", help="suppress per-request logging"
+    )
+
+    query_p = sub.add_parser(
+        "query",
+        help="filtered reads from a result store, no server needed",
+    )
+    query_p.add_argument(
+        "store", metavar="STORE",
+        help="result store to read (.sqlite/.db/.jsonl/.csv)",
+    )
+    query_p.add_argument("--experiment", default=None)
+    query_p.add_argument("--digest", default=None,
+                         help="exact config digest (64 hex chars)")
+    query_p.add_argument("--seed", type=int, default=None)
+    query_p.add_argument("--protocol", default=None)
+    query_p.add_argument(
+        "--where",
+        action="append",
+        default=[],
+        metavar="PRED",
+        help="metric predicate like 'delivery_rate>0.9' (repeatable; "
+        "all must hold)",
+    )
+    query_p.add_argument(
+        "--columns",
+        nargs="+",
+        default=None,
+        metavar="FIELD",
+        help="RunResult fields to print (default: a summary set)",
+    )
+    query_p.add_argument("--limit", type=int, default=None)
+    query_p.add_argument(
+        "--format",
+        dest="out_format",
+        default="table",
+        choices=("table", "jsonl"),
+        help="table = aligned text; jsonl = one full-fidelity row per line",
+    )
+
+    migrate_p = sub.add_parser(
+        "migrate",
+        help="copy a result store between formats (jsonl/csv <-> sqlite)",
+    )
+    migrate_p.add_argument("src", metavar="SRC",
+                           help="existing store (.jsonl/.csv/.sqlite/.db)")
+    migrate_p.add_argument("dst", metavar="DST",
+                           help="destination store, created/appended")
     return parser
 
 
@@ -220,49 +315,152 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_run_body(args: argparse.Namespace) -> int:
+    from .service import RunCache, open_store
+
     names = (
         _known_names() if args.experiment == "all" else [args.experiment]
     )
     stored_runs = None
     if args.from_store:
-        from_store = ResultStore(args.from_store)
-        if from_store.format != "jsonl":
+        from_store = open_store(args.from_store)
+        if from_store.format not in ("jsonl", "sqlite"):
             raise ExperimentError(
-                "--from requires a .jsonl store: CSV stores are scalar-only "
-                "(time series dropped), so series figures would render empty"
+                "--from requires a .jsonl store or a .sqlite result "
+                "database: CSV stores are scalar-only (time series "
+                "dropped), so series figures would render empty"
             )
         if not from_store.path.exists():
             raise ExperimentError(f"no such result store: {from_store.path}")
         stored_runs = from_store.load()
-    store = ResultStore(args.store) if args.store else None
+    store = open_store(args.store) if args.store else None
     if (
         store is not None
         and args.from_store
-        and store.path.resolve() == ResultStore(args.from_store).path.resolve()
+        and store.path.resolve() == open_store(args.from_store).path.resolve()
     ):
         raise ExperimentError(
             f"refusing to append runs loaded from {store.path} back into "
             f"itself (--from and --store name the same file)"
         )
-    for name in names:
-        spec = get_experiment(name)
-        figure = spec.run(
-            preset=args.preset,
-            seeds=tuple(args.seeds),
-            loads_pps=tuple(args.loads),
-            jobs=args.jobs,
-            runs=stored_runs,
-        )
-        sys.stdout.write(figure.render())
-        sys.stdout.write("\n")
-        if store is not None and figure.runs:
-            store.extend(figure.runs)
-            sys.stdout.write(
-                f"stored {len(figure.runs)} runs in {store.path}\n\n"
+    cache = None
+    cache_ctx = contextlib.nullcontext()
+    if args.cache:
+        if args.from_store:
+            raise ExperimentError(
+                "--cache and --from are mutually exclusive: --cache "
+                "already reads stored cells and simulates only the misses"
             )
-        if args.out:
-            path = figure.save_csv(args.out)
-            sys.stdout.write(f"wrote {path}\n\n")
+        cache = RunCache(open_store(args.cache))
+        cache_ctx = use_run_cache(cache)
+    with cache_ctx:
+        for name in names:
+            spec = get_experiment(name)
+            figure = spec.run(
+                preset=args.preset,
+                seeds=tuple(args.seeds),
+                loads_pps=tuple(args.loads),
+                jobs=args.jobs,
+                runs=stored_runs,
+            )
+            sys.stdout.write(figure.render())
+            sys.stdout.write("\n")
+            if store is not None and figure.runs:
+                store.extend(figure.runs)
+                sys.stdout.write(
+                    f"stored {len(figure.runs)} runs in {store.path}\n\n"
+                )
+            if args.out:
+                path = figure.save_csv(args.out)
+                sys.stdout.write(f"wrote {path}\n\n")
+    if cache is not None:
+        # Stats go to stderr so stdout stays byte-identical between the
+        # cold and the fully cached pass (the CI diff relies on that).
+        sys.stderr.write(cache.stats.describe() + "\n")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import build_server
+
+    server = build_server(
+        args.db,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        sim_jobs=args.jobs,
+        quiet=args.quiet,
+    )
+    host, port = server.server_address[:2]
+    sys.stderr.write(
+        f"campaign server on http://{host}:{port} (db={args.db}) — "
+        f"POST /campaigns to submit, Ctrl-C to stop\n"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        sys.stderr.write("shutting down\n")
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .experiments.report import render_table
+    from .service import open_store, parse_predicate, query_runs
+    from .service.query import DEFAULT_COLUMNS
+
+    store = open_store(args.store)
+    if not store.path.exists():
+        raise ExperimentError(f"no such result store: {store.path}")
+    rows = query_runs(
+        store,
+        experiment=args.experiment,
+        config_digest=args.digest,
+        seed=args.seed,
+        protocol=args.protocol,
+        where=[parse_predicate(text) for text in args.where],
+        limit=args.limit,
+    )
+    if args.out_format == "jsonl":
+        for run in rows:
+            sys.stdout.write(json_mod.dumps(run.to_dict()) + "\n")
+        return 0
+    columns = list(args.columns) if args.columns else list(DEFAULT_COLUMNS)
+    table_rows = []
+    for run in rows:
+        summary = run.to_dict()
+        try:
+            table_rows.append(
+                [summary[c][:12] if c == "config_digest" and summary[c]
+                 else summary[c] for c in columns]
+            )
+        except KeyError as exc:
+            raise ExperimentError(
+                f"unknown column {exc.args[0]!r}; RunResult fields: "
+                f"{', '.join(sorted(summary))}"
+            ) from None
+    sys.stdout.write(render_table(columns, table_rows))
+    sys.stdout.write(f"{len(rows)} rows\n")
+    return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from .service import open_store
+
+    src = open_store(args.src)
+    if not src.path.exists():
+        raise ExperimentError(f"no such result store: {src.path}")
+    dst = open_store(args.dst)
+    if src.path.resolve() == dst.path.resolve():
+        raise ExperimentError("SRC and DST name the same file")
+    runs = src.load()
+    dst.extend(runs)
+    sys.stdout.write(
+        f"migrated {len(runs)} runs: {src.path} ({src.format}) -> "
+        f"{dst.path} ({dst.format})\n"
+    )
     return 0
 
 
@@ -270,7 +468,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI body; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
     # Pre-registry compatibility: "repro-caem fig8 ..." == "run fig8 ...".
-    if argv and argv[0] not in ("run", "list", "bench", "-h", "--help"):
+    if argv and argv[0] not in (
+        "run", "list", "bench", "serve", "query", "migrate", "-h", "--help"
+    ):
         argv.insert(0, "run")
     args = build_parser().parse_args(argv)
     try:
@@ -278,6 +478,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_list(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "query":
+            return _cmd_query(args)
+        if args.command == "migrate":
+            return _cmd_migrate(args)
         return _cmd_run(args)
     except ReproError as exc:
         sys.stderr.write(f"error: {exc}\n")

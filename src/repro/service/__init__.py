@@ -1,0 +1,47 @@
+"""``repro.service`` — simulation-as-a-service on top of :mod:`repro.api`.
+
+Three layers, each usable on its own:
+
+* **Result database** (:mod:`~repro.service.db`): the SQLite-backed
+  :class:`DbResultStore` — same interface as the flat-file
+  :class:`repro.api.ResultStore`, plus indexed reads, WAL concurrency,
+  schema migrations, and JSONL/CSV import/export.  :func:`open_store`
+  picks the backend by file suffix.
+* **Run cache** (:mod:`~repro.service.cache`): :class:`RunCache` serves
+  campaign cells whose config digest already has a stored row straight
+  from the database and simulates only the misses — a repeated sweep is
+  100% reads, byte-identical to a fresh run.  :class:`CacheStats` counts
+  what was saved.
+* **Campaign server** (:mod:`~repro.service.jobs` /
+  :mod:`~repro.service.http`): ``repro-caem serve`` — submit campaigns
+  over JSON/HTTP into a background :class:`JobManager`, stream NDJSON
+  progress, browse rows, and re-render figures from stored rows; and
+  ``repro-caem query`` (:mod:`~repro.service.query`) for the same
+  filtered reads without a server.
+"""
+
+from .cache import CacheStats, RunCache
+from .db import DB_SUFFIXES, DbResultStore, open_store
+from .http import CampaignServer, build_server
+from .jobs import JobManager, JobRecord
+from .migrations import MIGRATIONS, SCHEMA_VERSION, ensure_schema, schema_version
+from .query import Predicate, parse_predicate, query_runs
+
+__all__ = [
+    "CacheStats",
+    "CampaignServer",
+    "DB_SUFFIXES",
+    "DbResultStore",
+    "JobManager",
+    "JobRecord",
+    "MIGRATIONS",
+    "Predicate",
+    "RunCache",
+    "SCHEMA_VERSION",
+    "build_server",
+    "ensure_schema",
+    "open_store",
+    "parse_predicate",
+    "query_runs",
+    "schema_version",
+]

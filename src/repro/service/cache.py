@@ -1,0 +1,204 @@
+"""Content-addressed run cache: serve stored cells, simulate only misses.
+
+A :class:`RunCache` sits between the Campaign executor and the engine.
+Before anything is simulated it pairs the scenario grid against the
+result database by config digest (the same pairing the ``--from``
+re-renderer uses — :mod:`repro.api.pairing`), serves every hit straight
+from the stored rows, simulates only the misses, and writes the newly
+simulated rows back — so a repeated sweep is 100% reads, and an enlarged
+sweep only pays for the new cells.
+
+Because stored rows round-trip exactly (JSON payloads preserve every
+float bit), a fully cached campaign returns results **byte-identical** to
+a fresh run, in the same order — verified by the service test-suite and
+the ``service-smoke`` CI job.
+
+Activate per call (``Campaign.run(cache=...)``) or ambiently for a whole
+code region (CLI ``--cache``, the campaign server's workers)::
+
+    from repro.api import use_run_cache
+    from repro.service import DbResultStore, RunCache
+
+    cache = RunCache(DbResultStore("results.sqlite"))
+    with use_run_cache(cache):
+        figure = fig8_remaining_energy(preset="quick")
+    print(cache.stats.describe())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..api import campaign as _campaign
+from ..api.pairing import pair_stored_runs, scenario_key
+from ..api.result import RunResult
+
+__all__ = ["CacheStats", "RunCache"]
+
+
+@dataclass
+class CacheStats:
+    """What the cache did across one or more executions."""
+
+    #: Cells served from the database (simulations avoided).
+    hits: int = 0
+    #: Cells that had to be simulated (and were then stored).
+    misses: int = 0
+    #: Stored payload bytes served instead of being recomputed.
+    bytes_saved: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "total": self.total,
+            "hit_rate": self.hit_rate,
+            "bytes_saved": self.bytes_saved,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"cache: {self.hits}/{self.total} cells served from store "
+            f"({self.hit_rate:.0%}), {self.misses} simulated, "
+            f"{self.bytes_saved} payload bytes saved"
+        )
+
+
+class RunCache:
+    """Digest-keyed read-through cache over a result store.
+
+    ``store`` is any store with ``extend`` and either ``rows_for_digests``
+    (the indexed :class:`~repro.service.DbResultStore` path) or ``load``
+    (flat files work too, at scan cost).  ``on_event`` receives progress
+    dicts (the campaign server streams them as NDJSON): a ``plan`` event
+    up front, then one ``cell`` event per grid cell with its source.
+    """
+
+    def __init__(
+        self,
+        store,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ):
+        self.store = store
+        self.stats = CacheStats()
+        self.on_event = on_event
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def _stored_candidates(self, scenarios: Sequence) -> List[tuple]:
+        """Candidate ``(run, payload_bytes)`` rows for this grid."""
+        digests = {scenario_key(sc)[4] for sc in scenarios}
+        rows_for_digests = getattr(self.store, "rows_for_digests", None)
+        if rows_for_digests is not None:
+            return list(rows_for_digests(digests))
+        # Flat-file fallback: full scan, size approximated from the row.
+        import json
+
+        return [
+            (run, len(json.dumps(run.to_dict()).encode()))
+            for run in self.store.load()
+            if run.config_digest in digests
+        ]
+
+    def execute(
+        self,
+        scenarios: Sequence,
+        jobs: int = 1,
+        store=None,
+        progress=None,
+        experiment: Optional[str] = None,
+    ) -> List[RunResult]:
+        """The cache-aware executor body behind :func:`run_scenarios`.
+
+        Returns results index-aligned with ``scenarios`` — exactly what
+        plain execution would return, with hits read instead of computed.
+        Misses are appended to the cache's own database as they finish
+        (an interrupted campaign keeps its completed cells); ``store``
+        (the caller's ``--store`` target, if any) still receives *every*
+        result in grid order.
+        """
+        scenarios = list(scenarios)
+        candidates = self._stored_candidates(scenarios)
+        sizes = {id(run): nbytes for run, nbytes in candidates}
+        paired, _missing = pair_stored_runs(
+            scenarios, [run for run, _ in candidates], experiment
+        )
+
+        total = len(scenarios)
+        miss_indices = [i for i, run in enumerate(paired) if run is None]
+        hits = total - len(miss_indices)
+        self.stats.hits += hits
+        self.stats.misses += len(miss_indices)
+        for run in paired:
+            if run is not None:
+                self.stats.bytes_saved += sizes.get(id(run), 0)
+        self._emit({
+            "type": "plan",
+            "total": total,
+            "cached": hits,
+            "to_simulate": len(miss_indices),
+        })
+        for i, run in enumerate(paired):
+            if run is not None:
+                self._emit(self._cell_event(i, total, scenarios[i], "cache"))
+
+        if miss_indices:
+            fresh: List[RunResult] = []
+
+            def collect_fresh(run: RunResult) -> None:
+                fresh.append(run)
+                self.store.append(run)
+                index = miss_indices[len(fresh) - 1]
+                self._emit(
+                    self._cell_event(index, total, scenarios[index], "sim")
+                )
+
+            simulated = _campaign.run_scenarios(
+                [scenarios[i] for i in miss_indices],
+                jobs=jobs,
+                store=_Collector(collect_fresh),
+                experiment=experiment,
+                cache=_campaign.NO_CACHE,
+            )
+            for index, run in zip(miss_indices, simulated):
+                paired[index] = run
+
+        results: List[RunResult] = paired  # type: ignore[assignment]
+        for i, run in enumerate(results):
+            if progress is not None:
+                progress(i, total, scenarios[i])
+            if store is not None:
+                store.append(run)
+        return results
+
+    @staticmethod
+    def _cell_event(index: int, total: int, scenario, source: str
+                    ) -> Dict[str, Any]:
+        return {
+            "type": "cell",
+            "index": index,
+            "total": total,
+            "source": source,
+            "scenario": scenario.describe(),
+        }
+
+
+class _Collector:
+    """Adapter: present a callable as the store interface."""
+
+    def __init__(self, fn: Callable[[RunResult], None]):
+        self._fn = fn
+
+    def append(self, run: RunResult) -> None:
+        self._fn(run)

@@ -1,0 +1,277 @@
+"""The campaign server: a stdlib JSON-over-HTTP front on the service tier.
+
+``repro-caem serve`` binds a :class:`ThreadingHTTPServer` whose handlers
+talk to a shared :class:`~repro.service.db.DbResultStore` and
+:class:`~repro.service.jobs.JobManager`.  No third-party web framework —
+the paper repo stays dependency-light — just the endpoints a campaign
+workflow needs:
+
+==================================  ========================================
+``GET  /health``                    liveness + row count + schema version
+``GET  /experiments``               the experiment registry, as JSON
+``POST /campaigns``                 submit a campaign spec → ``job_id``
+``GET  /campaigns``                 all jobs, newest last
+``GET  /campaigns/<id>``            one job's status snapshot
+``GET  /campaigns/<id>/events``     NDJSON progress stream (long-poll)
+``GET  /campaigns/<id>/figure``     rendered figure; ``?rerender=1``
+                                    re-renders from the stored DB rows
+``GET  /runs``                      browse rows: ``experiment`` /
+                                    ``digest`` / ``seed`` / ``protocol`` /
+                                    repeated ``where=`` predicates /
+                                    ``limit`` / ``full=1`` for series
+==================================  ========================================
+
+Concurrency: WAL mode on the database means the read endpoints serve
+consistent snapshots while worker threads append mid-campaign.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..api import get_experiment, list_experiments
+from ..errors import ExperimentError, ReproError
+from .db import DbResultStore
+from .jobs import JobManager
+from .migrations import SCHEMA_VERSION
+from .query import parse_predicate, query_runs
+
+__all__ = ["CampaignServer", "build_server"]
+
+_MAX_BODY_BYTES = 1 << 20  # campaign specs are small; refuse megabyte bodies
+
+
+class CampaignServer(ThreadingHTTPServer):
+    """HTTP server owning the shared result database and job manager."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        db: DbResultStore,
+        manager: JobManager,
+        quiet: bool = False,
+    ):
+        super().__init__(address, _Handler)
+        self.db = db
+        self.manager = manager
+        self.quiet = quiet
+
+    def close(self) -> None:
+        """Stop serving and drain the worker pool (tests, SIGINT path)."""
+        self.shutdown()
+        self.server_close()
+        self.manager.shutdown()
+
+
+def build_server(
+    db_path,
+    host: str = "127.0.0.1",
+    port: int = 8351,
+    workers: int = 1,
+    sim_jobs: int = 1,
+    quiet: bool = False,
+) -> CampaignServer:
+    """Wire db + job manager + HTTP server (port 0 picks a free port)."""
+    db = DbResultStore(db_path)
+    manager = JobManager(db, workers=workers, sim_jobs=sim_jobs)
+    return CampaignServer((host, port), db, manager, quiet=quiet)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: CampaignServer
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A003
+        if not self.server.quiet:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, status: int = 200,
+                   content_type: str = "text/plain; charset=utf-8") -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ExperimentError("request body required (a JSON object)")
+        if length > _MAX_BODY_BYTES:
+            raise ExperimentError("request body too large")
+        raw = self.rfile.read(length)
+        try:
+            data = json.loads(raw)
+        except ValueError as exc:
+            raise ExperimentError(f"request body is not JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise ExperimentError("request body must be a JSON object")
+        return data
+
+    # -- routing ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        params = parse_qs(url.query)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["health"]:
+                return self._get_health()
+            if parts == ["experiments"]:
+                return self._get_experiments()
+            if parts == ["runs"]:
+                return self._get_runs(params)
+            if parts and parts[0] == "campaigns":
+                if len(parts) == 1:
+                    return self._get_campaigns()
+                job = self.server.manager.get(parts[1])
+                if len(parts) == 2:
+                    return self._send_json(job.snapshot())
+                if len(parts) == 3 and parts[2] == "events":
+                    return self._get_events(job, params)
+                if len(parts) == 3 and parts[2] == "figure":
+                    return self._get_figure(job, params)
+            self._error(404, f"no such endpoint: {url.path}")
+        except (ReproError, ValueError) as exc:
+            self._error(400, str(exc))
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # streaming client went away — nothing to answer
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["campaigns"]:
+                spec = self._read_body()
+                record = self.server.manager.submit(spec)
+                return self._send_json(record.snapshot(), status=202)
+            self._error(404, f"no such endpoint: {url.path}")
+        except (ReproError, ValueError) as exc:
+            self._error(400, str(exc))
+
+    # -- endpoints -------------------------------------------------------------
+
+    def _get_health(self) -> None:
+        self._send_json({
+            "ok": True,
+            "db": str(self.server.db.path),
+            "rows": len(self.server.db),
+            "schema_version": SCHEMA_VERSION,
+            "jobs": len(self.server.manager.list()),
+        })
+
+    def _get_experiments(self) -> None:
+        self._send_json({
+            "experiments": [spec.to_dict() for spec in list_experiments()],
+        })
+
+    def _get_campaigns(self) -> None:
+        self._send_json({
+            "jobs": [job.snapshot() for job in self.server.manager.list()],
+        })
+
+    def _get_events(self, job, params: Dict[str, List[str]]) -> None:
+        """NDJSON progress stream: replay from ``after``, then follow.
+
+        Chunked so a client can iterate lines live; the stream closes once
+        the job is terminal and everything was flushed (or ``timeout``
+        seconds pass with no news — reconnect with ``after=<seq>``).
+        """
+        after = int(params.get("after", ["0"])[0])
+        timeout = min(120.0, float(params.get("timeout", ["30"])[0]))
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+
+        def write_chunk(data: bytes) -> None:
+            self.wfile.write(f"{len(data):X}\r\n".encode() + data + b"\r\n")
+
+        seq = after
+        while True:
+            events = job.wait_events(seq, timeout=timeout)
+            for event in events:
+                write_chunk((json.dumps(event) + "\n").encode())
+            self.wfile.flush()
+            if events:
+                seq = events[-1]["seq"] + 1
+            if job.finished and len(job.events) <= seq:
+                break
+            if not events:
+                break  # timed out quietly; client reconnects with after=
+        self.wfile.write(b"0\r\n\r\n")
+
+    def _get_figure(self, job, params: Dict[str, List[str]]) -> None:
+        spec = job.spec
+        if "experiment" not in spec:
+            raise ExperimentError(
+                "figures exist only for experiment jobs (grid jobs store "
+                "raw rows — browse them via /runs)"
+            )
+        rerender = params.get("rerender", ["0"])[0] not in ("0", "", "false")
+        if rerender:
+            if not job.finished:
+                return self._error(409, "job still running; poll until done")
+            # Re-render purely from the stored rows — the service-tier
+            # equivalent of `repro-caem run <exp> --from results.sqlite`.
+            exp = get_experiment(spec["experiment"])
+            rows = self.server.db.query(experiment=spec["experiment"])
+            figure = exp.run(
+                preset=spec.get("preset", "smoke"),
+                seeds=tuple(int(s) for s in spec.get("seeds", (1,))),
+                loads_pps=(
+                    tuple(float(v) for v in spec["loads"])
+                    if spec.get("loads") else None
+                ),
+                runs=rows,
+            )
+            return self._send_text(figure.render())
+        if job.figure_text is None:
+            return self._error(409, "figure not rendered yet; poll until done")
+        self._send_text(job.figure_text)
+
+    def _get_runs(self, params: Dict[str, List[str]]) -> None:
+        def one(name: str) -> Optional[str]:
+            values = params.get(name)
+            return values[0] if values else None
+
+        seed = one("seed")
+        limit = one("limit")
+        where = [parse_predicate(text) for text in params.get("where", [])]
+        rows = query_runs(
+            self.server.db,
+            experiment=one("experiment"),
+            config_digest=one("digest"),
+            seed=int(seed) if seed is not None else None,
+            protocol=one("protocol"),
+            where=where,
+            limit=int(limit) if limit is not None else None,
+        )
+        full = one("full") in ("1", "true")
+        self._send_json({
+            "count": len(rows),
+            "rows": [
+                run.to_dict() if full else run.scalar_summary()
+                for run in rows
+            ],
+        })

@@ -1,0 +1,277 @@
+"""Background campaign jobs for the service tier.
+
+A :class:`JobManager` owns a FIFO of submitted campaign specs and a small
+pool of worker threads.  Each worker executes one job at a time through
+the content-addressed :class:`~repro.service.cache.RunCache` (so
+resubmitting a finished campaign is pure reads) and the existing
+``--jobs`` process-pool executor (``run_scenarios``), appending every
+simulated row to the shared result database.
+
+Two spec shapes are accepted (JSON over the HTTP API, or dicts in
+process):
+
+* **experiment spec** — ``{"experiment": "fig8", "preset": "smoke",
+  "seeds": [1, 2], "loads": [5, 15], "jobs": 2}`` runs a registered
+  experiment and retains its rendered figure;
+* **grid spec** — ``{"preset": "smoke", "axes": {"protocol":
+  ["pure_leach", "scheme1"], "load_pps": [5.0]}, "seeds": [1],
+  "horizon_s": 6.0}`` runs an ad-hoc :class:`~repro.api.Campaign`.
+
+Progress is recorded as an append-only event list per job (a ``plan``
+event, one ``cell`` event per grid cell, and a terminal ``done`` /
+``failed``), which the HTTP layer exposes both as a poll snapshot and as
+an NDJSON stream.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..api import Campaign, Scenario, get_experiment, use_run_cache
+from ..errors import ExperimentError
+from .cache import RunCache
+from .db import DbResultStore
+
+__all__ = ["JobRecord", "JobManager"]
+
+_TERMINAL = ("done", "failed")
+
+
+@dataclass
+class JobRecord:
+    """One submitted campaign: spec, status, progress events, result."""
+
+    job_id: str
+    spec: Dict[str, Any]
+    status: str = "queued"  # queued | running | done | failed
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    total_cells: int = 0
+    completed_cells: int = 0
+    cache: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    #: Rendered figure text (experiment specs only).
+    figure_text: Optional[str] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._cond = threading.Condition()
+
+    @property
+    def finished(self) -> bool:
+        return self.status in _TERMINAL
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Append one progress event (thread-safe, wakes streamers)."""
+        with self._cond:
+            event = dict(event)
+            event["seq"] = len(self.events)
+            event["job_id"] = self.job_id
+            self.events.append(event)
+            if event.get("type") == "plan":
+                self.total_cells = int(event.get("total", 0))
+            elif event.get("type") == "cell":
+                self.completed_cells += 1
+            self._cond.notify_all()
+
+    def wait_events(self, after_seq: int, timeout: float
+                    ) -> List[Dict[str, Any]]:
+        """Events past ``after_seq``; blocks up to ``timeout`` for news."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while (
+                len(self.events) <= after_seq
+                and not self.finished
+                and time.monotonic() < deadline
+            ):
+                self._cond.wait(timeout=max(0.05, deadline - time.monotonic()))
+            return list(self.events[after_seq:])
+
+    def wait(self, timeout: float = 60.0) -> bool:
+        """Block until the job reaches a terminal state (True) or timeout."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while not self.finished and time.monotonic() < deadline:
+                self._cond.wait(timeout=max(0.05, deadline - time.monotonic()))
+            return self.finished
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe status view (what ``GET /campaigns/<id>`` returns)."""
+        with self._cond:
+            return {
+                "job_id": self.job_id,
+                "spec": self.spec,
+                "status": self.status,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "total_cells": self.total_cells,
+                "completed_cells": self.completed_cells,
+                "cache": dict(self.cache),
+                "error": self.error,
+                "has_figure": self.figure_text is not None,
+                "events": len(self.events),
+            }
+
+    def _finish(self, status: str, error: Optional[str] = None) -> None:
+        with self._cond:
+            self.status = status
+            self.error = error
+            self.finished_at = time.time()
+            self._cond.notify_all()
+
+
+class JobManager:
+    """FIFO of campaign jobs drained by a worker thread pool."""
+
+    def __init__(
+        self,
+        db: DbResultStore,
+        workers: int = 1,
+        sim_jobs: int = 1,
+    ):
+        if workers < 1:
+            raise ExperimentError("JobManager needs at least one worker")
+        self.db = db
+        #: Parallelism handed to run_scenarios for each job's misses —
+        #: the existing ``--jobs`` process-pool executor, reused.
+        self.sim_jobs = max(1, sim_jobs)
+        self._jobs: Dict[str, JobRecord] = {}
+        self._order: List[str] = []
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._workers = [
+            threading.Thread(
+                target=self._worker, name=f"campaign-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- submission / lookup ---------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> JobRecord:
+        """Validate ``spec``, enqueue it, return its (queued) record.
+
+        Validation happens *here* so a bad spec fails the submitting HTTP
+        request with a clear message instead of a failed background job.
+        """
+        self._build_plan(spec)  # raises ExperimentError on a bad spec
+        with self._lock:
+            job_id = f"job-{next(self._ids)}"
+            record = JobRecord(
+                job_id=job_id, spec=dict(spec), submitted_at=time.time()
+            )
+            self._jobs[job_id] = record
+            self._order.append(job_id)
+        self._queue.put(job_id)
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        try:
+            with self._lock:
+                return self._jobs[job_id]
+        except KeyError:
+            raise ExperimentError(f"unknown job {job_id!r}") from None
+
+    def list(self) -> List[JobRecord]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def shutdown(self) -> None:
+        """Stop the workers after their current job (used by tests/serve)."""
+        for _ in self._workers:
+            self._queue.put(None)
+        for thread in self._workers:
+            thread.join(timeout=5.0)
+
+    # -- execution -------------------------------------------------------------
+
+    @staticmethod
+    def _build_plan(spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Normalise/validate a spec into an execution plan."""
+        if not isinstance(spec, dict):
+            raise ExperimentError("campaign spec must be a JSON object")
+        if "experiment" in spec:
+            name = spec["experiment"]
+            get_experiment(name)  # raises with the known-names list
+            return {"kind": "experiment", "name": name}
+        if "axes" in spec:
+            axes = spec["axes"]
+            if not isinstance(axes, dict) or not axes:
+                raise ExperimentError(
+                    "grid spec needs a non-empty 'axes' object "
+                    "(e.g. {\"protocol\": [\"scheme1\"]})"
+                )
+            # Build the campaign now: Campaign.over fails fast on bad
+            # axis names/values, which is exactly the validation we want.
+            base = Scenario.from_preset(spec.get("preset", "smoke"))
+            runtime = {
+                key: float(spec[key])
+                for key in ("horizon_s", "sample_interval_s")
+                if key in spec
+            }
+            if runtime:
+                base = base.with_runtime(**runtime)
+            campaign = Campaign(base, name=str(spec.get("name", "campaign")))
+            campaign.over(**axes)
+            if spec.get("seeds"):
+                campaign.seeds([int(s) for s in spec["seeds"]])
+            return {"kind": "grid", "campaign": campaign}
+        raise ExperimentError(
+            "campaign spec needs either 'experiment' (a registered "
+            "experiment name) or 'axes' (a Campaign grid)"
+        )
+
+    def _worker(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            record = self.get(job_id)
+            record.started_at = time.time()
+            record.status = "running"
+            try:
+                self._run_job(record)
+                record._finish("done")
+            except Exception as exc:  # noqa: BLE001 - job isolation barrier
+                record.emit({
+                    "type": "failed",
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+                record._finish(
+                    "failed",
+                    error="".join(traceback.format_exception_only(
+                        type(exc), exc)).strip(),
+                )
+
+    def _run_job(self, record: JobRecord) -> None:
+        spec = record.spec
+        plan = self._build_plan(spec)
+        cache = RunCache(self.db, on_event=record.emit)
+        with use_run_cache(cache):
+            if plan["kind"] == "experiment":
+                exp = get_experiment(plan["name"])
+                figure = exp.run(
+                    preset=spec.get("preset", "smoke"),
+                    seeds=tuple(int(s) for s in spec.get("seeds", (1,))),
+                    loads_pps=(
+                        tuple(float(v) for v in spec["loads"])
+                        if spec.get("loads") else None
+                    ),
+                    jobs=int(spec.get("jobs", self.sim_jobs)),
+                )
+                record.figure_text = figure.render()
+            else:
+                plan["campaign"].run(jobs=int(spec.get("jobs", self.sim_jobs)))
+        record.cache = cache.stats.as_dict()
+        record.emit({"type": "done", "cache": record.cache})

@@ -375,7 +375,7 @@ class TestExtScaleExperiment:
         # never silently pair the wrong network size to a row.
         spec = get_experiment("ext-scale")
         fig = spec.run(preset="smoke", seeds=(1,), node_counts=(30, 60))
-        with pytest.raises(ExperimentError, match="no usable entry"):
+        with pytest.raises(ExperimentError, match="missing"):
             spec.run(preset="smoke", seeds=(1,), node_counts=(24, 48),
                      runs=fig.runs)
 
@@ -387,7 +387,7 @@ class TestExtScaleExperiment:
         spec = get_experiment("ext-dynamics")
         fig = spec.run(preset="smoke", seeds=(1,),
                        churn_rates_hz=(0.0, 0.01))
-        with pytest.raises(ExperimentError, match="no usable entry"):
+        with pytest.raises(ExperimentError, match="missing"):
             spec.run(preset="smoke", seeds=(1,), churn_rates_hz=(0.005,),
                      runs=fig.runs)
         # Matching grids still round-trip.

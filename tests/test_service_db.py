@@ -1,0 +1,262 @@
+"""The service result database: schema, migrations, fidelity, concurrency."""
+
+import json
+import sqlite3
+import threading
+
+import pytest
+
+from repro.api import ResultStore, RunResult
+from repro.errors import ExperimentError
+from repro.service import (
+    SCHEMA_VERSION,
+    DbResultStore,
+    ensure_schema,
+    open_store,
+    parse_predicate,
+    query_runs,
+    schema_version,
+)
+from repro.service.migrations import MIGRATIONS
+
+
+def _run(seed=1, digest="d" * 64, experiment=None, protocol="scheme1",
+         load=5.0, **extra):
+    extra.setdefault("delivery_rate", 0.9)
+    return RunResult(
+        protocol=protocol,
+        seed=seed,
+        load_pps=load,
+        horizon_s=30.0,
+        n_nodes=12,
+        config_digest=digest,
+        experiment=experiment,
+        sample_times_s=[1.0, 2.0, 3.0],
+        mean_energy_j=[0.5, 0.25, 0.125],
+        alive_counts=[12, 12, 11],
+        generated=100,
+        delivered=90,
+        **extra,
+    )
+
+
+class TestOpenStore:
+    def test_suffix_routing(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "a.sqlite"), DbResultStore)
+        assert isinstance(open_store(tmp_path / "a.db"), DbResultStore)
+        assert isinstance(open_store(tmp_path / "a.jsonl"), ResultStore)
+        assert isinstance(open_store(tmp_path / "a.csv"), ResultStore)
+
+    def test_bad_suffix_refused(self, tmp_path):
+        with pytest.raises(ExperimentError, match="suffix"):
+            DbResultStore(tmp_path / "a.txt")
+
+
+class TestDbResultStore:
+    def test_round_trip_full_fidelity(self, tmp_path):
+        store = DbResultStore(tmp_path / "runs.sqlite")
+        original = _run(experiment="fig8")
+        store.append(original)
+        (loaded,) = store.load()
+        assert loaded.to_dict() == original.to_dict()
+        assert len(store) == 1
+
+    def test_insertion_order_preserved(self, tmp_path):
+        store = DbResultStore(tmp_path / "runs.sqlite")
+        runs = [_run(seed=s, digest=f"{s:064x}") for s in (3, 1, 2)]
+        store.extend(runs)
+        assert [r.seed for r in store] == [3, 1, 2]
+
+    def test_query_pushdown_filters(self, tmp_path):
+        store = DbResultStore(tmp_path / "runs.sqlite")
+        store.extend([
+            _run(seed=1, digest="a" * 64, experiment="fig8"),
+            _run(seed=2, digest="a" * 64, experiment="fig8"),
+            _run(seed=1, digest="b" * 64, experiment="fig10",
+                 protocol="pure_leach"),
+        ])
+        assert len(store.query(experiment="fig8")) == 2
+        assert len(store.query(experiment="fig8", seed=2)) == 1
+        assert len(store.query(config_digest="b" * 64)) == 1
+        assert len(store.query(protocol="pure_leach")) == 1
+        assert len(store.query(experiment="nope")) == 0
+        assert len(store.query(limit=2)) == 2
+
+    def test_rows_for_digests_reports_sizes(self, tmp_path):
+        store = DbResultStore(tmp_path / "runs.sqlite")
+        run = _run(digest="a" * 64)
+        store.append(run)
+        store.append(_run(digest="b" * 64))
+        rows = store.rows_for_digests({"a" * 64})
+        assert len(rows) == 1
+        loaded, nbytes = rows[0]
+        assert loaded.config_digest == "a" * 64
+        assert nbytes == len(json.dumps(run.to_dict()).encode())
+        assert store.rows_for_digests(set()) == []
+
+    def test_import_export_jsonl(self, tmp_path):
+        jsonl = ResultStore(tmp_path / "runs.jsonl")
+        jsonl.extend([_run(seed=s, digest=f"{s:064x}") for s in (1, 2)])
+        db = DbResultStore(tmp_path / "runs.sqlite")
+        assert db.import_from(jsonl) == 2
+        assert [r.to_dict() for r in db] == [r.to_dict() for r in jsonl]
+        out = tmp_path / "export.jsonl"
+        assert db.export_to(out) == 2
+        assert [r.to_dict() for r in ResultStore(out)] == \
+            [r.to_dict() for r in db]
+
+    def test_wal_mode_enabled(self, tmp_path):
+        store = DbResultStore(tmp_path / "runs.sqlite")
+        store.append(_run())
+        conn = sqlite3.connect(str(store.path))
+        try:
+            mode = conn.execute("PRAGMA journal_mode").fetchone()[0]
+        finally:
+            conn.close()
+        assert mode.lower() == "wal"
+
+
+class TestMigrations:
+    def test_fresh_db_is_current(self, tmp_path):
+        store = DbResultStore(tmp_path / "runs.sqlite")
+        conn = sqlite3.connect(str(store.path))
+        try:
+            assert schema_version(conn) == SCHEMA_VERSION
+        finally:
+            conn.close()
+
+    def test_stepwise_upgrade_from_v1(self, tmp_path):
+        # Build a version-1 file by hand (what an old build would leave).
+        path = tmp_path / "old.sqlite"
+        conn = sqlite3.connect(str(path), isolation_level=None)
+        version, statements = MIGRATIONS[0]
+        assert version == 1
+        for statement in statements:
+            conn.execute(statement)
+        conn.execute("PRAGMA user_version = 1")
+        conn.execute(
+            "INSERT INTO runs (experiment, config_digest, seed, protocol,"
+            " load_pps, horizon_s, n_nodes, format_version, payload)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            ("fig8", "c" * 64, 1, "scheme1", 5.0, 30.0, 12, 1,
+             json.dumps(_run(digest="c" * 64).to_dict())),
+        )
+        conn.close()
+        # Opening with the current build upgrades in place, keeping rows.
+        store = DbResultStore(path)
+        assert len(store) == 1
+        conn = sqlite3.connect(str(path))
+        try:
+            assert schema_version(conn) == SCHEMA_VERSION
+            indexes = {
+                row[0] for row in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type='index'"
+                )
+            }
+        finally:
+            conn.close()
+        assert "idx_runs_digest" in indexes  # migration 2 applied
+
+    def test_newer_schema_refused_loudly(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        conn = sqlite3.connect(str(path))
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 7}")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ExperimentError, match="upgrade repro"):
+            DbResultStore(path)
+
+    def test_runner_is_idempotent(self, tmp_path):
+        path = tmp_path / "runs.sqlite"
+        DbResultStore(path)
+        conn = sqlite3.connect(str(path), isolation_level=None)
+        try:
+            ensure_schema(conn)  # second pass: no-op, no error
+            assert schema_version(conn) == SCHEMA_VERSION
+        finally:
+            conn.close()
+
+
+class TestFormatVersion:
+    def test_newer_row_format_refused(self, tmp_path):
+        store = DbResultStore(tmp_path / "runs.sqlite")
+        store.append(_run())
+        conn = sqlite3.connect(str(store.path))
+        conn.execute("UPDATE runs SET format_version = 99")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ExperimentError, match="format version 99"):
+            store.load()
+
+
+class TestQueryRuns:
+    def test_predicates_and_key_filters(self, tmp_path):
+        store = DbResultStore(tmp_path / "runs.sqlite")
+        store.extend([
+            _run(seed=1, digest="a" * 64, experiment="fig8",
+                 delivery_rate=0.95),
+            _run(seed=2, digest="b" * 64, experiment="fig8",
+                 delivery_rate=0.40),
+        ])
+        rows = query_runs(
+            store, experiment="fig8",
+            where=[parse_predicate("delivery_rate>0.9")],
+        )
+        assert [r.seed for r in rows] == [1]
+        # Same result off a flat-file store (no pushdown path).
+        jsonl = ResultStore(tmp_path / "runs.jsonl")
+        store.export_to(jsonl)
+        rows2 = query_runs(
+            jsonl, experiment="fig8",
+            where=[parse_predicate("delivery_rate>0.9")],
+        )
+        assert [r.to_dict() for r in rows2] == [r.to_dict() for r in rows]
+
+    def test_limit_applies_after_predicates(self, tmp_path):
+        store = DbResultStore(tmp_path / "runs.sqlite")
+        store.extend([
+            _run(seed=s, digest=f"{s:064x}", delivery_rate=0.9 + s / 100)
+            for s in range(1, 6)
+        ])
+        rows = query_runs(
+            store, where=[parse_predicate("seed>=2")], limit=2,
+        )
+        assert [r.seed for r in rows] == [2, 3]
+
+
+class TestConcurrentAccess:
+    def test_wal_reader_sees_consistent_rows_during_writes(self, tmp_path):
+        """A reader polling while a writer appends never errors and only
+        ever sees fully committed batches (WAL snapshot isolation)."""
+        store = DbResultStore(tmp_path / "runs.sqlite")
+        batches = 20
+        batch_size = 5
+        errors = []
+        seen_counts = []
+        done = threading.Event()
+
+        def reader():
+            try:
+                while not done.is_set():
+                    seen_counts.append(len(store))
+            except Exception as exc:  # noqa: BLE001 - reported to assert
+                errors.append(exc)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for b in range(batches):
+                store.extend([
+                    _run(seed=b * batch_size + i,
+                         digest=f"{b * batch_size + i:064x}")
+                    for i in range(batch_size)
+                ])
+        finally:
+            done.set()
+            thread.join(timeout=10.0)
+        assert not errors
+        # Counts only ever land on committed batch boundaries and grow
+        # monotonically (each extend() is one transaction).
+        assert all(count % batch_size == 0 for count in seen_counts)
+        assert seen_counts == sorted(seen_counts)
+        assert len(store) == batches * batch_size

@@ -1,0 +1,151 @@
+"""Crash-safety and forward-compatibility of the result stores.
+
+Satellite coverage for the service PR: torn-tail JSONL tolerance,
+row-level ``format_version`` gating, and the full missing-cell report
+``run --from`` gives on a partial store.
+"""
+
+import json
+
+import pytest
+
+from repro.api import Campaign, ResultStore, Scenario
+from repro.api.pairing import describe_key, pair_stored_runs, scenario_key
+from repro.api.store import STORE_FORMAT_VERSION, check_format_version
+from repro.config import Protocol
+from repro.errors import ExperimentError
+
+
+def _scenarios(n_seeds=2):
+    base = Scenario.from_preset("smoke").with_runtime(
+        horizon_s=5.0, sample_interval_s=1.0
+    )
+    campaign = (
+        Campaign(base)
+        .over(protocol=[Protocol.PURE_LEACH, Protocol.CAEM_ADAPTIVE])
+        .seeds(list(range(1, n_seeds + 1)))
+    )
+    return campaign.scenarios()
+
+
+def _populated(tmp_path, scenarios):
+    store = ResultStore(tmp_path / "runs.jsonl")
+    from repro.api import run_scenarios
+
+    runs = run_scenarios(scenarios, store=store)
+    return store, runs
+
+
+class TestTornTail:
+    def test_truncated_trailing_record_is_tolerated(self, tmp_path):
+        """A crash mid-append leaves a torn final line; the reader serves
+        every completed row instead of refusing the whole file."""
+        scenarios = _scenarios()
+        store, runs = _populated(tmp_path, scenarios)
+        raw = store.path.read_bytes()
+        assert raw.endswith(b"\n")
+        # Chop the file mid-way through the final record.
+        store.path.write_bytes(raw[: len(raw) - len(raw.splitlines()[-1]) // 2 - 1])
+        survivors = store.load()
+        assert len(survivors) == len(runs) - 1
+        assert [r.to_dict() for r in survivors] == \
+            [r.to_dict() for r in runs[:-1]]
+
+    def test_append_after_torn_tail_would_be_detected(self, tmp_path):
+        """Only a torn *final* line is forgiven: corruption mid-file (a
+        torn line that got appended over) still raises loudly."""
+        store, runs = _populated(tmp_path, _scenarios(n_seeds=1))
+        lines = store.path.read_text().splitlines(keepends=True)
+        lines[0] = lines[0][: len(lines[0]) // 2].rstrip("\n") + "\n"
+        store.path.write_text("".join(lines))
+        with pytest.raises(ExperimentError, match="corrupt record"):
+            store.load()
+
+    def test_empty_and_blank_lines_are_fine(self, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        store.path.write_text("\n")
+        assert store.load() == []
+
+
+class TestFormatVersion:
+    def test_rows_are_stamped(self, tmp_path):
+        store, _ = _populated(tmp_path, _scenarios(n_seeds=1))
+        for line in store.path.read_text().splitlines():
+            assert json.loads(line)["format_version"] == STORE_FORMAT_VERSION
+
+    def test_legacy_unstamped_rows_accepted(self, tmp_path):
+        """Pre-version stores (earlier PRs) load without complaint."""
+        store, runs = _populated(tmp_path, _scenarios(n_seeds=1))
+        stripped = []
+        for line in store.path.read_text().splitlines():
+            record = json.loads(line)
+            record.pop("format_version")
+            stripped.append(json.dumps(record))
+        store.path.write_text("\n".join(stripped) + "\n")
+        assert len(store.load()) == len(runs)
+
+    @pytest.mark.parametrize("suffix", [".jsonl", ".csv"])
+    def test_newer_rows_refused_with_upgrade_hint(self, tmp_path, suffix):
+        store = ResultStore(tmp_path / f"runs{suffix}")
+        scenarios = _scenarios(n_seeds=1)
+        from repro.api import run_scenarios
+
+        run_scenarios(scenarios[:1], store=store)
+        if suffix == ".jsonl":
+            record = json.loads(store.path.read_text())
+            record["format_version"] = 99
+            store.path.write_text(json.dumps(record) + "\n")
+        else:
+            import csv as csv_mod
+
+            with store.path.open(newline="") as fh:
+                rows = list(csv_mod.reader(fh))
+            version_col = rows[0].index("format_version")
+            for row in rows[1:]:
+                row[version_col] = "99"
+            with store.path.open("w", newline="") as fh:
+                csv_mod.writer(fh).writerows(rows)
+        with pytest.raises(ExperimentError, match="upgrade"):
+            store.load()
+
+    def test_check_format_version_contract(self):
+        check_format_version(None, "x")  # legacy: fine
+        check_format_version(STORE_FORMAT_VERSION, "x")
+        with pytest.raises(ExperimentError, match="format version"):
+            check_format_version(STORE_FORMAT_VERSION + 1, "x")
+        with pytest.raises(ExperimentError, match="format_version"):
+            check_format_version("banana", "x")
+        with pytest.raises(ExperimentError, match="format version"):
+            check_format_version(0, "x")
+
+
+class TestMissingCellReport:
+    def test_every_missing_cell_listed_not_just_first(self, tmp_path):
+        """`run --from` on a partial store names ALL the holes."""
+        scenarios = _scenarios(n_seeds=2)  # 4 cells
+        _, runs = _populated(tmp_path, scenarios)
+        paired, missing = pair_stored_runs(scenarios, runs[:1], "exp-x")
+        assert len(missing) == 3
+        assert missing == [scenario_key(s) for s in scenarios[1:]]
+        assert paired[0] is not None and paired[1] is None
+        # And each hole renders to a human-readable coordinate line.
+        for key in missing:
+            text = describe_key(key)
+            assert "seed=" in text and "config=" in text
+
+    def test_duplicate_rows_consumed_in_order(self, tmp_path):
+        scenarios = _scenarios(n_seeds=1)[:1]
+        _, runs = _populated(tmp_path, scenarios)
+        doubled = list(runs) + list(runs)
+        paired, missing = pair_stored_runs(
+            scenarios * 2, doubled, "exp-x"
+        )
+        assert missing == []
+        assert len(paired) == 2
+
+    def test_other_experiment_stamp_rejected(self, tmp_path):
+        scenarios = _scenarios(n_seeds=1)[:1]
+        _, runs = _populated(tmp_path, scenarios)
+        runs[0].experiment = "somebody-else"
+        _, missing = pair_stored_runs(scenarios, runs, "exp-x")
+        assert len(missing) == 1
