@@ -5,22 +5,33 @@ Runs the ``ext-scale`` workload (constant-density Table II network, two
 full LEACH rounds — see :func:`repro.experiments.scale.scale_config`) at
 a ladder of network sizes and records the scaling curve:
 
-* each size runs in a **fresh subprocess** so ``ru_maxrss`` is a true
-  per-size peak, not the monotone maximum of the whole sweep;
+* each size runs in a **fresh subprocess** so its memory high-water mark
+  is a true per-size peak, not the monotone maximum of the whole sweep;
+  the parent polls the child's ``/proc/<pid>/status`` ``VmHWM`` while it
+  runs, so the recorded peak reflects mid-run transients (topology
+  build, round formation) even when they dwarf the exit-time RSS;
+* ``--backend`` picks the engine: ``event`` (the per-packet reference
+  kernel), ``vector`` (the structure-of-arrays population engine, see
+  :mod:`repro.vector`), or ``both`` to render the two curves side by
+  side;
 * one trajectory entry (tier ``"scale"``) is appended to
   ``benchmarks/BENCH_run.json``, the same file the kernel bench feeds,
   so the nightly cache carries the curve forward;
-* the committed pre-PR baseline (``benchmarks/BENCH_scale.json``,
-  brute-force nearest-head + no pools, measured on the reference 1-CPU
-  container) is compared per size, and ``--require-speedup X`` turns the
-  largest baselined size into a gate: the run fails unless it is at
-  least ``X`` times faster than the baseline.
+* committed baselines close the loop: event rows compare against
+  ``benchmarks/BENCH_scale.json`` (the pre-PR-5 brute-force kernel) and
+  vector rows compare against ``benchmarks/BENCH_vector.json`` (the
+  tuned **event kernel** at the same ladder, measured on the reference
+  1-CPU container) — so ``--backend vector --require-speedup 10`` gates
+  the vector engine at >= 10x over the event kernel at the largest
+  baselined size.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_scale.py                # quick ladder
     PYTHONPATH=src python benchmarks/bench_scale.py --nodes 100 300 1000 3000
     PYTHONPATH=src python benchmarks/bench_scale.py --require-speedup 1.5
+    PYTHONPATH=src python benchmarks/bench_scale.py --backend vector \
+                                                    --require-speedup 10
     PYTHONPATH=src python benchmarks/bench_scale.py --with-brute   # also time
                                                    # the brute/no-pool path
 
@@ -39,64 +50,114 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_scale.json"
+VECTOR_BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_vector.json"
 TRAJECTORY_PATH = Path(__file__).resolve().parent / "BENCH_run.json"
 
 DEFAULT_NODES = (100, 300, 1000)
 HORIZON_S = 40.0  # two full 20 s LEACH rounds (matches BENCH_scale.json)
 
 
-def _measure_single(n_nodes: int, rounds: int, brute: bool) -> dict:
+def _measure_single(n_nodes: int, rounds: int, brute: bool,
+                    backend: str) -> dict:
     """One size, in-process: best-of-``rounds`` wall seconds + peak RSS."""
     from repro.config import Protocol
     from repro.experiments.scale import scale_config
-    from repro.network import SensorNetwork
 
-    cfg = scale_config(n_nodes, Protocol.CAEM_ADAPTIVE, seed=1)
+    cfg = scale_config(
+        n_nodes, Protocol.CAEM_ADAPTIVE, seed=1, backend=backend
+    )
     if brute:
         cfg = cfg.with_scale(
             spatial_index="brute", link_pool=False, reuse_head_stack=False
         )
     best = float("inf")
     events = 0
-    for _ in range(rounds):
-        net = SensorNetwork(cfg)
-        t0 = time.perf_counter()
-        net.run_until(HORIZON_S)
-        elapsed = time.perf_counter() - t0
-        events = net.sim.events_processed
-        if elapsed < best:
-            best = elapsed
+    if backend == "vector":
+        from repro.api import RunOptions, simulate
+
+        opts = RunOptions(
+            horizon_s=HORIZON_S, sample_interval_s=5.0,
+            max_series_samples=64,
+        )
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            result = simulate(cfg, opts)
+            elapsed = time.perf_counter() - t0
+            events = result.events_processed
+            if elapsed < best:
+                best = elapsed
+    else:
+        from repro.network import SensorNetwork
+
+        for _ in range(rounds):
+            net = SensorNetwork(cfg)
+            t0 = time.perf_counter()
+            net.run_until(HORIZON_S)
+            elapsed = time.perf_counter() - t0
+            events = net.sim.events_processed
+            if elapsed < best:
+                best = elapsed
     return {
         "nodes": n_nodes,
         "seconds": best,
         "rounds": rounds,
         "events": events,
-        "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "backend": backend,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         "brute": brute,
     }
 
 
-def _measure_subprocess(n_nodes: int, rounds: int, brute: bool) -> dict:
-    """Run one size in a fresh interpreter (clean per-size peak RSS)."""
+def _vm_hwm_kb(pid: int) -> int:
+    """The kernel-maintained peak-RSS high-water mark of ``pid``, in kB."""
+    try:
+        with open(f"/proc/{pid}/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return 0
+
+
+def _measure_subprocess(n_nodes: int, rounds: int, brute: bool,
+                        backend: str) -> dict:
+    """Run one size in a fresh interpreter (clean per-size peak RSS).
+
+    The parent polls the child's ``VmHWM`` while it runs and keeps the
+    maximum observed, so the recorded peak is the mid-run high-water
+    mark, not whatever the RSS happens to be at exit.  (On systems
+    without ``/proc`` the child's own ``ru_maxrss`` is used instead.)
+    """
     cmd = [
         sys.executable, str(Path(__file__).resolve()),
         "--single", str(n_nodes), "--rounds", str(rounds),
+        "--backend", backend,
     ]
     if brute:
         cmd.append("--brute")
-    proc = subprocess.run(
-        cmd, capture_output=True, text=True, cwd=str(REPO_ROOT)
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        cwd=str(REPO_ROOT),
     )
+    peak_kb = 0
+    while proc.poll() is None:
+        peak_kb = max(peak_kb, _vm_hwm_kb(proc.pid))
+        time.sleep(0.05)
+    stdout, stderr = proc.communicate()
     if proc.returncode != 0:
         raise RuntimeError(
-            f"bench subprocess for N={n_nodes} failed:\n{proc.stderr}"
+            f"bench subprocess for N={n_nodes} failed:\n{stderr}"
         )
-    return json.loads(proc.stdout)
+    result = json.loads(stdout)
+    if peak_kb > 0:
+        result["peak_rss_kb"] = peak_kb
+    return result
 
 
-def _load_baseline() -> dict:
+def _load_baseline(path: Path) -> dict:
     try:
-        doc = json.loads(BASELINE_PATH.read_text())
+        doc = json.loads(path.read_text())
     except FileNotFoundError:
         return {}
     return {int(k): v for k, v in doc.get("baseline", {}).items()}
@@ -107,9 +168,10 @@ def _append_scale_trajectory(results: list, brute_results: list) -> None:
 
     report = BenchReport(tier="scale")
     for r in results:
+        prefix = "vector-run" if r["backend"] == "vector" else "quick-run"
         report.results.append(
             BenchResult(
-                name=f"scale/quick-run-{r['nodes']}",
+                name=f"scale/{prefix}-{r['nodes']}",
                 seconds=r["seconds"],
                 rounds=r["rounds"],
             )
@@ -132,12 +194,18 @@ def main(argv=None) -> int:
                         help="network sizes to sweep (default: 100 300 1000)")
     parser.add_argument("--rounds", type=int, default=2,
                         help="best-of-N rounds per size (default 2)")
+    parser.add_argument("--backend", default="event",
+                        choices=("event", "vector", "both"),
+                        help="engine(s) to time (default: event)")
     parser.add_argument("--with-brute", action="store_true",
-                        help="also time the brute-force/no-pool path per size")
+                        help="also time the brute-force/no-pool path per size "
+                             "(event backend only)")
     parser.add_argument("--require-speedup", type=float, default=None,
                         metavar="X",
                         help="fail unless the largest baselined size runs at "
-                             "least X times faster than BENCH_scale.json")
+                             "least X times faster than its baseline "
+                             "(BENCH_scale.json for the event backend, "
+                             "BENCH_vector.json for the vector backend)")
     parser.add_argument("--no-trajectory", action="store_true",
                         help="skip appending to BENCH_run.json")
     parser.add_argument("--single", type=int, default=None,
@@ -147,32 +215,46 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.single is not None:
-        print(json.dumps(_measure_single(args.single, args.rounds, args.brute)))
+        print(json.dumps(
+            _measure_single(args.single, args.rounds, args.brute,
+                            args.backend)
+        ))
         return 0
 
-    baseline = _load_baseline()
+    backends = (
+        ["event", "vector"] if args.backend == "both" else [args.backend]
+    )
+    baselines = {
+        "event": _load_baseline(BASELINE_PATH),
+        "vector": _load_baseline(VECTOR_BASELINE_PATH),
+    }
     results = []
     brute_results = []
     print(f"scale benchmark: horizon {HORIZON_S:g} s, "
           f"best-of-{args.rounds}, serial (1-CPU container)")
-    header = (f"{'nodes':>6} {'wall':>9} {'events':>9} {'kev/s':>7} "
-              f"{'rss MB':>7} {'baseline':>9} {'speedup':>8}")
+    header = (f"{'backend':>7} {'nodes':>6} {'wall':>9} {'events':>9} "
+              f"{'kev/s':>7} {'rss MB':>7} {'baseline':>9} {'speedup':>8}")
     print(header)
     for n in args.nodes:
-        r = _measure_subprocess(n, args.rounds, brute=False)
-        results.append(r)
-        base = baseline.get(n)
-        base_s = f"{base['seconds']:.3f}s" if base else "—"
-        speed = f"{base['seconds'] / r['seconds']:.2f}x" if base else "—"
-        print(f"{n:>6} {r['seconds']:>8.3f}s {r['events']:>9} "
-              f"{r['events'] / r['seconds'] / 1e3:>7.1f} "
-              f"{r['ru_maxrss_kb'] / 1024:>7.1f} {base_s:>9} {speed:>8}")
+        for backend in backends:
+            r = _measure_subprocess(n, args.rounds, brute=False,
+                                    backend=backend)
+            results.append(r)
+            base = baselines[backend].get(n)
+            base_s = f"{base['seconds']:.3f}s" if base else "—"
+            speed = f"{base['seconds'] / r['seconds']:.2f}x" if base else "—"
+            print(f"{backend:>7} {n:>6} {r['seconds']:>8.3f}s "
+                  f"{r['events']:>9} "
+                  f"{r['events'] / r['seconds'] / 1e3:>7.1f} "
+                  f"{r['peak_rss_kb'] / 1024:>7.1f} {base_s:>9} {speed:>8}")
         if args.with_brute:
-            b = _measure_subprocess(n, args.rounds, brute=True)
+            b = _measure_subprocess(n, args.rounds, brute=True,
+                                    backend="event")
             brute_results.append(b)
-            print(f"{'':>6} {b['seconds']:>8.3f}s {b['events']:>9} "
+            print(f"{'event':>7} {n:>6} {b['seconds']:>8.3f}s "
+                  f"{b['events']:>9} "
                   f"{b['events'] / b['seconds'] / 1e3:>7.1f} "
-                  f"{b['ru_maxrss_kb'] / 1024:>7.1f} "
+                  f"{b['peak_rss_kb'] / 1024:>7.1f} "
                   f"{'(brute/no-pool)':>18}")
 
     if not args.no_trajectory:
@@ -180,15 +262,21 @@ def main(argv=None) -> int:
         print(f"appended scale entry to {TRAJECTORY_PATH}")
 
     if args.require_speedup is not None:
-        gated = [r for r in results if r["nodes"] in baseline]
+        # With both backends the gate applies to the vector rows — that
+        # is the claim under test (vector vs the event-kernel baseline).
+        gate_backend = "vector" if "vector" in backends else "event"
+        baseline = baselines[gate_backend]
+        gated = [r for r in results
+                 if r["backend"] == gate_backend and r["nodes"] in baseline]
         if not gated:
             print("speedup gate: FAIL (no baselined size was run)")
             return 1
         top = max(gated, key=lambda r: r["nodes"])
         speedup = baseline[top["nodes"]]["seconds"] / top["seconds"]
         verdict = "OK" if speedup >= args.require_speedup else "FAIL"
-        print(f"speedup gate at N={top['nodes']}: {speedup:.2f}x "
-              f"(required {args.require_speedup:g}x) -> {verdict}")
+        print(f"speedup gate [{gate_backend}] at N={top['nodes']}: "
+              f"{speedup:.2f}x (required {args.require_speedup:g}x) "
+              f"-> {verdict}")
         if verdict == "FAIL":
             return 1
     return 0

@@ -67,6 +67,14 @@ def simulate(
     measurement record.
     """
     opts = options or RunOptions()
+    if cfg.scale.backend == "vector":
+        # Population-scale structure-of-arrays engine; same (config,
+        # options) -> RunResult contract, selected per run by config so
+        # campaigns can mix backends freely.  Imported lazily to keep
+        # the default path free of the numpy-heavy vector module.
+        from ..vector import simulate_vector
+
+        return simulate_vector(cfg, opts, tracer=tracer)
     wall_start = time.perf_counter()
     net = SensorNetwork(cfg, tracer=tracer)
     result = RunResult(

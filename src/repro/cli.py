@@ -20,7 +20,14 @@ the content-addressed run cache, and the campaign server::
     repro-caem run fig10 --cache results.sqlite   # repeat = pure reads
     repro-caem migrate runs/fig11.jsonl results.sqlite
     repro-caem query results.sqlite --experiment fig10 --where 'delivery_rate>0.9'
+    repro-caem query results.sqlite --agg mean --group-by protocol,load
+    repro-caem gc results.sqlite --keep-latest 1     # evict superseded rows
     repro-caem serve --db results.sqlite --port 8351
+
+The scale tier's vector backend (``repro.vector``) runs the same
+experiments on the structure-of-arrays engine::
+
+    repro-caem run ext-scale --backend vector --preset quick
 
 ``--jobs N`` fans the experiment's scenario grid out over a process pool
 (tables are identical at any parallelism).  The pre-registry spelling
@@ -97,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="parallel simulation processes (results identical to --jobs 1)",
+    )
+    run_p.add_argument(
+        "--backend",
+        default=None,
+        choices=("event", "vector"),
+        help="simulation engine, for experiments that support it "
+        "(ext-scale): event = the per-packet reference kernel, vector = "
+        "the population-scale array engine (see repro.vector)",
     )
     run_p.add_argument(
         "--out",
@@ -234,6 +249,43 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("table", "jsonl"),
         help="table = aligned text; jsonl = one full-fidelity row per line",
     )
+    query_p.add_argument(
+        "--agg",
+        default=None,
+        choices=("mean", "min", "max", "sum"),
+        help="reduce the matching rows instead of listing them; computed "
+        "in SQL for a .sqlite store (JSON payloads never decoded), in "
+        "Python for flat files",
+    )
+    query_p.add_argument(
+        "--group-by",
+        default=None,
+        metavar="KEYS",
+        help="comma-separated group keys for --agg, e.g. 'protocol,load' "
+        "(aliases: load=load_pps, nodes=n_nodes); default: one group",
+    )
+
+    gc_p = sub.add_parser(
+        "gc",
+        help="evict superseded rows from a result database and VACUUM",
+    )
+    gc_p.add_argument(
+        "store", metavar="DB",
+        help="SQLite result database (.sqlite/.sqlite3/.db)",
+    )
+    gc_p.add_argument(
+        "--keep-latest",
+        type=int,
+        default=1,
+        metavar="K",
+        help="generations to keep per cell — a cell is (experiment, "
+        "protocol, load, seed, horizon, config digest), the run-cache "
+        "pairing key (default: 1)",
+    )
+    gc_p.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be deleted without writing",
+    )
 
     migrate_p = sub.add_parser(
         "migrate",
@@ -360,6 +412,7 @@ def _cmd_run_body(args: argparse.Namespace) -> int:
                 seeds=tuple(args.seeds),
                 loads_pps=tuple(args.loads),
                 jobs=args.jobs,
+                backend=args.backend,
                 runs=stored_runs,
             )
             sys.stdout.write(figure.render())
@@ -414,6 +467,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
     store = open_store(args.store)
     if not store.path.exists():
         raise ExperimentError(f"no such result store: {store.path}")
+    if args.agg is not None:
+        return _query_aggregate(args, store)
+    if args.group_by is not None:
+        raise ExperimentError(
+            "--group-by needs --agg (e.g. --agg mean --group-by "
+            "protocol,load)"
+        )
     rows = query_runs(
         store,
         experiment=args.experiment,
@@ -446,6 +506,53 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _query_aggregate(args: argparse.Namespace, store) -> int:
+    import json as json_mod
+
+    from .experiments.report import render_table
+    from .service import aggregate_runs, parse_predicate
+    from .service.query import DEFAULT_AGG_METRICS
+
+    group_by = (
+        [k.strip() for k in args.group_by.split(",") if k.strip()]
+        if args.group_by else []
+    )
+    metrics = list(args.columns) if args.columns else list(DEFAULT_AGG_METRICS)
+    groups = aggregate_runs(
+        store,
+        group_by,
+        agg=args.agg,
+        metrics=metrics,
+        experiment=args.experiment,
+        config_digest=args.digest,
+        seed=args.seed,
+        protocol=args.protocol,
+        where=[parse_predicate(text) for text in args.where],
+    )
+    if args.limit is not None:
+        groups = groups[:args.limit]
+    if args.out_format == "jsonl":
+        for record in groups:
+            sys.stdout.write(json_mod.dumps(record) + "\n")
+        return 0
+    columns = list(groups[0]) if groups else group_by + ["n"] + metrics
+    sys.stdout.write(
+        render_table(columns, [[g[c] for c in columns] for g in groups])
+    )
+    sys.stdout.write(f"{len(groups)} groups ({args.agg})\n")
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    from .service import collect_garbage, describe_gc
+
+    report = collect_garbage(
+        args.store, keep_latest=args.keep_latest, dry_run=args.dry_run
+    )
+    sys.stdout.write(describe_gc(report) + "\n")
+    return 0
+
+
 def _cmd_migrate(args: argparse.Namespace) -> int:
     from .service import open_store
 
@@ -469,7 +576,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Pre-registry compatibility: "repro-caem fig8 ..." == "run fig8 ...".
     if argv and argv[0] not in (
-        "run", "list", "bench", "serve", "query", "migrate", "-h", "--help"
+        "run", "list", "bench", "serve", "query", "gc", "migrate",
+        "-h", "--help"
     ):
         argv.insert(0, "run")
     args = build_parser().parse_args(argv)
@@ -482,6 +590,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "gc":
+            return _cmd_gc(args)
         if args.command == "migrate":
             return _cmd_migrate(args)
         return _cmd_run(args)

@@ -534,6 +534,17 @@ class ScaleConfig:
     memory, never a single output byte.
     """
 
+    #: Simulation engine: "event" (the per-node discrete-event kernel,
+    #: every paper figure) or "vector" (the numpy structure-of-arrays
+    #: population engine in :mod:`repro.vector` for N = 10⁴–10⁵ fields).
+    #: The vector engine reuses the event kernel's topology, election and
+    #: dynamics streams — so placements, head sets and churn timelines
+    #: match exactly — while the per-packet channel/MAC micro-behaviour is
+    #: statistically equivalent rather than bit-identical (see
+    #: ``repro/vector/equivalence.py`` for the contract).  Serialised
+    #: sparsely: ``"event"`` is omitted from :meth:`NetworkConfig.to_dict`
+    #: so default digests stay byte-identical across releases.
+    backend: str = "event"
     #: Nearest-head resolution: "grid" (spatial index) or "brute"
     #: (the original full scan).
     spatial_index: str = "grid"
@@ -555,6 +566,10 @@ class ScaleConfig:
     max_delay_samples: int | None = None
 
     def __post_init__(self) -> None:
+        _require(
+            self.backend in ("event", "vector"),
+            f"unknown backend {self.backend!r}",
+        )
         _require(
             self.spatial_index in ("grid", "brute"),
             f"unknown spatial index {self.spatial_index!r}",
@@ -640,9 +655,19 @@ class NetworkConfig:
     # -- dict round-trip ---------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """Flatten to a JSON-serialisable dict."""
+        """Flatten to a JSON-serialisable dict.
+
+        ``scale.backend`` serialises sparsely: the default ``"event"`` is
+        omitted so every pre-existing config digests (and stores) exactly
+        as it did before the vector backend existed, while ``"vector"``
+        configs digest differently by design — the engines' per-packet
+        micro-behaviour is statistically, not bitwise, equivalent, so
+        their rows must never fill each other's cells.
+        """
         out = dataclasses.asdict(self)
         out["protocol"] = self.protocol.value
+        if out["scale"].get("backend") == "event":
+            del out["scale"]["backend"]
         return out
 
     def digest(self) -> str:

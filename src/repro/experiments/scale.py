@@ -51,13 +51,15 @@ _MAX_SERIES_SAMPLES = 64
 
 
 def scale_config(
-    n_nodes: int, protocol: Protocol, seed: int = 1
+    n_nodes: int, protocol: Protocol, seed: int = 1, backend: str = "event"
 ) -> NetworkConfig:
     """A constant-density Table II configuration at ``n_nodes``.
 
     The 100-node paper field is 100 m; the edge scales with √N so the
     node density — and with it the member→head distance distribution —
-    matches the paper's at every size.
+    matches the paper's at every size.  ``backend="vector"`` runs the
+    same cell on the population-scale array engine (see
+    :mod:`repro.vector`); the default leaves every digest unchanged.
     """
     if n_nodes < 2:
         raise ExperimentError("scale tier needs at least 2 nodes")
@@ -67,11 +69,13 @@ def scale_config(
         field_size_m=field,
         protocol=protocol,
         seed=seed,
-    ).with_scale(max_delay_samples=_MAX_DELAY_SAMPLES)
+    ).with_scale(max_delay_samples=_MAX_DELAY_SAMPLES, backend=backend)
 
 
-def _scale_scenario(n_nodes: int, proto: Protocol, seed: int) -> Scenario:
-    cfg = scale_config(n_nodes, proto, seed)
+def _scale_scenario(
+    n_nodes: int, proto: Protocol, seed: int, backend: str
+) -> Scenario:
+    cfg = scale_config(n_nodes, proto, seed, backend=backend)
     round_s = cfg.leach.round_duration_s
     return Scenario(
         config=cfg,
@@ -84,6 +88,9 @@ def _scale_scenario(n_nodes: int, proto: Protocol, seed: int) -> Scenario:
     )
 
 
+_BACKENDS = ("event", "vector")
+
+
 @experiment("ext-scale", kind="extension",
             summary="Scaling curve: nodes x protocol at constant density")
 def ext_scale(
@@ -91,9 +98,14 @@ def ext_scale(
     seeds: Sequence[int] = (1,),
     node_counts: Optional[Sequence[int]] = None,
     jobs: int = 1,
+    backend: str = "event",
     runs: Optional[Sequence[RunResult]] = None,
 ) -> FigureResult:
     """Workload and wall-clock scaling of the three protocols with N."""
+    if backend not in _BACKENDS:
+        raise ExperimentError(
+            f"unknown backend {backend!r}; have {_BACKENDS}"
+        )
     if node_counts is None:
         try:
             node_counts = DEFAULT_NODE_COUNTS[preset]
@@ -112,7 +124,9 @@ def ext_scale(
             "wall_s", "kev_per_s",
         ],
         notes=(
-            f"preset={preset}: constant density (field edge = "
+            f"preset={preset}"
+            + (f", backend={backend}" if backend != "event" else "")
+            + ": constant density (field edge = "
             "100 m x sqrt(N/100)), 5 pkt/s, two full 20 s LEACH rounds; "
             "spatial index + link/MAC pools on, delay reservoir "
             f"{_MAX_DELAY_SAMPLES}, series capped at "
@@ -122,7 +136,7 @@ def ext_scale(
         ),
     )
     scenarios = [
-        _scale_scenario(n, proto, seed)
+        _scale_scenario(n, proto, seed, backend)
         for proto in _PROTOCOLS
         for n in node_counts
         for seed in seeds

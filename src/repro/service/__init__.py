@@ -22,10 +22,11 @@ Three layers, each usable on its own:
 
 from .cache import CacheStats, RunCache
 from .db import DB_SUFFIXES, DbResultStore, open_store
+from .gc import collect_garbage, describe_gc
 from .http import CampaignServer, build_server
 from .jobs import JobManager, JobRecord
 from .migrations import MIGRATIONS, SCHEMA_VERSION, ensure_schema, schema_version
-from .query import Predicate, parse_predicate, query_runs
+from .query import Predicate, aggregate_runs, parse_predicate, query_runs
 
 __all__ = [
     "CacheStats",
@@ -38,7 +39,10 @@ __all__ = [
     "Predicate",
     "RunCache",
     "SCHEMA_VERSION",
+    "aggregate_runs",
     "build_server",
+    "collect_garbage",
+    "describe_gc",
     "ensure_schema",
     "open_store",
     "parse_predicate",

@@ -191,6 +191,81 @@ class DbResultStore:
                 for fv, payload in conn.execute(sql, params)
             ]
 
+    #: Scalar key columns that aggregation can GROUP BY / filter without
+    #: touching the JSON payload.
+    KEY_COLUMNS = (
+        "experiment", "protocol", "load_pps", "seed", "horizon_s",
+        "n_nodes", "config_digest",
+    )
+
+    def aggregate(
+        self,
+        group_by: Sequence[str],
+        metrics: Sequence[str],
+        agg: str = "mean",
+        experiment: Optional[str] = None,
+        config_digest: Optional[str] = None,
+        seed: Optional[int] = None,
+        protocol: Optional[str] = None,
+    ) -> List[dict]:
+        """Aggregation pushdown: group + reduce inside SQLite.
+
+        Group keys must be scalar key columns (:data:`KEY_COLUMNS`);
+        metric fields are pulled out of the JSON payload with
+        ``json_extract``, so only the reduced rows — not the full
+        payloads — ever leave the database.  ``agg`` is one of
+        ``mean`` / ``min`` / ``max`` / ``sum``; SQL aggregates skip
+        NULL (missing/None metrics), matching the Python fallback in
+        :func:`repro.service.query.aggregate_runs`.
+
+        Raises :class:`sqlite3.OperationalError` when the linked SQLite
+        lacks the JSON1 functions — callers fall back to Python then.
+        """
+        sql_fn = {"mean": "AVG", "min": "MIN", "max": "MAX", "sum": "SUM"}
+        if agg not in sql_fn:
+            raise ExperimentError(
+                f"unknown aggregate {agg!r} (know {', '.join(sql_fn)})"
+            )
+        for key in group_by:
+            if key not in self.KEY_COLUMNS:
+                raise ExperimentError(
+                    f"cannot group by {key!r}: pushdown group keys are "
+                    f"{', '.join(self.KEY_COLUMNS)}"
+                )
+        selects = list(group_by) + ["COUNT(*)"]
+        for field in metrics:
+            if not field.isidentifier():
+                raise ExperimentError(f"bad metric field name {field!r}")
+            selects.append(
+                f"{sql_fn[agg]}(CAST(json_extract(payload, "
+                f"'$.{field}') AS REAL))"
+            )
+        clauses, params = [], []
+        for column, value in (
+            ("experiment", experiment),
+            ("config_digest", config_digest),
+            ("seed", seed),
+            ("protocol", protocol),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        sql = f"SELECT {', '.join(selects)} FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        if group_by:
+            sql += f" GROUP BY {', '.join(group_by)}"
+            sql += f" ORDER BY {', '.join(group_by)}"
+        out: List[dict] = []
+        with self._connect() as conn:
+            for row in conn.execute(sql, params):
+                record = dict(zip(group_by, row))
+                record["n"] = int(row[len(group_by)])
+                for j, field in enumerate(metrics):
+                    record[field] = row[len(group_by) + 1 + j]
+                out.append(record)
+        return out
+
     def rows_for_digests(
         self, digests: Iterable[str]
     ) -> List[Tuple[RunResult, int]]:

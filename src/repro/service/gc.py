@@ -1,0 +1,122 @@
+"""Run-cache garbage collection: ``repro-caem gc DB --keep-latest K``.
+
+A result database only ever grows: re-running a sweep appends a fresh
+row per cell even when an identical row is already stored, and the run
+cache / ``--from`` pairing consume duplicates newest-last, so older
+generations of a cell are dead weight.  :func:`collect_garbage` groups
+rows by the exact cell identity the pairing layer uses —
+``(experiment, protocol, load_pps, seed, horizon_s, config_digest)``,
+see :mod:`repro.api.pairing` — keeps the newest ``K`` rows of each
+group, deletes the rest, and VACUUMs so the file actually shrinks.
+
+Only the scalar key columns are read (no JSON payload is ever decoded),
+so collecting a multi-gigabyte database is cheap.  Size accounting uses
+``PRAGMA page_count * PRAGMA page_size`` before and after, which is the
+file's true footprint as SQLite sees it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..errors import ExperimentError
+from .db import DbResultStore
+
+__all__ = ["collect_garbage", "describe_gc"]
+
+#: One cache cell, as the pairing layer identifies it (the experiment
+#: stamp is part of identity: fig11/fig12 rows never fill each other's
+#: slot, so they must not evict each other either).
+_GROUP_COLUMNS = (
+    "experiment", "protocol", "load_pps", "seed", "horizon_s",
+    "config_digest",
+)
+
+
+def _file_bytes(conn) -> int:
+    page_count = int(conn.execute("PRAGMA page_count").fetchone()[0])
+    page_size = int(conn.execute("PRAGMA page_size").fetchone()[0])
+    return page_count * page_size
+
+
+def collect_garbage(
+    store: Union[str, Path, DbResultStore],
+    keep_latest: int = 1,
+    dry_run: bool = False,
+) -> Dict[str, int]:
+    """Evict superseded generations from a result database.
+
+    Keeps the ``keep_latest`` newest rows (highest ``id``) of every
+    cache cell and deletes the older generations.  Returns an accounting
+    dict: ``rows_before`` / ``rows_after`` / ``deleted`` / ``groups`` /
+    ``bytes_before`` / ``bytes_after`` / ``reclaimed_bytes``.
+
+    With ``dry_run=True`` nothing is written; the report shows what a
+    real pass would do (``bytes_after`` then equals ``bytes_before``).
+    """
+    if keep_latest < 1:
+        raise ExperimentError(
+            f"--keep-latest must be >= 1 (got {keep_latest}); keeping "
+            "zero generations would empty the database"
+        )
+    if not isinstance(store, DbResultStore):
+        path = Path(store)
+        if not path.exists():
+            raise ExperimentError(f"no such result database: {path}")
+        store = DbResultStore(path)
+
+    groups: Dict[Tuple, List[int]] = defaultdict(list)
+    with store._connect() as conn:
+        bytes_before = _file_bytes(conn)
+        cursor = conn.execute(
+            f"SELECT id, {', '.join(_GROUP_COLUMNS)} FROM runs ORDER BY id"
+        )
+        for row in cursor:
+            groups[tuple(row[1:])].append(int(row[0]))
+        doomed: List[int] = []
+        for ids in groups.values():
+            doomed.extend(ids[:-keep_latest])
+        rows_before = sum(len(ids) for ids in groups.values())
+
+        if doomed and not dry_run:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                # SQLite caps bound parameters (999 historically); chunk.
+                for start in range(0, len(doomed), 500):
+                    chunk = doomed[start:start + 500]
+                    marks = ",".join("?" * len(chunk))
+                    conn.execute(
+                        f"DELETE FROM runs WHERE id IN ({marks})", chunk
+                    )
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            conn.execute("COMMIT")
+            # Hand the freed pages back to the filesystem; without this
+            # the reclaimed bytes stay inside the file as free pages.
+            conn.execute("VACUUM")
+        bytes_after = _file_bytes(conn)
+
+    return {
+        "rows_before": rows_before,
+        "rows_after": rows_before - (0 if dry_run else len(doomed)),
+        "deleted": len(doomed),
+        "groups": len(groups),
+        "bytes_before": bytes_before,
+        "bytes_after": bytes_after,
+        "reclaimed_bytes": bytes_before - bytes_after,
+        "dry_run": int(dry_run),
+    }
+
+
+def describe_gc(report: Dict[str, int]) -> str:
+    """One-line human summary of a :func:`collect_garbage` report."""
+    head = "would delete" if report["dry_run"] else "deleted"
+    return (
+        f"{head} {report['deleted']} of {report['rows_before']} rows "
+        f"({report['groups']} distinct cells), "
+        f"{report['bytes_before']} -> {report['bytes_after']} bytes "
+        f"({report['reclaimed_bytes']} reclaimed)"
+    )

@@ -11,18 +11,50 @@ from __future__ import annotations
 
 import operator
 from dataclasses import dataclass, fields as dc_fields
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..api.result import RunResult
 from ..errors import ExperimentError
 
-__all__ = ["Predicate", "parse_predicate", "query_runs", "DEFAULT_COLUMNS"]
+__all__ = [
+    "Predicate",
+    "parse_predicate",
+    "query_runs",
+    "aggregate_runs",
+    "DEFAULT_COLUMNS",
+    "DEFAULT_AGG_METRICS",
+    "GROUP_ALIASES",
+]
 
 #: What ``repro-caem query`` prints when no --columns are given.
 DEFAULT_COLUMNS = (
     "experiment", "protocol", "load_pps", "seed", "n_nodes", "horizon_s",
     "delivery_rate", "energy_per_packet_j", "lifetime_s", "config_digest",
 )
+
+#: What ``--agg`` reduces when no --columns are given.
+DEFAULT_AGG_METRICS = (
+    "delivery_rate", "throughput_bps", "mean_delay_s",
+    "energy_per_packet_j", "total_consumed_j",
+)
+
+#: CLI shorthand for group keys: ``--group-by protocol,load``.
+GROUP_ALIASES = {"load": "load_pps", "nodes": "n_nodes"}
+
+#: Group keys the SQL pushdown supports (scalar key columns of the runs
+#: table); the Python fallback accepts the same set so JSONL/CSV stores
+#: and databases answer identically.
+_GROUP_COLUMNS = (
+    "experiment", "protocol", "load_pps", "seed", "horizon_s",
+    "n_nodes", "config_digest",
+)
+
+_AGG_FUNCS: Dict[str, Callable[[List[float]], float]] = {
+    "mean": lambda vs: sum(vs) / len(vs),
+    "min": min,
+    "max": max,
+    "sum": sum,
+}
 
 #: Two-char operators first so ``>=`` never parses as ``>`` + ``=0.9``.
 _OPS: Sequence = (
@@ -135,4 +167,92 @@ def query_runs(
             out.append(run)
             if limit is not None and len(out) >= limit:
                 break
+    return out
+
+
+def resolve_group_key(key: str) -> str:
+    """Expand CLI shorthand and validate one ``--group-by`` key."""
+    key = GROUP_ALIASES.get(key, key)
+    if key not in _GROUP_COLUMNS:
+        raise ExperimentError(
+            f"cannot group by {key!r}; group keys: "
+            f"{', '.join(_GROUP_COLUMNS)} "
+            f"(aliases: {', '.join(f'{a}={b}' for a, b in GROUP_ALIASES.items())})"
+        )
+    return key
+
+
+def aggregate_runs(
+    store,
+    group_by: Sequence[str],
+    agg: str = "mean",
+    metrics: Optional[Sequence[str]] = None,
+    experiment: Optional[str] = None,
+    config_digest: Optional[str] = None,
+    seed: Optional[int] = None,
+    protocol: Optional[str] = None,
+    where: Sequence[Predicate] = (),
+) -> List[dict]:
+    """Grouped reduction over a result store: ``query --agg``.
+
+    Returns one dict per group, ordered by group key: the group-key
+    values, ``n`` (rows in the group), and one reduced value per metric
+    (``None`` when every row's metric is None — e.g. lifetime on runs
+    nothing died in; None metrics are skipped, not zero-filled).
+
+    Against a :class:`~repro.service.DbResultStore` the whole reduction
+    pushes down into SQL (``json_extract`` + ``GROUP BY``) so only the
+    reduced rows leave the database; JSONL/CSV stores — and any query
+    with Python-side ``where`` predicates — reduce over decoded rows
+    with identical semantics.
+    """
+    if agg not in _AGG_FUNCS:
+        raise ExperimentError(
+            f"unknown aggregate {agg!r} (know {', '.join(_AGG_FUNCS)})"
+        )
+    group_by = [resolve_group_key(k) for k in group_by]
+    if metrics is None:
+        metrics = DEFAULT_AGG_METRICS
+    for field in metrics:
+        if field not in _RESULT_FIELDS:
+            raise ExperimentError(
+                f"unknown RunResult field {field!r}; known fields: "
+                f"{', '.join(sorted(_RESULT_FIELDS))}"
+            )
+    if not where and hasattr(store, "aggregate"):
+        import sqlite3
+
+        try:
+            return store.aggregate(
+                group_by, metrics, agg=agg,
+                experiment=experiment, config_digest=config_digest,
+                seed=seed, protocol=protocol,
+            )
+        except sqlite3.OperationalError:
+            # SQLite built without JSON1 — reduce in Python instead.
+            pass
+    runs = query_runs(
+        store, experiment=experiment, config_digest=config_digest,
+        seed=seed, protocol=protocol, where=where,
+    )
+    groups: Dict[tuple, List[RunResult]] = {}
+    for run in runs:
+        key = tuple(getattr(run, k) for k in group_by)
+        groups.setdefault(key, []).append(run)
+    reduce = _AGG_FUNCS[agg]
+    out: List[dict] = []
+    # NULL-first ordering, matching SQLite's ORDER BY.
+    for key in sorted(
+        groups, key=lambda k: tuple((v is not None, v) for v in k)
+    ):
+        rows = groups[key]
+        record = dict(zip(group_by, key))
+        record["n"] = len(rows)
+        for field in metrics:
+            values = [
+                getattr(r, field) for r in rows
+                if getattr(r, field) is not None
+            ]
+            record[field] = reduce(values) if values else None
+        out.append(record)
     return out

@@ -1,0 +1,1391 @@
+"""The vectorized population-scale engine (``ScaleConfig.backend="vector"``).
+
+One :class:`VectorNetwork` holds every node's state in numpy
+structure-of-arrays — positions, battery levels, ring-buffer queues,
+Scheme-1 policy state, per-link AR(1) shadowing/fading states — and
+advances the whole population in fixed channel-coherence steps
+(``ChannelConfig.fading_coherence_s``) with batched array operations.
+
+Where the two engines must agree exactly (the golden contract pinned by
+:mod:`repro.vector.equivalence`), this engine *reuses the event kernel's
+named streams with identical consumption order*:
+
+* ``topology`` — one ``uniform`` block for placement;
+* ``leach`` — :class:`~repro.cluster.leach.LeachElection` is called with
+  the same alive-id lists in the same round order, so head sets match
+  bit-for-bit (``np.flatnonzero`` yields ascending ids, exactly the
+  event network's node iteration order);
+* ``dynamics/battery``, ``dynamics/traffic`` — construction overrides,
+  drawn in the event kernel's order;
+* ``dynamics/churn/<i>``, ``dynamics/regime`` — the full churn/regime
+  timeline is *pre-played* here with draw-for-draw identical consumption
+  (gap, then downtime, then next gap; gap, then offset, ...), so applied
+  failure/recovery/shift counts and times match exactly.
+
+Everything per-packet — traffic arrivals, MAC contention, per-burst PER,
+energy metering — runs on dedicated ``vector/*`` streams and a
+time-stepped fluid abstraction of the CAEM MAC, so those fields are
+statistically equivalent to the event kernel, not bit-identical:
+
+* traffic is drawn as per-step batch counts (Poisson / CBR accumulator /
+  two-state on-off), with arrivals stamped mid-step;
+* per cluster and step, contenders race once per sub-iteration with the
+  event MAC's backoff law (``u · 2^retry · slot · CW``); the two
+  smallest backoffs collide iff they fall within the radio's 20 µs
+  startup blind window, mirroring the CSMA vulnerable period;
+* burst size, per-mode airtime, per-packet PER Bernoulli draws, and the
+  energy charges per attempt reproduce the event MAC's arithmetic on
+  arrays;
+* Scheme 1's queue-sampling controller runs batched: a node that
+  accumulated ``M`` accepted arrivals in a step takes one sample at the
+  step's end (the event kernel samples at the exact M-th arrival).
+
+Unsupported channel variants (Jakes kernel, Rician fading) raise
+:class:`~repro.errors.ConfigError` — the vector engine implements the
+paper's exponential-Rayleigh model only.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..channel import LinkBudget
+from ..cluster import LeachElection, Topology
+from ..config import NetworkConfig, Protocol
+from ..energy import RadioEnergyModel
+from ..errors import ConfigError
+from ..metrics.lifetime import death_spread_s, first_death_s, network_lifetime_s
+from ..phy import AbicmTable
+from ..rng import RngRegistry
+from ..routing import plan_routes
+from .state import ArStep, BatchReservoir, PerTables, SeriesRecorder
+
+__all__ = ["simulate_vector", "VectorNetwork"]
+
+#: Contention sub-iterations resolved per cluster per step.  Each round
+#: of the loop lets every still-qualified member race again after the
+#: previous winner's burst advanced the cluster's busy clock; beyond a
+#: few iterations the clock has left the step window anyway.
+_MAC_SUB_ITERS = 8
+
+#: Barrier bookkeeping epsilon for merging pre-played dynamics events
+#: into the step agenda (barrier times themselves compare exactly).
+_EPS = 1e-12
+
+
+def _check_supported(cfg: NetworkConfig) -> None:
+    if cfg.channel.fading_kernel != "exponential":
+        raise ConfigError(
+            "vector backend supports the exponential fading kernel only "
+            f"(got {cfg.channel.fading_kernel!r}); use backend='event'"
+        )
+    if cfg.channel.rician_k != 0.0:
+        raise ConfigError(
+            "vector backend supports Rayleigh fading only "
+            f"(rician_k={cfg.channel.rician_k!r}); use backend='event'"
+        )
+
+
+class _DynamicsReplay:
+    """Pre-played dynamics timeline (see the module docstring).
+
+    Consumes ``dynamics/churn/<i>`` (node-id order) and
+    ``dynamics/regime`` exactly as :class:`repro.dynamics.EventTimeline`
+    does, then merges scripted and stochastic events into one
+    time-sorted agenda.  The stable sort preserves the event kernel's
+    push order for equal-time scripted entries (scripted failures, then
+    scripted recoveries, then chain arms).
+    """
+
+    def __init__(self, cfg: NetworkConfig, rngs: RngRegistry, horizon_s: float):
+        dyn = cfg.dynamics
+        for label, events in (
+            ("scripted_failures", dyn.scripted_failures),
+            ("scripted_recoveries", dyn.scripted_recoveries),
+        ):
+            for _t, node in events:
+                if not 0 <= node < cfg.n_nodes:
+                    raise ConfigError(
+                        f"{label} names node {node}, but the network has "
+                        f"{cfg.n_nodes} nodes (valid ids: 0..{cfg.n_nodes - 1})"
+                    )
+        agenda: List[Tuple[float, str, object]] = []
+        for t, node in dyn.scripted_failures:
+            if t <= horizon_s:
+                agenda.append((float(t), "sfail", int(node)))
+        for t, node in dyn.scripted_recoveries:
+            if t <= horizon_s:
+                agenda.append((float(t), "srecover", int(node)))
+        if dyn.failure_rate_hz > 0:
+            for node in range(cfg.n_nodes):
+                rng = rngs.stream(f"dynamics/churn/{node}")
+                t = float(rng.exponential(1.0 / dyn.failure_rate_hz))
+                while t <= horizon_s:
+                    # Downtime drawn before the failure applies, exactly
+                    # like EventTimeline._stochastic_fail.
+                    downtime = (
+                        float(rng.exponential(dyn.mean_downtime_s))
+                        if dyn.mean_downtime_s > 0
+                        else None
+                    )
+                    agenda.append((t, "fail", node))
+                    if downtime is None:
+                        break  # permanent failure: chain ends
+                    t_rec = t + downtime
+                    if t_rec > horizon_s:
+                        break
+                    agenda.append((t_rec, "recover", node))
+                    t = t_rec + float(rng.exponential(1.0 / dyn.failure_rate_hz))
+        if dyn.regime_mean_interval_s > 0 and dyn.regime_sigma_db > 0:
+            rng = rngs.stream("dynamics/regime")
+            t = float(rng.exponential(dyn.regime_mean_interval_s))
+            while t <= horizon_s:
+                offset = float(rng.normal(0.0, dyn.regime_sigma_db))
+                agenda.append((t, "regime", offset))
+                t += float(rng.exponential(dyn.regime_mean_interval_s))
+        agenda.sort(key=lambda e: e[0])  # stable: insertion order on ties
+        self.events = agenda
+        self.cursor = 0
+
+    def next_time(self) -> float:
+        if self.cursor >= len(self.events):
+            return math.inf
+        return self.events[self.cursor][0]
+
+
+class VectorNetwork:
+    """Structure-of-arrays population state plus the stepping loop."""
+
+    def __init__(self, cfg: NetworkConfig, opts, tracer=None) -> None:
+        _check_supported(cfg)
+        self.cfg = cfg
+        self.opts = opts
+        self.tracer = tracer
+        n = cfg.n_nodes
+        self.n = n
+        self.rngs = RngRegistry(cfg.seed)
+
+        # Shared substrate — identical construction to SensorNetwork.
+        self.abicm = AbicmTable.from_config(cfg.phy)
+        self.model = RadioEnergyModel(
+            cfg.energy, uplink_tx_power_w=cfg.routing.uplink_tx_power_w
+        )
+        self.budget = LinkBudget.from_config(cfg.channel)
+        self.uplink_budget = LinkBudget(
+            self.budget.pathloss,
+            cfg.routing.uplink_tx_power_w,
+            cfg.channel.noise_floor_dbm,
+        )
+        if cfg.placement == "grid":
+            self.topology = Topology.grid(n, cfg.field_size_m)
+        else:
+            self.topology = Topology.uniform(
+                n, cfg.field_size_m, self.rngs.stream("topology")
+            )
+        self.election = LeachElection(cfg.leach, self.rngs.stream("leach"))
+        if cfg.routing.enabled:
+            self.topology.place_sink(cfg.routing.sink_position)
+
+        # Construction-time dynamics overrides: same streams, same order
+        # as SensorNetwork.__init__.
+        level = np.full(n, cfg.energy.initial_energy_j)
+        self._bursty = np.zeros(n, dtype=bool)
+        if cfg.dynamics.enabled:
+            if cfg.dynamics.battery_jitter > 0:
+                j = cfg.dynamics.battery_jitter
+                factors = self.rngs.stream("dynamics/battery").uniform(
+                    1.0 - j, 1.0 + j, n
+                )
+                level = cfg.energy.initial_energy_j * factors
+            if cfg.dynamics.bursty_fraction > 0:
+                picks = self.rngs.stream("dynamics/traffic").random(n)
+                self._bursty = picks < cfg.dynamics.bursty_fraction
+
+        # Dedicated vector streams (never touched by the event kernel).
+        self._chan_rng = self.rngs.stream("vector/channel")
+        self._traf_rng = self.rngs.stream("vector/traffic")
+        self._mac_rng = self.rngs.stream("vector/mac")
+        self._phy_rng = self.rngs.stream("vector/phy")
+        self._up_rng = self.rngs.stream("vector/uplink")
+        stats_rng = self.rngs.stream("vector/stats")
+
+        self.replay = _DynamicsReplay(cfg, self.rngs, opts.horizon_s)
+        self._scripted_down: set = set()
+
+        # -- node state arrays ------------------------------------------------
+        self.positions = self.topology.positions
+        self.level = level
+        self.drawn = np.zeros(n)
+        self.alive = np.ones(n, dtype=bool)
+        self.failed = np.zeros(n, dtype=bool)
+        self.death_time = np.full(n, np.nan)
+        self.last_failure = np.full(n, np.nan)
+        self.attached = np.zeros(n, dtype=bool)
+        self.is_head = np.zeros(n, dtype=bool)
+        self.retry = np.zeros(n, dtype=np.int64)
+
+        # Ring-buffer queues: births, sources, start offsets, lengths.
+        B = cfg.traffic.buffer_packets
+        self.B = B
+        self.qbirth = np.zeros((n, B))
+        self.qsrc = np.zeros((n, B), dtype=np.int32)
+        self.qstart = np.zeros(n, dtype=np.int64)
+        self.qlen = np.zeros(n, dtype=np.int64)
+
+        # Traffic state.
+        self._cbr_acc = np.zeros(n)
+        rate = cfg.traffic.packets_per_second
+        on_s, off_s = cfg.traffic.onoff_on_s, cfg.traffic.onoff_off_s
+        duty = on_s / (on_s + off_s) if (on_s + off_s) > 0 else 1.0
+        self._onoff_rate = rate / duty if duty > 0 else rate
+        self._onoff_nodes = (
+            np.flatnonzero(self._bursty)
+            if cfg.traffic.source_model != "onoff"
+            else np.arange(n)
+        )
+        if cfg.traffic.source_model == "onoff":
+            self._bursty = np.ones(n, dtype=bool)
+        self._on_state = np.zeros(n, dtype=bool)  # start in the OFF phase
+        self._on_switch = np.full(n, np.inf)
+        if self._onoff_nodes.size:
+            self._on_switch[self._onoff_nodes] = self._traf_rng.exponential(
+                off_s if off_s > 0 else on_s, self._onoff_nodes.size
+            )
+
+        # Scheme-1 policy state (persists across rounds, like the event
+        # kernel's AdaptiveThresholdPolicy which is never reset).
+        n_modes = self.abicm.n_modes
+        self.highest_class = n_modes - 1
+        init_cls = (
+            cfg.policy.initial_class
+            if cfg.policy.initial_class is not None
+            else self.highest_class
+        )
+        self.cls = np.full(n, min(init_cls, n_modes - 1), dtype=np.int64)
+        self.pol_ctr = np.zeros(n, dtype=np.int64)
+        self.pol_last = np.full(n, np.nan)
+        self.pol_armed = np.zeros(n, dtype=bool)
+
+        # PHY/MAC constants.
+        self.thr = np.asarray(
+            [self.abicm.threshold_for_class(k) for k in range(n_modes)]
+        )
+        self.rates = np.asarray([m.throughput_bps for m in self.abicm.modes])
+        self.pertab = PerTables(self.abicm, cfg.phy.packet_length_bits)
+        self.bits = cfg.phy.packet_length_bits
+        self.overhead_bits = cfg.phy.burst_overhead_bits
+        self.gated = cfg.protocol is not Protocol.PURE_LEACH
+        mac = cfg.mac
+        self._backoff_scale = mac.backoff_slot_s * mac.contention_window
+        self._blind_s = cfg.energy.startup_time_s
+        # Access-entry cost for a cluster whose channel sat idle: the
+        # tone broadcaster emits an idle pulse the instant the channel
+        # frees (so back-to-back bursts chain with only backoff+startup
+        # between them), but a sensor whose queue qualifies mid-idle
+        # waits half an idle period for the next pulse on average, plus
+        # the sensing delay before it may classify the train.
+        self._idle_entry_s = 0.5 * cfg.tone.idle_period_s + cfg.tone.sensing_delay_s
+        tone = cfg.tone
+        self._head_tone_duty = (
+            tone.idle_duration_s / tone.idle_period_s
+            + tone.transmit_duration_s / tone.transmit_period_s
+        )
+        self._ar = ArStep(
+            cfg.channel.shadowing_sigma_db,
+            cfg.channel.shadowing_tau_s,
+            cfg.channel.fading_coherence_s,
+        )
+        self.dt = cfg.channel.fading_coherence_s
+
+        # Per-round cluster state (filled by _start_round).
+        self.heads = np.empty(0, dtype=np.int64)
+        self.head_up = np.empty(0, dtype=bool)
+        self.busy = np.empty(0)
+        self.m_ids = np.empty(0, dtype=np.int64)
+        self.m_cl = np.empty(0, dtype=np.int64)
+        self.m_mean = np.empty(0)
+        self.m_sh = np.empty(0)
+        self.m_fx = np.empty(0)
+        self.m_fy = np.empty(0)
+        self._cluster_of_head: Dict[int, int] = {}
+        # Uplink tier per-round state.
+        self.next_hop = np.empty(0, dtype=np.int64)
+        self.u_mean = np.empty(0)
+        self.u_sh = np.empty(0)
+        self.u_fx = np.empty(0)
+        self.u_fy = np.empty(0)
+        self.relay_q: List[List[Tuple[float, int, int]]] = []
+        self.u_retry = np.empty(0, dtype=np.int64)
+        self._ubusy = 0.0
+        self._rr = -1
+
+        self.round_index = 0
+        self._regime_offset = 0.0
+        self.steps = 0
+
+        # -- counters / ledgers ----------------------------------------------
+        self.generated = 0
+        self.delivered = 0
+        self.delivered_local = 0
+        self.lost_channel = 0
+        self.dropped_overflow = 0
+        self.dropped_retry = 0
+        self.collisions = 0
+        self.delivered_bits = 0
+        self.cluster_delivered = 0
+        self.uplink_lost_channel = 0
+        self.uplink_dropped_retry = 0
+        self.uplink_dropped_overflow = 0
+        self.uplink_stranded = 0
+        self.churn_failures = 0
+        self.churn_recoveries = 0
+        self.regime_shifts = 0
+        self.orphaned = 0
+        self.first_failure_s: Optional[float] = None
+        self.breakdown: Dict[str, float] = {}
+        cap = cfg.scale.max_delay_samples
+        self.delays = BatchReservoir(cap, stats_rng)
+        self.hops = BatchReservoir(cap, stats_rng)
+        self.bits_by_src = (
+            np.zeros(n, dtype=np.int64) if cfg.dynamics.enabled else None
+        )
+        self._charges: List[Tuple[str, np.ndarray, np.ndarray]] = []
+
+        # Series recorder: one shared cadence, decimated together (the
+        # event kernel's collectors decimate independently but
+        # identically, so one multi-track recorder is equivalent).
+        self.recorder = SeriesRecorder(
+            opts.sample_interval_s, opts.max_series_samples
+        )
+        self._tr_energy = self.recorder.add_track()
+        self._tr_alive = self.recorder.add_track()
+        self._tr_queues = self.recorder.add_track() if opts.collect_queues else None
+        self._tr_up = (
+            self.recorder.add_track() if cfg.dynamics.enabled else None
+        )
+
+    # -- derived masks -------------------------------------------------------
+
+    @property
+    def up(self) -> np.ndarray:
+        """Operational nodes: battery left and not churn-failed."""
+        return self.alive & ~self.failed
+
+    @property
+    def is_dead(self) -> bool:
+        """The paper's dead-network rule (mirrors SensorNetwork.is_dead)."""
+        n = self.n
+        dead = n - int(self.alive.sum())
+        if self.cfg.dead_fraction >= 1.0:
+            return dead >= n
+        return dead >= math.floor(self.cfg.dead_fraction * n) + 1
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> float:
+        """Advance to the horizon (or early death) and return elapsed time.
+
+        Barrier agenda: physics advances in coherence-time steps between
+        *exact-time barriers* — dynamics events, round boundaries, sample
+        instants, death checks, the horizon.  At a shared barrier instant
+        the application order is dynamics → round → sample → check, the
+        event kernel's heap order for those event classes (scripted
+        events are pushed first at start, round re-arms before sampler
+        re-arms).  The t=0 special case is inverted (round first): the
+        event kernel forms the first round inline in ``start()`` before
+        the event loop pops anything.
+        """
+        opts = self.opts
+        horizon = opts.horizon_s
+        t = 0.0
+        self._start_round(0.0)
+        for ev_t, kind, payload in self._drain_dynamics(0.0):
+            self._apply_dynamics(ev_t, kind, payload)
+        self._sample(0.0)
+        next_round = self.cfg.leach.round_duration_s
+        next_sample = self.recorder.interval
+        interval0 = opts.sample_interval_s
+        next_check = interval0 if opts.stop_when_dead else math.inf
+        while t < horizon:
+            t_next = min(next_round, next_sample, next_check, horizon,
+                         self.replay.next_time())
+            self._advance(t, t_next)
+            t = t_next
+            for ev_t, kind, payload in self._drain_dynamics(t):
+                self._apply_dynamics(ev_t, kind, payload)
+            if t == next_round:
+                self._start_round(t)
+                next_round += self.cfg.leach.round_duration_s
+            if t == next_sample:
+                self._sample(t)
+                next_sample = t + self.recorder.interval
+            if t == next_check:
+                if self.is_dead:
+                    break
+                next_check = min(next_check + interval0, horizon)
+        return t
+
+    def _drain_dynamics(self, t: float):
+        out = []
+        events = self.replay.events
+        while self.replay.cursor < len(events):
+            ev = events[self.replay.cursor]
+            if ev[0] > t + _EPS:
+                break
+            out.append(ev)
+            self.replay.cursor += 1
+        return out
+
+    def _advance(self, t0: float, t1: float) -> None:
+        remaining = t1 - t0
+        cur = t0
+        while remaining > _EPS:
+            sdt = self.dt if remaining > self.dt else remaining
+            self._step(cur, sdt)
+            cur += sdt
+            remaining -= sdt
+
+    # -- dynamics application ------------------------------------------------
+
+    def _apply_dynamics(self, t: float, kind: str, payload) -> None:
+        if kind == "sfail":
+            self._scripted_down.add(payload)
+            self._apply_fail(int(payload), t)
+        elif kind == "srecover":
+            self._scripted_down.discard(payload)
+            self._apply_recover(int(payload), t)
+        elif kind == "fail":
+            self._apply_fail(int(payload), t)
+        elif kind == "recover":
+            if payload not in self._scripted_down:
+                self._apply_recover(int(payload), t)
+        elif kind == "regime":
+            self._apply_regime(float(payload), t)
+
+    def _apply_fail(self, node: int, now: float) -> None:
+        if not (self.alive[node] and not self.failed[node]):
+            return
+        was_head = bool(self.is_head[node])
+        orphans = int(self.qlen[node])
+        self.qlen[node] = 0
+        self.failed[node] = True
+        self.attached[node] = False
+        self.last_failure[node] = now
+        self.churn_failures += 1
+        self.orphaned += orphans
+        if self.first_failure_s is None:
+            self.first_failure_s = now
+        if was_head:
+            self._down_head(node)
+        if self.tracer is not None:
+            self.tracer.annotate(now, "node.fail", node=node, was_head=was_head)
+
+    def _apply_recover(self, node: int, now: float) -> None:
+        if not (self.alive[node] and self.failed[node]):
+            return
+        self.failed[node] = False
+        self.churn_recoveries += 1
+        if self.tracer is not None:
+            self.tracer.annotate(now, "node.recover", node=node)
+
+    def _apply_regime(self, offset_db: float, now: float) -> None:
+        delta = offset_db - self._regime_offset
+        self._regime_offset = offset_db
+        if self.m_mean.size:
+            self.m_mean += delta
+        if self.u_mean.size:
+            self.u_mean += delta
+        self.regime_shifts += 1
+        if self.tracer is not None:
+            self.tracer.annotate(now, "regime.shift", offset_db=offset_db)
+
+    def _down_head(self, node: int) -> None:
+        """A head went dark mid-round: strand its relay, detach members."""
+        c = self._cluster_of_head.get(node)
+        if c is None:
+            return
+        self.head_up[c] = False
+        if self.relay_q:
+            stranded = len(self.relay_q[c])
+            if stranded:
+                self.uplink_stranded += stranded
+                self.relay_q[c] = []
+        if self.m_ids.size:
+            self.attached[self.m_ids[self.m_cl == c]] = False
+
+    # -- round driver --------------------------------------------------------
+
+    def _start_round(self, now: float) -> None:
+        self._teardown_round()
+        alive_ids = np.flatnonzero(self.up)
+        if alive_ids.size == 0:
+            return
+        heads = self.election.elect(
+            self.round_index, [int(i) for i in alive_ids]
+        )
+        if self.tracer is not None:
+            self.tracer.annotate(
+                now, "leach.round", index=self.round_index, heads=list(heads)
+            )
+        h = len(heads)
+        self.heads = np.asarray(heads, dtype=np.int64)
+        self.head_up = np.ones(h, dtype=bool)
+        self.busy = np.full(h, now)
+        self._cluster_of_head = {int(hd): c for c, hd in enumerate(heads)}
+        routing = self.cfg.routing.enabled
+        if routing:
+            routes = plan_routes(self.cfg.routing.mode, heads, self.topology)
+            self.next_hop = np.asarray(
+                [
+                    -1 if routes[hd] is None else self._cluster_of_head[routes[hd]]
+                    for hd in heads
+                ],
+                dtype=np.int64,
+            )
+            self.relay_q = [[] for _ in range(h)]
+            # Uplink AR(1) link state, one per head, from "vector/uplink".
+            dist = np.empty(h)
+            for c, hd in enumerate(heads):
+                nxt = routes[hd]
+                dist[c] = (
+                    self.topology.sink_distance(hd)
+                    if nxt is None
+                    else self.topology.distance(hd, nxt)
+                )
+            self.u_mean = (
+                self.uplink_budget.mean_snr_db(dist) + self._regime_offset
+            )
+            z = self._up_rng.standard_normal((3, h))
+            sigma = self.cfg.channel.shadowing_sigma_db
+            self.u_sh = sigma * z[0] if sigma > 0 else np.zeros(h)
+            self.u_fx = math.sqrt(0.5) * z[1]
+            self.u_fy = math.sqrt(0.5) * z[2]
+            self.u_retry = np.zeros(h, dtype=np.int64)
+            self._rr = -1
+        # Flip heads: flush each head's backlog through the ingress path
+        # (become_head), in election order like the event kernel.
+        for c, hd in enumerate(heads):
+            self.is_head[hd] = True
+            self.retry[hd] = 0
+            q = int(self.qlen[hd])
+            if q:
+                slots = (self.qstart[hd] + np.arange(q)) % self.B
+                births = self.qbirth[hd, slots]
+                srcs = self.qsrc[hd, slots]
+                self.qlen[hd] = 0
+                if routing:
+                    self._relay_offer(c, births, np.zeros(q, dtype=np.int64), srcs)
+                else:
+                    self.delivered_local += q
+                    self.delivered_bits += q * self.bits
+                    if self.bits_by_src is not None:
+                        np.add.at(self.bits_by_src, srcs, self.bits)
+        # Membership: bit-exact nearest-head (Topology.nearest arithmetic).
+        member_mask = np.zeros(self.n, dtype=bool)
+        member_mask[alive_ids] = True
+        member_mask[self.heads] = False
+        mem = np.flatnonzero(member_mask)
+        m = mem.size
+        self.m_ids = mem
+        self.m_cl = np.empty(m, dtype=np.int64)
+        d = np.empty(m)
+        head_pos = self.positions[self.heads]
+        chunk = 4096
+        for lo in range(0, m, chunk):
+            hi = min(lo + chunk, m)
+            # positions[cand] - positions[node], squared, summed, sqrt —
+            # the exact FP sequence of Topology.nearest, so argmin ties
+            # break identically (first occurrence = lowest head index).
+            diff = head_pos[None, :, :] - self.positions[mem[lo:hi], None, :]
+            row = np.sqrt((diff ** 2).sum(axis=2))
+            pick = np.argmin(row, axis=1)
+            self.m_cl[lo:hi] = pick
+            d[lo:hi] = row[np.arange(hi - lo), pick]
+        self.m_mean = self.budget.mean_snr_db(d) + self._regime_offset
+        z = self._chan_rng.standard_normal((3, m))
+        sigma = self.cfg.channel.shadowing_sigma_db
+        self.m_sh = sigma * z[0] if sigma > 0 else np.zeros(m)
+        self.m_fx = math.sqrt(0.5) * z[1]
+        self.m_fy = math.sqrt(0.5) * z[2]
+        self.attached[mem] = True
+        self.retry[mem] = 0
+        self.round_index += 1
+
+    def _teardown_round(self) -> None:
+        # Relay leftovers return to their head's buffer (birth and source
+        # kept, hop count restarts) or are stranded with a dead head —
+        # mirroring SensorNetwork._teardown_round.
+        if self.relay_q:
+            for c, q in enumerate(self.relay_q):
+                if not q:
+                    continue
+                hd = int(self.heads[c])
+                if self.alive[hd] and not self.failed[hd]:
+                    for birth, _hops, src in q:
+                        if self.qlen[hd] >= self.B:
+                            self.dropped_overflow += 1
+                            continue
+                        slot = (self.qstart[hd] + self.qlen[hd]) % self.B
+                        self.qbirth[hd, slot] = birth
+                        self.qsrc[hd, slot] = src
+                        self.qlen[hd] += 1
+                else:
+                    self.uplink_stranded += len(q)
+            self.relay_q = []
+        self.attached[:] = False
+        self.is_head[:] = False
+        self.heads = np.empty(0, dtype=np.int64)
+        self.head_up = np.empty(0, dtype=bool)
+        self._cluster_of_head = {}
+        self.m_ids = np.empty(0, dtype=np.int64)
+        self.m_cl = np.empty(0, dtype=np.int64)
+
+    def _relay_offer(
+        self, c: int, births: np.ndarray, hops: np.ndarray, srcs: np.ndarray
+    ) -> None:
+        """Queue packets on cluster ``c``'s relay, tail-dropping at the cap."""
+        q = self.relay_q[c]
+        room = self.cfg.routing.relay_buffer_packets - len(q)
+        take = min(room, births.size) if room > 0 else 0
+        for i in range(take):
+            q.append((float(births[i]), int(hops[i]), int(srcs[i])))
+        if births.size > take:
+            self.uplink_dropped_overflow += births.size - take
+
+    # -- sampling ------------------------------------------------------------
+
+    def _sample(self, now: float) -> None:
+        values: List[object] = [None] * len(self.recorder.series)
+        values[self._tr_energy] = float(self.level.sum() / self.n)
+        values[self._tr_alive] = int(self.alive.sum())
+        if self._tr_queues is not None:
+            up_ids = np.flatnonzero(self.up)
+            values[self._tr_queues] = [int(q) for q in self.qlen[up_ids]]
+        if self._tr_up is not None:
+            values[self._tr_up] = int(self.up.sum())
+        self.recorder.tick(now, values)
+
+    # -- one physics step ----------------------------------------------------
+
+    def _step(self, t0: float, sdt: float) -> None:
+        self.steps += 1
+        t1 = t0 + sdt
+        self._charges = []
+        up = self.up
+        self._advance_channel(sdt)
+        acc = self._traffic_step(t0, sdt, up)
+        if self.cfg.protocol is Protocol.CAEM_ADAPTIVE:
+            self._policy_step(acc)
+        if self.heads.size:
+            self._mac_step(t0, t1)
+            if self.cfg.routing.enabled:
+                self._uplink_step(t0, t1)
+        self._energy_settle(t0, sdt, up)
+
+    def _advance_channel(self, sdt: float) -> None:
+        rho_s, sig_s, rho_f, sig_f = self._ar.coeffs(sdt)
+        m = self.m_ids.size
+        if m:
+            z = self._chan_rng.standard_normal((3, m))
+            if sig_s > 0.0:
+                self.m_sh = rho_s * self.m_sh + sig_s * z[0]
+            self.m_fx = rho_f * self.m_fx + sig_f * z[1]
+            self.m_fy = rho_f * self.m_fy + sig_f * z[2]
+        h = self.u_mean.size
+        if h and self.cfg.routing.enabled:
+            z = self._up_rng.standard_normal((3, h))
+            if sig_s > 0.0:
+                self.u_sh = rho_s * self.u_sh + sig_s * z[0]
+            self.u_fx = rho_f * self.u_fx + sig_f * z[1]
+            self.u_fy = rho_f * self.u_fy + sig_f * z[2]
+
+    def _member_snr(self) -> np.ndarray:
+        power = self.m_fx ** 2 + self.m_fy ** 2
+        return self.m_mean + self.m_sh + 10.0 * np.log10(
+            np.maximum(power, 1e-300)
+        )
+
+    def _uplink_snr(self) -> np.ndarray:
+        power = self.u_fx ** 2 + self.u_fy ** 2
+        return self.u_mean + self.u_sh + 10.0 * np.log10(
+            np.maximum(power, 1e-300)
+        )
+
+    # -- traffic -------------------------------------------------------------
+
+    def _traffic_step(self, t0: float, sdt: float, up: np.ndarray) -> np.ndarray:
+        """Batch-draw arrivals; returns accepted-arrival counts per node."""
+        cfg = self.cfg.traffic
+        rate = cfg.packets_per_second
+        n = self.n
+        lam = np.where(up, rate, 0.0)
+        if self._bursty.any():
+            lam = np.where(self._bursty, 0.0, lam)
+        if cfg.source_model == "cbr" and not self._bursty.all():
+            steady = up & ~self._bursty
+            self._cbr_acc[steady] += rate * sdt
+            k = np.zeros(n, dtype=np.int64)
+            k[steady] = self._cbr_acc[steady].astype(np.int64)
+            self._cbr_acc[steady] -= k[steady]
+        else:
+            k = self._traf_rng.poisson(lam * sdt)
+        # ON/OFF nodes: two-state flip chain (statistical stand-in for
+        # the event kernel's OnOffSource; mean rate preserved).
+        if self._onoff_nodes.size:
+            ids = self._onoff_nodes
+            on_frac = np.where(self._on_state[ids], sdt, 0.0)
+            crossing = np.flatnonzero(self._on_switch[ids] <= t0 + sdt)
+            for ci in crossing:
+                i = ids[ci]
+                tcur, tend = t0, t0 + sdt
+                on_time = 0.0
+                seg_start = tcur
+                while self._on_switch[i] <= tend:
+                    if self._on_state[i]:
+                        on_time += self._on_switch[i] - seg_start
+                    seg_start = max(self._on_switch[i], t0)
+                    self._on_state[i] = not self._on_state[i]
+                    mean = (
+                        self.cfg.traffic.onoff_on_s
+                        if self._on_state[i]
+                        else self.cfg.traffic.onoff_off_s
+                    )
+                    if mean <= 0:
+                        mean = self.cfg.traffic.onoff_on_s
+                    self._on_switch[i] += float(self._traf_rng.exponential(mean))
+                if self._on_state[i]:
+                    on_time += tend - seg_start
+                on_frac[ci] = on_time
+            burst_lam = np.where(up[ids], self._onoff_rate, 0.0) * on_frac
+            k[ids] = self._traf_rng.poisson(burst_lam)
+        total = int(k.sum())
+        if total == 0:
+            return np.zeros(n, dtype=np.int64)
+        self.generated += total
+        birth = t0 + 0.5 * sdt
+        # Heads aggregate their own data without the radio.
+        head_arr = k * (self.is_head & up)
+        if head_arr.any():
+            hk = head_arr[self.heads]
+            if self.cfg.routing.enabled:
+                for c in np.flatnonzero(hk):
+                    cnt = int(hk[c])
+                    self._relay_offer(
+                        int(c),
+                        np.full(cnt, birth),
+                        np.zeros(cnt, dtype=np.int64),
+                        np.full(cnt, self.heads[c], dtype=np.int64),
+                    )
+            else:
+                cnt = int(hk.sum())
+                self.delivered_local += cnt
+                self.delivered_bits += cnt * self.bits
+                if self.bits_by_src is not None:
+                    np.add.at(self.bits_by_src, self.heads, hk * self.bits)
+        # Sensors: ring-buffer offers, overflow counted.
+        kk = np.where(self.is_head, 0, k)
+        acc = np.minimum(kk, self.B - self.qlen)
+        overflow = int((kk - acc).sum())
+        if overflow:
+            self.dropped_overflow += overflow
+        kmax = int(acc.max()) if acc.size else 0
+        src_ids = np.arange(n, dtype=np.int32)
+        for j in range(kmax):
+            sel = np.flatnonzero(acc > j)
+            slots = (self.qstart[sel] + self.qlen[sel] + j) % self.B
+            self.qbirth[sel, slots] = birth
+            self.qsrc[sel, slots] = src_ids[sel]
+        self.qlen += acc
+        return acc
+
+    # -- Scheme-1 policy -----------------------------------------------------
+
+    def _policy_step(self, acc: np.ndarray) -> None:
+        """Batched queue-sampling controller (repro.policy.adaptive).
+
+        The event kernel samples at every M-th accepted arrival; here a
+        node whose arrival counter crossed M samples once, at step end,
+        with its end-of-step queue length — one controller decision per
+        coherence step at most (documented approximation).
+        """
+        got = np.flatnonzero(acc)
+        if got.size == 0:
+            return
+        self.pol_ctr[got] += acc[got]
+        M = self.cfg.policy.sample_interval_packets
+        smp = got[self.pol_ctr[got] >= M]
+        if smp.size == 0:
+            return
+        self.pol_ctr[smp] %= M
+        Q = self.cfg.policy.arm_queue_length
+        V = self.qlen[smp].astype(float)
+        prev = self.pol_last[smp]
+        self.pol_last[smp] = V
+        was = self.pol_armed[smp]
+        arm_now = ~was & (V >= Q)
+        dis = was & (V < Q)
+        self.pol_armed[smp] = (was | arm_now) & ~dis
+        act = (was | arm_now) & ~dis & ~np.isnan(prev)
+        dv = V - prev
+        hi = self.highest_class
+        reset = dis | (act & (dv < 0))
+        if reset.any():
+            self.cls[smp[reset]] = hi
+        down = act & (dv >= 0) & ~dis
+        if down.any():
+            ids = smp[down]
+            self.cls[ids] = np.maximum(self.cls[ids] - 1, 0)
+
+    # -- cluster MAC ---------------------------------------------------------
+
+    def _mac_step(self, t0: float, t1: float) -> None:
+        m = self.m_ids.size
+        if m == 0:
+            return
+        snr = self._member_snr()
+        mac = self.cfg.mac
+        h = self.heads.size
+        head_of = self.heads
+        for _ in range(_MAC_SUB_ITERS):
+            ids = self.m_ids
+            q = self.qlen[ids]
+            oldest = self.qbirth[ids, self.qstart[ids] % self.B]
+            ready = (q >= mac.min_burst_packets) | (
+                (q > 0) & (t1 - oldest >= mac.min_burst_wait_s)
+            )
+            ready &= self.attached[ids] & self.up[ids] & self.head_up[self.m_cl]
+            ready &= self.busy[self.m_cl] < t1
+            if self.gated:
+                ready &= snr >= self.thr[self.cls[ids]]
+            cidx = np.flatnonzero(ready)
+            if cidx.size == 0:
+                break
+            cl = self.m_cl[cidx]
+            u = self._mac_rng.random(cidx.size)
+            dly = (
+                u
+                * np.exp2(np.minimum(self.retry[ids[cidx]], mac.max_retries))
+                * self._backoff_scale
+            )
+            # Winner per cluster: stable descending argsort + last-write
+            # leaves the smallest delay (first occurrence on ties).
+            order = np.argsort(-dly, kind="stable")
+            winner = np.full(h, -1, dtype=np.int64)
+            winner[cl[order]] = cidx[order]
+            d1 = np.full(h, np.inf)
+            d1[cl[order]] = dly[order]
+            is_w = winner[cl] == cidx
+            d2 = np.full(h, np.inf)
+            sub = ~is_w
+            if sub.any():
+                np.minimum.at(d2, cl[sub], dly[sub])
+            contested = winner >= 0
+            collide = contested.copy()
+            ci = np.flatnonzero(contested)
+            collide[ci] = d2[ci] - d1[ci] < self._blind_s
+            clean = contested & ~collide
+            if collide.any():
+                runner = np.full(h, -1, dtype=np.int64)
+                order2 = np.argsort(-dly[sub], kind="stable")
+                sidx, scl = cidx[sub], cl[sub]
+                runner[scl[order2]] = sidx[order2]
+                self._mac_collide(
+                    np.flatnonzero(collide), winner, runner, d1, t0
+                )
+            if clean.any():
+                self._mac_transmit(
+                    np.flatnonzero(clean), winner, d1, snr, t0, head_of
+                )
+
+    def _mac_collide(
+        self,
+        cc: np.ndarray,
+        winner: np.ndarray,
+        runner: np.ndarray,
+        d1: np.ndarray,
+        t0: float,
+    ) -> None:
+        mac = self.cfg.mac
+        coll_dur = self.cfg.tone.collision_duration_s
+        colliders = np.concatenate(
+            [self.m_ids[winner[cc]], self.m_ids[runner[cc]]]
+        )
+        self.collisions += 2 * cc.size
+        self.retry[colliders] += 1
+        # Exhausted retry budgets shed one burst's worth of packets.
+        exhausted = colliders[self.retry[colliders] > mac.max_retries]
+        if exhausted.size:
+            shed = np.minimum(self.qlen[exhausted], mac.max_burst_packets)
+            self.dropped_retry += int(shed.sum())
+            self.qstart[exhausted] = (self.qstart[exhausted] + shed) % self.B
+            self.qlen[exhausted] -= shed
+            self.retry[exhausted] = 0
+        # Energy: both colliders key up and hear the collision tone.
+        nc = colliders.size
+        self._charges.append(
+            (
+                "startup",
+                colliders,
+                np.full(nc, self.model.startup_energy_j),
+            )
+        )
+        self._charges.append(
+            (
+                "tone_rx",
+                colliders,
+                np.full(nc, self.model.power_w("tone_rx") * coll_dur),
+            )
+        )
+        heads = self.heads[cc]
+        self._charges.append(
+            (
+                "tone_tx",
+                heads,
+                np.full(cc.size, self.model.power_w("tone_tx") * coll_dur),
+            )
+        )
+        entry = np.where(self.busy[cc] < t0, self._idle_entry_s, 0.0)
+        self.busy[cc] = (
+            np.maximum(self.busy[cc], t0)
+            + entry
+            + d1[cc]
+            + self._blind_s
+            + coll_dur
+        )
+
+    def _mac_transmit(
+        self,
+        sc: np.ndarray,
+        winner: np.ndarray,
+        d1: np.ndarray,
+        snr: np.ndarray,
+        t0: float,
+        head_of: np.ndarray,
+    ) -> None:
+        mac = self.cfg.mac
+        w = winner[sc]  # member rows
+        nodes = self.m_ids[w]
+        b = np.minimum(self.qlen[nodes], mac.max_burst_packets)
+        wsnr = snr[w]
+        mode = np.searchsorted(self.thr, wsnr, side="right") - 1
+        # Gated protocols qualified at >= thr[cls] >= thr[0]; pure LEACH
+        # transmits anyway in the most robust mode when in outage.
+        mode = np.maximum(mode, 0)
+        airtime = (b * self.bits + self.overhead_bits) / self.rates[mode]
+        entry = np.where(self.busy[sc] < t0, self._idle_entry_s, 0.0)
+        start = (
+            np.maximum(self.busy[sc], t0)
+            + entry
+            + d1[sc]
+            + self._blind_s
+        )
+        end = start + airtime
+        self.busy[sc] = end
+        self.retry[nodes] = 0
+        # Pop the bursts (flat ring-buffer gather).
+        tot = int(b.sum())
+        owner = np.repeat(np.arange(w.size), b)
+        within = np.arange(tot) - np.repeat(np.cumsum(b) - b, b)
+        onodes = nodes[owner]
+        slots = (self.qstart[onodes] + within) % self.B
+        births = self.qbirth[onodes, slots]
+        srcs = self.qsrc[onodes, slots]
+        self.qstart[nodes] = (self.qstart[nodes] + b) % self.B
+        self.qlen[nodes] -= b
+        # Per-packet PER Bernoulli on the burst's measured SNR.
+        perb = self.pertab.per(mode, wsnr)
+        ok = self._phy_rng.random(tot) >= np.repeat(perb, b)
+        n_lost = int((~ok).sum())
+        self.lost_channel += n_lost
+        n_ok = tot - n_lost
+        if n_ok:
+            ends = np.repeat(end, b)[ok]
+            obirths = births[ok]
+            osrcs = srcs[ok]
+            if self.cfg.routing.enabled:
+                self.cluster_delivered += n_ok
+                oc = np.repeat(sc, b)[ok]
+                hops1 = np.ones(1, dtype=np.int64)
+                for c in np.unique(oc):
+                    mask = oc == c
+                    cnt = int(mask.sum())
+                    self._relay_offer(
+                        int(c),
+                        obirths[mask],
+                        np.broadcast_to(hops1, (cnt,)),
+                        osrcs[mask],
+                    )
+            else:
+                self.delivered += n_ok
+                self.delivered_bits += n_ok * self.bits
+                self.delays.add(ends - obirths)
+                if self.bits_by_src is not None:
+                    np.add.at(self.bits_by_src, osrcs, self.bits)
+        # Energy: winner TX + startup + CSI listen; head RX for the burst.
+        self._charges.append(
+            ("data_tx", nodes, self.model.power_w("data_tx") * airtime)
+        )
+        self._charges.append(
+            (
+                "startup",
+                nodes,
+                np.full(nodes.size, self.model.startup_energy_j),
+            )
+        )
+        self._charges.append(
+            (
+                "tone_rx",
+                nodes,
+                np.full(
+                    nodes.size,
+                    self.model.power_w("tone_rx")
+                    * self.cfg.tone.sensing_delay_s,
+                ),
+            )
+        )
+        self._charges.append(
+            (
+                "data_rx",
+                head_of[sc],
+                self.model.power_w("data_rx") * airtime,
+            )
+        )
+
+    # -- uplink tier ---------------------------------------------------------
+
+    def _uplink_pop(self, c: int, mode_u: np.ndarray):
+        """Take one burst off relay ``c`` and charge its TX airtime."""
+        q = self.relay_q[c]
+        b = min(len(q), self.cfg.routing.max_burst_packets)
+        entries, self.relay_q[c] = q[:b], q[b:]
+        airtime = float(
+            (b * self.bits + self.overhead_bits) / self.rates[mode_u[c]]
+        )
+        self._charges.append(
+            (
+                "uplink_tx",
+                np.asarray([self.heads[c]]),
+                np.asarray([self.model.power_w("uplink_tx") * airtime]),
+            )
+        )
+        return entries, airtime
+
+    def _uplink_collided(self, c: int, entries) -> None:
+        """Burst corrupted on the ledger: retry (front-requeue) or shed."""
+        self.u_retry[c] += 1
+        if self.u_retry[c] > self.cfg.routing.max_retries:
+            self.uplink_dropped_retry += len(entries)
+            self.u_retry[c] = 0
+        else:
+            self.relay_q[c] = entries + self.relay_q[c]
+
+    def _uplink_step(self, t0: float, t1: float) -> None:
+        """Serve the shared uplink channel across this step.
+
+        Statistical mirror of the :class:`~repro.routing.uplink.UplinkRelay`
+        CSMA: backlogged relays poll the channel on jittered
+        ``retry_delay_s`` timers (the relay that just finished a burst
+        re-senses immediately and tends to chain); the earliest poll
+        commits and keys up after a jittered ``turnaround_s`` — any
+        other poll landing inside that key-up window also commits, the
+        ledger corrupts both bursts, and both relays pay the full TX
+        airtime before retrying.
+        """
+        h = self.heads.size
+        if h == 0:
+            return
+        snr_u = self._uplink_snr()
+        # In outage the relay still transmits at the most robust mode and
+        # eats the PER (UplinkRelay: ``mode_for_snr(snr) or lowest``).
+        mode_u = np.maximum(
+            np.searchsorted(self.thr, snr_u, side="right") - 1, 0
+        )
+        rcfg = self.cfg.routing
+        t = max(self._ubusy, t0)
+        while t < t1:
+            elig = [
+                c for c in range(h) if self.head_up[c] and self.relay_q[c]
+            ]
+            if not elig:
+                break
+            # Residual time until each backlogged relay's already-armed
+            # retry timer fires next: uniform over one poll interval.
+            # The relay that just finished re-senses immediately.
+            polls = rcfg.retry_delay_s * self._up_rng.random(len(elig))
+            if self._rr in elig:
+                polls[elig.index(self._rr)] = 0.0
+            order = np.argsort(polls, kind="stable")
+            c = elig[int(order[0])]
+            d1 = float(polls[order[0]])
+            key_up = rcfg.turnaround_s * (0.5 + float(self._up_rng.random()))
+            if len(elig) > 1 and float(polls[order[1]]) - d1 < key_up:
+                # CSMA vulnerable window: two commits overlap.
+                c2 = elig[int(order[1])]
+                entries1, a1 = self._uplink_pop(c, mode_u)
+                entries2, a2 = self._uplink_pop(c2, mode_u)
+                self._uplink_collided(c, entries1)
+                self._uplink_collided(c2, entries2)
+                t += d1 + key_up + max(a1, a2)
+                self._rr = -1  # nobody chains out of a collision
+                continue
+            entries, airtime = self._uplink_pop(c, mode_u)
+            end = t + d1 + key_up + airtime
+            t = end
+            self.u_retry[c] = 0
+            self._rr = c
+            per = float(
+                self.pertab.per(
+                    np.asarray([mode_u[c]]), np.asarray([snr_u[c]])
+                )[0]
+            )
+            uu = self._up_rng.random(len(entries))
+            nxt = int(self.next_hop[c])
+            ok_births: List[float] = []
+            ok_hops: List[int] = []
+            ok_srcs: List[int] = []
+            for (birth, hops, src), ud in zip(entries, uu):
+                if ud < per:
+                    self.uplink_lost_channel += 1
+                    continue
+                ok_births.append(birth)
+                ok_hops.append(hops + 1)
+                ok_srcs.append(src)
+            if not ok_births:
+                continue
+            if nxt < 0:  # sink hop
+                k = len(ok_births)
+                self.delivered += k
+                self.delivered_bits += k * self.bits
+                self.delays.add(end - np.asarray(ok_births))
+                self.hops.add(np.asarray(ok_hops, dtype=float))
+                if self.bits_by_src is not None:
+                    np.add.at(
+                        self.bits_by_src,
+                        np.asarray(ok_srcs, dtype=np.int64),
+                        self.bits,
+                    )
+            elif not self.head_up[nxt]:
+                self.uplink_stranded += len(ok_births)
+            else:
+                nh = int(self.heads[nxt])
+                self._charges.append(
+                    (
+                        "uplink_rx",
+                        np.asarray([nh]),
+                        np.asarray(
+                            [self.model.power_w("uplink_rx") * airtime]
+                        ),
+                    )
+                )
+                keep_b, keep_h, keep_s = [], [], []
+                for birth, hops, src in zip(ok_births, ok_hops, ok_srcs):
+                    if hops >= rcfg.max_hops:
+                        self.uplink_stranded += 1
+                    else:
+                        keep_b.append(birth)
+                        keep_h.append(hops)
+                        keep_s.append(src)
+                if keep_b:
+                    self._relay_offer(
+                        nxt,
+                        np.asarray(keep_b),
+                        np.asarray(keep_h, dtype=np.int64),
+                        np.asarray(keep_s, dtype=np.int64),
+                    )
+        self._ubusy = t
+
+    # -- energy --------------------------------------------------------------
+
+    def _energy_settle(self, t0: float, sdt: float, up: np.ndarray) -> None:
+        # Continuous draws for this step.
+        alive_ids = np.flatnonzero(self.alive)
+        if alive_ids.size:
+            self._charges.append(
+                (
+                    "sleep",
+                    alive_ids,
+                    np.full(
+                        alive_ids.size,
+                        self.model.power_w("sleep") * sdt,
+                    ),
+                )
+            )
+        att = np.flatnonzero(self.attached & up)
+        if att.size:
+            self._charges.append(
+                (
+                    "tone_rx",
+                    att,
+                    np.full(
+                        att.size,
+                        self.model.power_w("tone_rx")
+                        * self.cfg.tone.monitor_duty_cycle
+                        * sdt,
+                    ),
+                )
+            )
+        if self.heads.size:
+            hd = self.heads[self.head_up]
+            hd = hd[self.up[hd]]
+            if hd.size:
+                self._charges.append(
+                    (
+                        "ch_idle",
+                        hd,
+                        np.full(
+                            hd.size, self.model.power_w("ch_idle") * sdt
+                        ),
+                    )
+                )
+                self._charges.append(
+                    (
+                        "tone_tx",
+                        hd,
+                        np.full(
+                            hd.size,
+                            self.model.power_w("tone_tx")
+                            * self._head_tone_duty
+                            * sdt,
+                        ),
+                    )
+                )
+        # Settle: cap each node's spend at its remaining charge, pro-rate
+        # the per-cause ledger for partially covered (dying) nodes.
+        demand = np.zeros(self.n)
+        for _cause, ids, vals in self._charges:
+            np.add.at(demand, ids, vals)
+        spend = np.minimum(demand, self.level)
+        ratio = np.ones(self.n)
+        pos = demand > 0
+        ratio[pos] = spend[pos] / demand[pos]
+        bd = self.breakdown
+        for cause, ids, vals in self._charges:
+            bd[cause] = bd.get(cause, 0.0) + float((vals * ratio[ids]).sum())
+        self.level -= spend
+        self.drawn += spend
+        dying = self.alive & pos & (demand >= self.level + spend - _EPS)
+        dying &= self.level <= _EPS
+        if dying.any():
+            t1 = t0 + sdt
+            died = np.flatnonzero(dying)
+            self.alive[died] = False
+            self.level[died] = 0.0
+            self.death_time[died] = t1
+            self.attached[died] = False
+            for i in died:
+                if self.is_head[i]:
+                    self._down_head(int(i))
+                if self.tracer is not None:
+                    self.tracer.annotate(t1, "node.death", node=int(i))
+        self._charges = []
+
+
+def simulate_vector(cfg: NetworkConfig, options=None, tracer=None):
+    """Run one scenario on the vector engine; returns a ``RunResult``.
+
+    Drop-in sibling of :func:`repro.api.engine.simulate` — the harvest
+    below mirrors that function field for field, so every derived metric
+    (lifetime rules, delivery-rate denominators, churn-aware variants)
+    follows the same arithmetic.
+    """
+    from ..api.engine import RunOptions
+    from ..api.result import RunResult
+
+    opts = options or RunOptions()
+    wall_start = time.perf_counter()
+    net = VectorNetwork(cfg, opts, tracer=tracer)
+    elapsed = net.run()
+
+    result = RunResult(
+        protocol=cfg.protocol.value,
+        seed=cfg.seed,
+        load_pps=cfg.traffic.packets_per_second,
+        horizon_s=opts.horizon_s,
+        n_nodes=cfg.n_nodes,
+        config_digest=cfg.digest(),
+    )
+    rec = net.recorder
+    result.sample_times_s = list(rec.times)
+    result.mean_energy_j = [float(v) for v in rec.series[net._tr_energy]]
+    result.alive_counts = [int(v) for v in rec.series[net._tr_alive]]
+    result.series_stride = rec.stride
+    if net._tr_queues is not None:
+        result.queue_snapshots = [list(v) for v in rec.series[net._tr_queues]]
+    if net._tr_up is not None:
+        result.up_counts = [int(v) for v in rec.series[net._tr_up]]
+
+    deaths = [
+        None if math.isnan(t) else float(t) for t in net.death_time
+    ]
+    result.death_times_s = deaths
+    result.lifetime_s = network_lifetime_s(deaths, cfg.n_nodes, cfg.dead_fraction)
+    result.first_death_s = first_death_s(deaths)
+    result.death_spread_s = death_spread_s(deaths)
+
+    result.events_processed = net.steps
+    result.generated = net.generated
+    result.delivered = net.delivered
+    result.delivered_local = net.delivered_local
+    result.lost_channel = net.lost_channel
+    result.dropped_overflow = net.dropped_overflow
+    result.dropped_retry = net.dropped_retry
+    result.collisions = net.collisions
+    result.total_consumed_j = float(net.drawn.sum())
+    if result.delivered > 0:
+        result.energy_per_packet_j = result.total_consumed_j / result.delivered
+    delays = net.delays
+    result.mean_delay_s = delays.mean if delays.count else 0.0
+    samples = delays.samples()
+    if samples.size:
+        p50, p90, p99 = np.percentile(samples, (50.0, 90.0, 99.0))
+        result.delay_p50_s = float(p50)
+        result.delay_p90_s = float(p90)
+        result.delay_p99_s = float(p99)
+    if elapsed > 0:
+        result.throughput_bps = net.delivered_bits / elapsed
+    total_delivered = net.delivered + net.delivered_local
+    if result.generated > 0:
+        result.delivery_rate = total_delivered / result.generated
+    result.energy_breakdown = dict(net.breakdown)
+    result.cluster_delivered = net.cluster_delivered
+    result.uplink_lost_channel = net.uplink_lost_channel
+    result.uplink_dropped_retry = net.uplink_dropped_retry
+    result.uplink_dropped_overflow = net.uplink_dropped_overflow
+    result.uplink_stranded = net.uplink_stranded
+    result.mean_hop_count = net.hops.mean if net.hops.count else 0.0
+    result.uplink_energy_j = (
+        result.energy_breakdown.get("uplink_tx", 0.0)
+        + result.energy_breakdown.get("uplink_rx", 0.0)
+    )
+    result.churn_failures = net.churn_failures
+    result.churn_recoveries = net.churn_recoveries
+    result.regime_shifts = net.regime_shifts
+    result.orphaned = net.orphaned
+    result.first_failure_s = net.first_failure_s
+    result.lifetime_effective_s = result.lifetime_s
+    offered = result.generated - result.orphaned
+    if offered > 0:
+        result.delivery_rate_offered = total_delivered / offered
+    if cfg.dynamics.enabled:
+        effective_deaths = [
+            deaths[i]
+            if deaths[i] is not None
+            else (
+                float(net.last_failure[i])
+                if net.failed[i] and not math.isnan(net.last_failure[i])
+                else None
+            )
+            for i in range(cfg.n_nodes)
+        ]
+        result.lifetime_effective_s = network_lifetime_s(
+            effective_deaths, cfg.n_nodes, cfg.dead_fraction
+        )
+        if net.bits_by_src is not None and net.bits_by_src.any() and elapsed > 0:
+            survivor_bits = int(net.bits_by_src[net.up].sum())
+            result.survivor_throughput_bps = survivor_bits / elapsed
+    result.wall_time_s = time.perf_counter() - wall_start
+    return result

@@ -260,3 +260,158 @@ class TestConcurrentAccess:
         assert all(count % batch_size == 0 for count in seen_counts)
         assert seen_counts == sorted(seen_counts)
         assert len(store) == batches * batch_size
+
+
+class TestAggregation:
+    def _populate(self, store):
+        rows = []
+        for seed in (1, 2, 3):
+            for proto, rate in (("scheme1", 0.9), ("pure_leach", 0.6)):
+                rows.append(_run(
+                    seed=seed, protocol=proto,
+                    digest=f"{proto}-{seed}".ljust(64, "0"),
+                    delivery_rate=rate + seed / 100.0,
+                    mean_delay_s=0.1 * seed,
+                ))
+        store.extend(rows)
+        return rows
+
+    def test_sql_and_python_paths_agree(self, tmp_path):
+        from repro.service import aggregate_runs
+
+        db = DbResultStore(tmp_path / "r.sqlite")
+        self._populate(db)
+        flat = ResultStore(tmp_path / "r.jsonl")
+        flat.extend(db.load())
+        for agg in ("mean", "min", "max", "sum"):
+            via_sql = aggregate_runs(
+                db, ["protocol"], agg=agg,
+                metrics=["delivery_rate", "mean_delay_s"],
+            )
+            via_python = aggregate_runs(
+                flat, ["protocol"], agg=agg,
+                metrics=["delivery_rate", "mean_delay_s"],
+            )
+            assert len(via_sql) == len(via_python) == 2
+            for a, b in zip(via_sql, via_python):
+                assert a["protocol"] == b["protocol"]
+                assert a["n"] == b["n"] == 3
+                assert a["delivery_rate"] == pytest.approx(
+                    b["delivery_rate"]
+                )
+                assert a["mean_delay_s"] == pytest.approx(b["mean_delay_s"])
+
+    def test_mean_over_seeds(self, tmp_path):
+        from repro.service import aggregate_runs
+
+        db = DbResultStore(tmp_path / "r.sqlite")
+        self._populate(db)
+        (grp,) = aggregate_runs(
+            db, ["protocol"], agg="mean", metrics=["delivery_rate"],
+            protocol="scheme1",
+        )
+        assert grp["delivery_rate"] == pytest.approx(0.92)
+
+    def test_none_metrics_skipped_not_zeroed(self, tmp_path):
+        from repro.service import aggregate_runs
+
+        db = DbResultStore(tmp_path / "r.sqlite")
+        db.extend([
+            _run(seed=1, lifetime_s=None),
+            _run(seed=2, digest="e" * 64, lifetime_s=30.0),
+        ])
+        (grp,) = aggregate_runs(
+            db, ["protocol"], agg="mean", metrics=["lifetime_s"]
+        )
+        # SQL AVG and the Python fallback both skip NULL/None.
+        assert grp["lifetime_s"] == pytest.approx(30.0)
+        assert grp["n"] == 2
+
+    def test_where_predicates_force_python_path(self, tmp_path):
+        from repro.service import aggregate_runs
+
+        db = DbResultStore(tmp_path / "r.sqlite")
+        self._populate(db)
+        groups = aggregate_runs(
+            db, ["protocol"], agg="mean", metrics=["delivery_rate"],
+            where=[parse_predicate("delivery_rate>0.8")],
+        )
+        (grp,) = groups
+        assert grp["protocol"] == "scheme1"
+        assert grp["n"] == 3
+
+    def test_group_aliases_and_validation(self, tmp_path):
+        from repro.service import aggregate_runs
+
+        db = DbResultStore(tmp_path / "r.sqlite")
+        self._populate(db)
+        groups = aggregate_runs(
+            db, ["load"], agg="mean", metrics=["delivery_rate"]
+        )
+        assert groups[0]["load_pps"] == 5.0
+        with pytest.raises(ExperimentError, match="group"):
+            aggregate_runs(db, ["payload"], agg="mean")
+        with pytest.raises(ExperimentError, match="aggregate"):
+            aggregate_runs(db, ["protocol"], agg="median")
+        with pytest.raises(ExperimentError, match="unknown RunResult"):
+            aggregate_runs(db, ["protocol"], metrics=["nope"])
+
+
+class TestGc:
+    def test_keeps_latest_generation_per_cell(self, tmp_path):
+        from repro.service import collect_garbage
+
+        db = DbResultStore(tmp_path / "r.sqlite")
+        old = _run(seed=1, delivery_rate=0.1)
+        new = _run(seed=1, delivery_rate=0.9)
+        other = _run(seed=2, digest="e" * 64)
+        db.extend([old, new, other])
+        report = collect_garbage(db, keep_latest=1)
+        assert report["deleted"] == 1
+        assert report["groups"] == 2
+        kept = db.load()
+        assert len(kept) == 2
+        # The *newest* generation of the duplicated cell survives.
+        assert {r.delivery_rate for r in kept} == {0.9, other.delivery_rate}
+
+    def test_distinct_cells_never_evicted(self, tmp_path):
+        from repro.service import collect_garbage
+
+        db = DbResultStore(tmp_path / "r.sqlite")
+        db.extend([
+            _run(seed=s, digest=f"{s:064x}", experiment=exp)
+            for s in (1, 2) for exp in (None, "fig8")
+        ])
+        report = collect_garbage(db, keep_latest=1)
+        assert report["deleted"] == 0
+        assert len(db) == 4
+
+    def test_keep_latest_k_and_dry_run(self, tmp_path):
+        from repro.service import collect_garbage
+
+        db = DbResultStore(tmp_path / "r.sqlite")
+        db.extend([_run(seed=1, delivery_rate=i / 10.0) for i in range(5)])
+        dry = collect_garbage(db, keep_latest=2, dry_run=True)
+        assert dry["deleted"] == 3 and len(db) == 5
+        assert dry["bytes_after"] == dry["bytes_before"]
+        wet = collect_garbage(db, keep_latest=2)
+        assert wet["deleted"] == 3 and len(db) == 2
+        assert [r.delivery_rate for r in db.load()] == [0.3, 0.4]
+
+    def test_reclaims_file_bytes(self, tmp_path):
+        from repro.service import collect_garbage
+
+        db = DbResultStore(tmp_path / "r.sqlite")
+        db.extend([_run(seed=1) for _ in range(200)])
+        report = collect_garbage(db, keep_latest=1)
+        assert report["deleted"] == 199
+        assert report["reclaimed_bytes"] > 0
+        assert report["bytes_after"] < report["bytes_before"]
+
+    def test_guards(self, tmp_path):
+        from repro.service import collect_garbage
+
+        with pytest.raises(ExperimentError, match="keep-latest"):
+            collect_garbage(tmp_path / "r.sqlite", keep_latest=0)
+        with pytest.raises(ExperimentError, match="no such"):
+            collect_garbage(tmp_path / "missing.sqlite")

@@ -1,0 +1,152 @@
+"""Backend equivalence: the vector engine against the event kernel.
+
+The contract under test is the one :mod:`repro.vector.equivalence`
+formalises — golden ``RunResult`` fields (run identity, sampling
+timeline, RNG-driven placement/election/dynamics replay, death
+bookkeeping on death-free runs) are *equal*; per-packet statistics agree
+within calibrated bands.  Tier-1 covers N in {50, 200} across all three
+canonical scenarios; the N=1000 golden sweep and the N=5000 statistical
+check run under ``-m slow``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.errors import ConfigError, ExperimentError
+from repro.vector.equivalence import (
+    SCENARIOS,
+    STAT_BANDS,
+    compare_backends,
+    default_options,
+    scenario_config,
+)
+
+
+def _assert_clean(report: dict, stats_strict: bool = True) -> None:
+    assert not report["golden_mismatches"], (
+        f"golden mismatch in {report['scenario']} "
+        f"N={report['n_nodes']} seed={report['seed']}: "
+        f"{report['golden_mismatches']}"
+    )
+    if stats_strict:
+        detail = {
+            f: report["stats"][f] for f in report["stat_failures"]
+        }
+        assert not report["stat_failures"], (
+            f"statistical band miss in {report['scenario']} "
+            f"N={report['n_nodes']} seed={report['seed']}: {detail}"
+        )
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_n50(self, scenario):
+        _assert_clean(compare_backends(scenario, 50, seed=3))
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_n200(self, scenario):
+        _assert_clean(compare_backends(scenario, 200, seed=3))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_n1000(self, scenario):
+        _assert_clean(compare_backends(scenario, 1000, seed=3))
+
+    @pytest.mark.slow
+    def test_statistical_n5000(self):
+        # Population scale: golden still exact, every band still holds
+        # (delivery, throughput, energy, delay, generated volume).
+        _assert_clean(compare_backends("static", 5000, seed=3))
+
+
+class TestBackendSelection:
+    def test_default_backend_unchanged(self):
+        cfg = NetworkConfig(n_nodes=10, seed=1)
+        assert cfg.scale.backend == "event"
+        # Sparse serialisation: selecting the default never moves any
+        # digest, so every pre-vector stored run stays addressable.
+        assert cfg.digest() == cfg.with_scale(backend="event").digest()
+        assert cfg.digest() != cfg.with_scale(backend="vector").digest()
+
+    def test_dispatch_routes_to_vector(self):
+        from repro.api import RunOptions, simulate
+
+        cfg = scenario_config("static", 20, seed=3)
+        opts = RunOptions(horizon_s=5.0, sample_interval_s=2.5)
+        ev = simulate(cfg, opts)
+        vec = simulate(cfg.with_scale(backend="vector"), opts)
+        # Distinct engines, same run identity and timeline.
+        assert vec.config_digest != ev.config_digest
+        assert vec.sample_times_s == ev.sample_times_s
+        assert vec.n_nodes == ev.n_nodes == 20
+
+    def test_result_round_trips_through_store(self, tmp_path):
+        from repro.api import RunOptions, simulate
+        from repro.service import open_store
+
+        cfg = scenario_config("static", 20, seed=3).with_scale(
+            backend="vector"
+        )
+        run = simulate(cfg, RunOptions(horizon_s=5.0, sample_interval_s=2.5))
+        store = open_store(tmp_path / "runs.sqlite")
+        store.append(run)
+        (back,) = store.load()
+        assert back.to_dict() == run.to_dict()
+
+    def test_unsupported_channel_refused(self):
+        from repro.api import RunOptions, simulate
+
+        base = NetworkConfig(n_nodes=10, seed=1).with_scale(backend="vector")
+        jakes = dataclasses.replace(
+            base, channel=dataclasses.replace(
+                base.channel, fading_kernel="jakes"
+            )
+        )
+        with pytest.raises(ConfigError):
+            simulate(jakes, RunOptions(horizon_s=1.0, sample_interval_s=0.5))
+        rician = dataclasses.replace(
+            base, channel=dataclasses.replace(base.channel, rician_k=4.0)
+        )
+        with pytest.raises(ConfigError):
+            simulate(rician, RunOptions(horizon_s=1.0, sample_interval_s=0.5))
+
+    def test_ext_scale_rejects_unknown_backend(self):
+        from repro.api import get_experiment
+
+        with pytest.raises(ExperimentError):
+            get_experiment("ext-scale").run(
+                preset="smoke", backend="quantum"
+            )
+
+    def test_ext_scale_runs_on_vector(self):
+        from repro.api import get_experiment
+
+        figure = get_experiment("ext-scale").run(
+            preset="smoke", seeds=(1,), node_counts=(30,),
+            backend="vector",
+        )
+        assert "backend=vector" in figure.notes
+        assert all(row[3] is not None for row in figure.rows)  # delivery
+
+
+class TestHarnessCli:
+    def test_parity_gate_exit_code(self, capsys):
+        from repro.vector.equivalence import main
+
+        assert main(["--nodes", "50", "--scenarios", "static"]) == 0
+        out = capsys.readouterr().out
+        assert "ok: golden" in out
+
+    def test_band_table_covers_core_metrics(self):
+        for field in ("delivery_rate", "throughput_bps",
+                      "total_consumed_j", "mean_delay_s"):
+            assert field in STAT_BANDS
+
+    def test_default_options_match_ext_scale_window(self):
+        opts = default_options()
+        assert opts.horizon_s == 40.0
+        assert opts.sample_interval_s == 5.0
