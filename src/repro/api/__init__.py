@@ -33,11 +33,16 @@ Quickstart::
 from .bench import BenchReport, BenchResult, run_bench
 from .campaign import (
     Campaign,
+    CampaignIncompleteError,
     CampaignResult,
+    CellFailure,
+    SupervisorConfig,
     active_run_cache,
+    active_supervisor,
     default_jobs,
     run_scenarios,
     use_run_cache,
+    use_supervisor,
 )
 from .engine import RunOptions, simulate
 from .registry import (
@@ -54,13 +59,17 @@ __all__ = [
     "BenchReport",
     "BenchResult",
     "Campaign",
+    "CampaignIncompleteError",
     "CampaignResult",
+    "CellFailure",
     "ExperimentSpec",
     "ResultStore",
     "RunOptions",
     "RunResult",
     "Scenario",
+    "SupervisorConfig",
     "active_run_cache",
+    "active_supervisor",
     "default_jobs",
     "experiment",
     "get_experiment",
@@ -69,4 +78,5 @@ __all__ = [
     "run_scenarios",
     "simulate",
     "use_run_cache",
+    "use_supervisor",
 ]

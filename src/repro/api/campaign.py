@@ -26,13 +26,18 @@ from __future__ import annotations
 import contextlib
 import contextvars
 import dataclasses
+import heapq
 import itertools
 import os
+import random
+import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field as dc_field
 from typing import (
     Any,
     Callable,
+    Dict,
     Iterator,
     List,
     Optional,
@@ -48,10 +53,15 @@ from .scenario import Scenario, _SECTIONS
 __all__ = [
     "Campaign",
     "CampaignResult",
+    "CampaignIncompleteError",
+    "CellFailure",
+    "SupervisorConfig",
     "run_scenarios",
     "default_jobs",
     "use_run_cache",
     "active_run_cache",
+    "use_supervisor",
+    "active_supervisor",
     "NO_CACHE",
 ]
 
@@ -90,6 +100,138 @@ def active_run_cache():
     return _ACTIVE_CACHE.get()
 
 
+#: The ambient supervisor (see :func:`use_supervisor`).
+_ACTIVE_SUPERVISOR: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_supervisor", default=None
+)
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Fault-tolerant execution policy for :func:`run_scenarios`.
+
+    When a supervisor is active, every grid cell runs in its **own
+    worker process** under a wall-clock watchdog: a worker that crashes
+    (any hard death — segfault, OOM kill, injected ``os._exit``), raises,
+    or exceeds ``cell_timeout_s`` is retried with capped exponential
+    backoff (+deterministic jitter, so tests replay exactly), up to
+    ``max_attempts`` total attempts.  A cell that exhausts its attempts
+    is *quarantined*: recorded (with its traceback) in the campaign
+    manifest when one is attached, and either reported via
+    :class:`CampaignIncompleteError` (the default) or returned as a
+    ``None`` slot when ``allow_partial`` — never silently dropped,
+    never an infinite hang.
+    """
+
+    #: Per-cell wall-clock watchdog; ``None`` = no timeout.
+    cell_timeout_s: Optional[float] = None
+    #: Total attempts per cell (first try + retries).
+    max_attempts: int = 3
+    #: First retry delay; doubles per retry up to :attr:`backoff_cap_s`.
+    backoff_base_s: float = 0.25
+    backoff_cap_s: float = 8.0
+    #: Seed for the deterministic backoff jitter.
+    seed: int = 0
+    #: Return ``None`` slots for quarantined cells instead of raising.
+    allow_partial: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ExperimentError("cell_timeout_s must be > 0 (or None)")
+        if self.max_attempts < 1:
+            raise ExperimentError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ExperimentError("backoff delays must be >= 0")
+
+    def backoff_delay(self, index: int, attempt: int) -> float:
+        """The deterministic retry delay after ``attempt`` failed.
+
+        Capped exponential with jitter in [50%, 100%] of the nominal
+        delay; a pure function of ``(seed, index, attempt)`` so recovery
+        schedules replay identically in tests.
+        """
+        nominal = min(
+            self.backoff_cap_s, self.backoff_base_s * (2 ** (attempt - 1))
+        )
+        rng = random.Random(
+            self.seed * 1_000_003 + index * 10_007 + attempt
+        )
+        return nominal * (0.5 + rng.random() / 2)
+
+
+@contextlib.contextmanager
+def use_supervisor(config: SupervisorConfig):
+    """Route every :func:`run_scenarios` call in this context through the
+    fault-tolerant supervised executor (watchdog + retry + quarantine).
+    The CLI's ``--resume`` / ``--retries`` / ``--cell-timeout`` flags and
+    the campaign server install one of these, so registered experiments
+    gain crash recovery without signature changes — the same ambient
+    pattern as :func:`use_run_cache`.
+    """
+    token = _ACTIVE_SUPERVISOR.set(config)
+    try:
+        yield config
+    finally:
+        _ACTIVE_SUPERVISOR.reset(token)
+
+
+def active_supervisor() -> Optional[SupervisorConfig]:
+    """The supervisor installed by :func:`use_supervisor`, or ``None``."""
+    return _ACTIVE_SUPERVISOR.get()
+
+
+@dataclass
+class CellFailure:
+    """One quarantined grid cell: where, how often, and why it failed."""
+
+    index: int
+    scenario: Scenario
+    attempts: int
+    error: str
+
+    def describe(self) -> str:
+        tail = self.error.strip().splitlines()
+        reason = tail[-1] if tail else "unknown failure"
+        return (
+            f"cell {self.index} ({self.scenario.describe()}): quarantined "
+            f"after {self.attempts} attempts — {reason}"
+        )
+
+
+class CampaignIncompleteError(ExperimentError):
+    """A supervised campaign finished with quarantined cells.
+
+    Raised instead of returning a silent partial result: every completed
+    cell was already persisted to the attached store, so fixing the
+    cause and re-running with resume re-simulates only the quarantined
+    remainder.  ``failures`` lists the quarantined cells with their
+    tracebacks; ``results`` is the index-aligned partial result list
+    (``None`` in quarantined slots); ``report`` carries the manifest's
+    status report when a manifest was attached.
+    """
+
+    def __init__(
+        self,
+        failures: List[CellFailure],
+        results: List[Optional[RunResult]],
+        total: int,
+        report: Optional[Dict[str, Any]] = None,
+    ):
+        self.failures = failures
+        self.results = results
+        self.report = report
+        lines = [
+            f"campaign incomplete: {len(failures)} of {total} cells "
+            f"quarantined after exhausting retries"
+        ]
+        lines.extend(f"  {failure.describe()}" for failure in failures)
+        lines.append(
+            "  completed cells are persisted; re-run with resume to retry "
+            "only the quarantined remainder"
+        )
+        super().__init__("\n".join(lines))
+
+
 def default_jobs() -> int:
     """Honour ``REPRO_JOBS`` if set, else 1 (serial — always safe)."""
     try:
@@ -103,6 +245,243 @@ def _execute(scenario: Scenario) -> RunResult:
     return scenario.run()
 
 
+def _supervised_child(conn, scenario: Scenario, attempt: int) -> None:
+    """Body of one supervised worker process: run one cell, one attempt.
+
+    Sends ``("ok", RunResult)`` or ``("error", traceback_text)`` back
+    over ``conn``.  A hard death (crash injection, SIGKILL, OOM) sends
+    nothing — the parent reads EOF and treats it as a crash.
+    """
+    try:
+        _consult_worker_faults(scenario, attempt)
+        run = _execute(scenario)
+        conn.send(("ok", run))
+    except BaseException:  # noqa: BLE001 - full isolation barrier
+        import traceback
+
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _consult_worker_faults(scenario: Scenario, attempt: int) -> None:
+    """Chaos hook: let an active fault plan crash/stall this worker.
+
+    The key includes the cell's pairing key *and* the attempt number, so
+    "crash on attempt 1, succeed on attempt 2" is a deterministic,
+    replayable scenario (see :mod:`repro.service.faults`).
+    """
+    if not os.environ.get("REPRO_FAULTS"):
+        return
+    from ..service.faults import active_faults
+
+    faults = active_faults()
+    if faults is None:
+        return
+    from .pairing import scenario_key
+
+    key = "|".join(map(str, scenario_key(scenario))) + f"|attempt={attempt}"
+    faults.worker_entry(key)
+
+
+def _run_supervised(
+    scenarios: List[Scenario],
+    jobs: int,
+    supervise: SupervisorConfig,
+    store=None,
+    progress: Optional[Callable[[int, int, Scenario], None]] = None,
+    experiment: Optional[str] = None,
+    manifest=None,
+    on_cell_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> Tuple[List[Optional[RunResult]], List[CellFailure]]:
+    """The fault-tolerant executor: one worker process per cell attempt.
+
+    Unlike the plain process-pool path, every cell gets its own worker
+    process, which is what makes the recovery guarantees possible: a
+    hung cell can be SIGKILLed without collateral damage, and a crashed
+    worker takes down exactly one attempt.  Results are flushed to
+    ``store`` (and ``progress``) strictly in grid order as the completed
+    prefix grows, so persisted output is byte-identical to serial
+    execution; the manifest records ``done`` only after the row is
+    flushed, keeping the ledger honest about what the store holds.
+    """
+    import multiprocessing as mp
+    from multiprocessing.connection import wait as conn_wait
+
+    from .pairing import scenario_key
+
+    ctx = mp.get_context()
+    total = len(scenarios)
+    keys = [scenario_key(sc) for sc in scenarios]
+    results: List[Optional[RunResult]] = [None] * total
+    settled = [False] * total  # done or quarantined
+    attempts = [0] * total
+    failures: List[CellFailure] = []
+    ready: deque = deque(range(total))
+    delayed: List[Tuple[float, int]] = []  # (not_before, index) heap
+    active: Dict[Any, Dict[str, Any]] = {}  # recv-conn -> task
+    flushed = 0
+    workers = max(1, jobs)
+
+    def emit(event: Dict[str, Any]) -> None:
+        if on_cell_event is not None:
+            on_cell_event(event)
+
+    def flush() -> None:
+        """Advance the settled prefix: persist + report in grid order."""
+        nonlocal flushed
+        while flushed < total and settled[flushed]:
+            run = results[flushed]
+            if run is not None:
+                if experiment is not None:
+                    run.experiment = experiment
+                if store is not None:
+                    store.append(run)
+                if manifest is not None:
+                    manifest.record_done(keys[flushed])
+            if progress is not None:
+                progress(flushed, total, scenarios[flushed])
+            flushed += 1
+
+    def launch(index: int) -> None:
+        attempts[index] += 1
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_supervised_child,
+            args=(send_conn, scenarios[index], attempts[index]),
+            daemon=True,
+        )
+        proc.start()
+        send_conn.close()
+        deadline = (
+            time.monotonic() + supervise.cell_timeout_s
+            if supervise.cell_timeout_s is not None
+            else None
+        )
+        active[recv_conn] = {"index": index, "proc": proc,
+                             "deadline": deadline}
+
+    def settle_ok(index: int, run: RunResult) -> None:
+        results[index] = run
+        settled[index] = True
+        emit({
+            "type": "cell",
+            "index": index,
+            "total": total,
+            "source": "sim",
+            "attempts": attempts[index],
+            "scenario": scenarios[index].describe(),
+        })
+        flush()
+
+    def settle_fail(index: int, error_text: str, kind: str) -> None:
+        if attempts[index] < supervise.max_attempts:
+            delay = supervise.backoff_delay(index, attempts[index])
+            emit({
+                "type": "retry",
+                "index": index,
+                "total": total,
+                "attempt": attempts[index],
+                "max_attempts": supervise.max_attempts,
+                "delay_s": delay,
+                "kind": kind,
+            })
+            heapq.heappush(delayed, (time.monotonic() + delay, index))
+            return
+        settled[index] = True
+        failures.append(CellFailure(
+            index=index,
+            scenario=scenarios[index],
+            attempts=attempts[index],
+            error=error_text,
+        ))
+        if manifest is not None:
+            manifest.record_quarantine(keys[index], error_text)
+        emit({
+            "type": "quarantine",
+            "index": index,
+            "total": total,
+            "attempts": attempts[index],
+            "error": error_text,
+        })
+        flush()
+
+    while ready or delayed or active:
+        now = time.monotonic()
+        while delayed and delayed[0][0] <= now:
+            _, index = heapq.heappop(delayed)
+            ready.append(index)
+        while ready and len(active) < workers:
+            launch(ready.popleft())
+        if not active:
+            # Only backoff-delayed cells remain: sleep toward the next.
+            if delayed:
+                time.sleep(
+                    min(0.05, max(0.0, delayed[0][0] - time.monotonic()))
+                )
+            continue
+
+        waits = []
+        deadlines = [
+            task["deadline"] for task in active.values()
+            if task["deadline"] is not None
+        ]
+        if deadlines:
+            waits.append(min(deadlines) - now)
+        if delayed:
+            waits.append(delayed[0][0] - now)
+        timeout = max(0.0, min(waits)) if waits else None
+        fired = conn_wait(list(active), timeout=timeout)
+
+        for conn in fired:
+            task = active.pop(conn)
+            index, proc = task["index"], task["proc"]
+            message = None
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                message = None
+            conn.close()
+            proc.join()
+            if message is not None and message[0] == "ok":
+                settle_ok(index, message[1])
+            elif message is not None and message[0] == "error":
+                settle_fail(index, message[1], "error")
+            else:
+                settle_fail(
+                    index,
+                    f"worker process died without a result on attempt "
+                    f"{attempts[index]} (exit code {proc.exitcode}) — "
+                    f"crash, OOM kill, or SIGKILL",
+                    "crash",
+                )
+
+        # Watchdog: kill anything past its wall-clock deadline.
+        now = time.monotonic()
+        for conn, task in list(active.items()):
+            if task["deadline"] is not None and now >= task["deadline"]:
+                task["proc"].kill()
+                task["proc"].join()
+                active.pop(conn)
+                conn.close()
+                settle_fail(
+                    task["index"],
+                    f"cell exceeded the wall-clock watchdog "
+                    f"({supervise.cell_timeout_s:g}s) on attempt "
+                    f"{attempts[task['index']]} and was killed",
+                    "timeout",
+                )
+
+    flush()
+    return results, failures
+
+
 def run_scenarios(
     scenarios: Sequence[Scenario],
     jobs: int = 1,
@@ -110,6 +489,9 @@ def run_scenarios(
     progress: Optional[Callable[[int, int, Scenario], None]] = None,
     experiment: Optional[str] = None,
     cache=None,
+    supervise: Optional[SupervisorConfig] = None,
+    manifest=None,
+    on_cell_event: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> List[RunResult]:
     """Execute ``scenarios`` and return their results **in input order**.
 
@@ -127,15 +509,41 @@ def run_scenarios(
     provenance.  ``cache`` overrides the ambient run cache: ``None``
     consults :func:`active_run_cache`, :data:`NO_CACHE` forces plain
     execution, anything else is used as the cache for this call.
+
+    ``supervise`` — a :class:`SupervisorConfig` (``None`` consults
+    :func:`active_supervisor`) — switches to the fault-tolerant
+    executor: one worker process per cell under a wall-clock watchdog,
+    crash/hang retry with capped exponential backoff, and quarantine
+    after ``max_attempts`` (raising :class:`CampaignIncompleteError`
+    unless ``allow_partial``).  ``manifest`` (a
+    :class:`repro.service.manifest.CampaignManifest`) records the
+    per-cell ledger; ``on_cell_event`` receives progress/retry/
+    quarantine event dicts.  Without a supervisor the executor, results
+    and store behaviour are exactly as before.
     """
     scenarios = list(scenarios)
     if cache is None:
         cache = active_run_cache()
+    if supervise is None:
+        supervise = active_supervisor()
     if cache is not None and cache is not NO_CACHE:
         return cache.execute(
             scenarios, jobs=jobs, store=store, progress=progress,
-            experiment=experiment,
+            experiment=experiment, supervise=supervise,
+            manifest=manifest, on_cell_event=on_cell_event,
         )
+    if supervise is not None:
+        results_s, failures = _run_supervised(
+            scenarios, jobs, supervise, store=store, progress=progress,
+            experiment=experiment, manifest=manifest,
+            on_cell_event=on_cell_event,
+        )
+        if failures and not supervise.allow_partial:
+            raise CampaignIncompleteError(
+                failures, results_s, len(scenarios),
+                report=manifest.report() if manifest is not None else None,
+            )
+        return results_s  # type: ignore[return-value]
     results: List[RunResult] = []
 
     def collect(run: RunResult) -> None:
@@ -274,6 +682,7 @@ class Campaign:
         store=None,
         progress: Optional[Callable[[int, int, Scenario], None]] = None,
         cache=None,
+        supervise: Optional[SupervisorConfig] = None,
     ) -> CampaignResult:
         """Execute the whole grid and return the index-aligned results.
 
@@ -281,7 +690,9 @@ class Campaign:
         environment variable, else serial).  ``cache`` — a
         :class:`repro.service.RunCache` — serves already-stored cells
         from its result database and simulates only the rest (results are
-        identical either way; see the cache's ``stats``).
+        identical either way; see the cache's ``stats``).  ``supervise``
+        — a :class:`SupervisorConfig` — runs the grid under the
+        fault-tolerant executor (watchdog, retry, quarantine).
         """
         scenarios = self.scenarios()
         if not scenarios:
@@ -292,5 +703,6 @@ class Campaign:
             store=store,
             progress=progress,
             cache=cache,
+            supervise=supervise,
         )
         return CampaignResult(scenarios=scenarios, runs=runs)

@@ -67,6 +67,13 @@ def simulate(
     measurement record.
     """
     opts = options or RunOptions()
+    if cfg.scale.backend == "auto":
+        # Resolve to the concrete engine before anything else: the same
+        # pure function to_dict()/digest() use, so the substituted
+        # config digests identically and stored rows pair either way.
+        from ..vector.support import resolve_backend
+
+        cfg = cfg.with_scale(backend=resolve_backend(cfg))
     if cfg.scale.backend == "vector":
         # Population-scale structure-of-arrays engine; same (config,
         # options) -> RunResult contract, selected per run by config so

@@ -40,7 +40,7 @@ import dataclasses
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Sequence, Union
 
 from ..errors import ExperimentError
 from .result import RunResult, SERIES_FIELDS
@@ -69,6 +69,18 @@ _FLOAT_FIELDS = {
     if f.name in _SCALAR_FIELDS and f.name not in _INT_FIELDS
     and f.name not in _STRING_FIELDS
 }
+
+
+def _active_faults():
+    """The ambient fault injector (chaos tests), or ``None``.
+
+    Imported lazily so the api layer only touches the service tier when
+    a fault plan is actually active-able; the production path is one
+    environment lookup.
+    """
+    from ..service.faults import active_faults
+
+    return active_faults()
 
 
 def check_format_version(value: Any, source: Union[str, Path]) -> None:
@@ -126,14 +138,37 @@ class ResultStore:
         """
         if not runs:
             return
+        faults = _active_faults()
+        fault_key = (
+            f"{runs[0].config_digest}|{runs[0].protocol}|"
+            f"{runs[0].load_pps!r}|{runs[0].seed}|{len(runs)}"
+        )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if self.format == "jsonl":
             with self.path.open("a") as fh:
+                lines = []
                 for run in runs:
                     row = run.to_dict()
                     row["format_version"] = STORE_FORMAT_VERSION
-                    fh.write(json.dumps(row) + "\n")
+                    lines.append(json.dumps(row) + "\n")
+                if faults is not None and faults.torn_write(fault_key):
+                    # Injected power-cut: all but the last record land,
+                    # the last stops mid-line with no newline — exactly
+                    # the torn tail the reader knows how to skip.
+                    fh.write("".join(lines[:-1]))
+                    fh.write(lines[-1][: max(1, len(lines[-1]) // 2)])
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                    from ..service.faults import InjectedFault
+
+                    raise InjectedFault(
+                        f"injected torn JSONL append "
+                        f"(site=store.torn_write key={fault_key})"
+                    )
+                fh.write("".join(lines))
                 fh.flush()
+                if faults is not None:
+                    faults.check_fsync(fault_key)
                 os.fsync(fh.fileno())
         else:
             new_file = not self.path.exists() or self.path.stat().st_size == 0

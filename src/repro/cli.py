@@ -108,10 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--backend",
         default=None,
-        choices=("event", "vector"),
+        choices=("event", "vector", "auto"),
         help="simulation engine, for experiments that support it "
         "(ext-scale): event = the per-packet reference kernel, vector = "
-        "the population-scale array engine (see repro.vector)",
+        "the population-scale array engine (see repro.vector), auto = "
+        "pick vector for large populations when the config qualifies",
     )
     run_p.add_argument(
         "--out",
@@ -139,6 +140,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed run cache: serve grid cells already in "
         "this .sqlite result database, simulate and store only the "
         "misses (a repeated run is 100%% reads; cache stats go to stderr)",
+    )
+    run_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted campaign from the --store/--cache "
+        "result database: cells already stored are served as-is, only "
+        "the missing remainder is simulated (output byte-identical to "
+        "an uninterrupted run); progress is checkpointed in a durable "
+        "manifest as cells complete",
+    )
+    run_p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="fault-tolerant execution: wall-clock watchdog per grid "
+        "cell — a worker exceeding S seconds is killed and retried "
+        "with capped exponential backoff",
+    )
+    run_p.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault-tolerant execution: retry a crashed/hung/failed "
+        "cell up to N times beyond its first attempt before "
+        "quarantining it (default 2 when supervision is active)",
     )
     run_p.add_argument(
         "--profile",
@@ -396,7 +424,35 @@ def _cmd_run_body(args: argparse.Namespace) -> int:
         )
     cache = None
     cache_ctx = contextlib.nullcontext()
-    if args.cache:
+    if args.resume:
+        if args.from_store:
+            raise ExperimentError(
+                "--resume and --from are mutually exclusive: --resume "
+                "re-simulates the missing cells, --from never simulates"
+            )
+        if not (args.cache or args.store):
+            raise ExperimentError(
+                "--resume needs the result database to resume from: "
+                "name it with --store (or --cache)"
+            )
+        resume_store = (
+            open_store(args.cache) if args.cache else store
+        )
+        if resume_store.format not in ("jsonl", "sqlite"):
+            raise ExperimentError(
+                "--resume requires a .jsonl store or a .sqlite result "
+                "database: CSV stores are scalar-only, so resumed cells "
+                "would render differently from simulated ones"
+            )
+        # The resume target becomes the cache's database (hits served
+        # from it, misses appended there); when it came from --store the
+        # post-run bulk extend below must not also run — it would store
+        # every row a second time.
+        cache = RunCache(resume_store, manifest=True)
+        if not args.cache:
+            store = None
+        cache_ctx = use_run_cache(cache)
+    elif args.cache:
         if args.from_store:
             raise ExperimentError(
                 "--cache and --from are mutually exclusive: --cache "
@@ -404,7 +460,18 @@ def _cmd_run_body(args: argparse.Namespace) -> int:
             )
         cache = RunCache(open_store(args.cache))
         cache_ctx = use_run_cache(cache)
-    with cache_ctx:
+    supervise_ctx = contextlib.nullcontext()
+    if args.resume or args.cell_timeout is not None or args.retries is not None:
+        from .api import SupervisorConfig, use_supervisor
+
+        retries = 2 if args.retries is None else args.retries
+        if retries < 0:
+            raise ExperimentError("--retries must be >= 0")
+        supervise_ctx = use_supervisor(SupervisorConfig(
+            cell_timeout_s=args.cell_timeout,
+            max_attempts=retries + 1,
+        ))
+    with cache_ctx, supervise_ctx:
         for name in names:
             spec = get_experiment(name)
             figure = spec.run(
@@ -429,6 +496,8 @@ def _cmd_run_body(args: argparse.Namespace) -> int:
         # Stats go to stderr so stdout stays byte-identical between the
         # cold and the fully cached pass (the CI diff relies on that).
         sys.stderr.write(cache.stats.describe() + "\n")
+        if args.resume and cache.last_manifest is not None:
+            sys.stderr.write(cache.last_manifest.describe() + "\n")
     return 0
 
 

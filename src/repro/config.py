@@ -535,15 +535,20 @@ class ScaleConfig:
     """
 
     #: Simulation engine: "event" (the per-node discrete-event kernel,
-    #: every paper figure) or "vector" (the numpy structure-of-arrays
-    #: population engine in :mod:`repro.vector` for N = 10⁴–10⁵ fields).
+    #: every paper figure), "vector" (the numpy structure-of-arrays
+    #: population engine in :mod:`repro.vector` for N = 10⁴–10⁵ fields),
+    #: or "auto" (vector for large populations whose channel model the
+    #: vector engine supports, event otherwise — see
+    #: :func:`repro.vector.resolve_backend`).
     #: The vector engine reuses the event kernel's topology, election and
     #: dynamics streams — so placements, head sets and churn timelines
     #: match exactly — while the per-packet channel/MAC micro-behaviour is
     #: statistically equivalent rather than bit-identical (see
     #: ``repro/vector/equivalence.py`` for the contract).  Serialised
-    #: sparsely: ``"event"`` is omitted from :meth:`NetworkConfig.to_dict`
-    #: so default digests stay byte-identical across releases.
+    #: sparsely: ``"auto"`` resolves to its concrete choice and
+    #: ``"event"`` is omitted from :meth:`NetworkConfig.to_dict`, so
+    #: default digests stay byte-identical across releases and an auto
+    #: config digests exactly like the equivalent explicit one.
     backend: str = "event"
     #: Nearest-head resolution: "grid" (spatial index) or "brute"
     #: (the original full scan).
@@ -567,7 +572,7 @@ class ScaleConfig:
 
     def __post_init__(self) -> None:
         _require(
-            self.backend in ("event", "vector"),
+            self.backend in ("event", "vector", "auto"),
             f"unknown backend {self.backend!r}",
         )
         _require(
@@ -662,10 +667,17 @@ class NetworkConfig:
         as it did before the vector backend existed, while ``"vector"``
         configs digest differently by design — the engines' per-packet
         micro-behaviour is statistically, not bitwise, equivalent, so
-        their rows must never fill each other's cells.
+        their rows must never fill each other's cells.  ``"auto"``
+        resolves to its concrete choice first (a pure function of this
+        config — see :func:`repro.vector.resolve_backend`), so an auto
+        config digests and pairs exactly like the explicit equivalent.
         """
         out = dataclasses.asdict(self)
         out["protocol"] = self.protocol.value
+        if out["scale"].get("backend") == "auto":
+            from .vector.support import resolve_backend
+
+            out["scale"]["backend"] = resolve_backend(self)
         if out["scale"].get("backend") == "event":
             del out["scale"]["backend"]
         return out

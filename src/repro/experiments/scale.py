@@ -88,7 +88,7 @@ def _scale_scenario(
     )
 
 
-_BACKENDS = ("event", "vector")
+_BACKENDS = ("event", "vector", "auto")
 
 
 @experiment("ext-scale", kind="extension",

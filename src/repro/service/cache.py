@@ -87,10 +87,18 @@ class RunCache:
         self,
         store,
         on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+        manifest: bool = False,
     ):
         self.store = store
         self.stats = CacheStats()
         self.on_event = on_event
+        #: Keep a durable checkpoint/resume ledger per campaign grid
+        #: (see :mod:`repro.service.manifest`): hits are marked done,
+        #: supervised misses record attempts/quarantines.  The manifest
+        #: of the most recent :meth:`execute` is kept on
+        #: :attr:`last_manifest` for reporting.
+        self.keep_manifest = manifest
+        self.last_manifest = None
 
     def _emit(self, event: Dict[str, Any]) -> None:
         if self.on_event is not None:
@@ -118,6 +126,9 @@ class RunCache:
         store=None,
         progress=None,
         experiment: Optional[str] = None,
+        supervise=None,
+        manifest=None,
+        on_cell_event=None,
     ) -> List[RunResult]:
         """The cache-aware executor body behind :func:`run_scenarios`.
 
@@ -127,8 +138,22 @@ class RunCache:
         (an interrupted campaign keeps its completed cells); ``store``
         (the caller's ``--store`` target, if any) still receives *every*
         result in grid order.
+
+        ``supervise`` (``None`` consults the ambient supervisor) runs
+        the misses under the fault-tolerant executor; with
+        ``manifest=True`` on the cache (or an explicit ``manifest``
+        ledger) every cell's progress is checkpointed durably — hits are
+        marked done immediately, supervised misses record attempts and
+        quarantines — which is what ``--resume`` reads back.
         """
         scenarios = list(scenarios)
+        if supervise is None:
+            supervise = _campaign.active_supervisor()
+        if manifest is None and self.keep_manifest:
+            from .manifest import manifest_for_store
+
+            manifest = manifest_for_store(self.store, scenarios, experiment)
+        self.last_manifest = manifest
         candidates = self._stored_candidates(scenarios)
         sizes = {id(run): nbytes for run, nbytes in candidates}
         paired, _missing = pair_stored_runs(
@@ -152,25 +177,58 @@ class RunCache:
         for i, run in enumerate(paired):
             if run is not None:
                 self._emit(self._cell_event(i, total, scenarios[i], "cache"))
+        if manifest is not None:
+            for i, run in enumerate(paired):
+                if run is not None:
+                    manifest.record_done(scenario_key(scenarios[i]))
 
         if miss_indices:
-            fresh: List[RunResult] = []
+            if supervise is not None:
+                # Fault-tolerant path: the supervised executor emits the
+                # per-cell events itself (with attempt counts and retry/
+                # quarantine detail); translate its sub-grid indices back
+                # to grid coordinates and forward.
+                def translate(event):
+                    event = dict(event)
+                    if "index" in event:
+                        event["index"] = miss_indices[event["index"]]
+                    event["total"] = total
+                    if event.get("type") == "cell":
+                        event.setdefault("source", "sim")
+                    self._emit(event)
+                    if on_cell_event is not None:
+                        on_cell_event(event)
 
-            def collect_fresh(run: RunResult) -> None:
-                fresh.append(run)
-                self.store.append(run)
-                index = miss_indices[len(fresh) - 1]
-                self._emit(
-                    self._cell_event(index, total, scenarios[index], "sim")
+                simulated = _campaign.run_scenarios(
+                    [scenarios[i] for i in miss_indices],
+                    jobs=jobs,
+                    store=_Collector(self.store.append),
+                    experiment=experiment,
+                    cache=_campaign.NO_CACHE,
+                    supervise=supervise,
+                    manifest=manifest,
+                    on_cell_event=translate,
                 )
+            else:
+                fresh: List[RunResult] = []
 
-            simulated = _campaign.run_scenarios(
-                [scenarios[i] for i in miss_indices],
-                jobs=jobs,
-                store=_Collector(collect_fresh),
-                experiment=experiment,
-                cache=_campaign.NO_CACHE,
-            )
+                def collect_fresh(run: RunResult) -> None:
+                    fresh.append(run)
+                    self.store.append(run)
+                    index = miss_indices[len(fresh) - 1]
+                    self._emit(
+                        self._cell_event(index, total, scenarios[index], "sim")
+                    )
+                    if manifest is not None:
+                        manifest.record_done(scenario_key(scenarios[index]))
+
+                simulated = _campaign.run_scenarios(
+                    [scenarios[i] for i in miss_indices],
+                    jobs=jobs,
+                    store=_Collector(collect_fresh),
+                    experiment=experiment,
+                    cache=_campaign.NO_CACHE,
+                )
             for index, run in zip(miss_indices, simulated):
                 paired[index] = run
 
@@ -178,7 +236,7 @@ class RunCache:
         for i, run in enumerate(results):
             if progress is not None:
                 progress(i, total, scenarios[i])
-            if store is not None:
+            if store is not None and run is not None:
                 store.append(run)
         return results
 

@@ -105,9 +105,18 @@ class DbResultStore:
         self.extend([run])
 
     def extend(self, runs: Sequence[RunResult]) -> None:
-        """Append many runs in one transaction."""
+        """Append many runs in one transaction.
+
+        The whole batch commits atomically: a crash (or an injected
+        fault — see :mod:`repro.service.faults`) between the INSERTs and
+        the COMMIT rolls back cleanly under WAL, so readers never see a
+        torn batch.
+        """
         if not runs:
             return
+        from .faults import InjectedFault, active_faults
+
+        faults = active_faults()
         rows = []
         for run in runs:
             payload = json.dumps(run.to_dict())
@@ -122,6 +131,10 @@ class DbResultStore:
                 STORE_FORMAT_VERSION,
                 payload,
             ))
+        fault_key = (
+            f"{runs[0].config_digest}|{runs[0].protocol}|"
+            f"{runs[0].load_pps!r}|{runs[0].seed}|{len(runs)}"
+        )
         with self._connect() as conn:
             conn.execute("BEGIN IMMEDIATE")
             try:
@@ -132,10 +145,65 @@ class DbResultStore:
                     "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
                     rows,
                 )
+                if faults is not None and faults.torn_write(fault_key):
+                    # Die after the writes, before the COMMIT — the
+                    # batch must vanish on rollback, not half-appear.
+                    raise InjectedFault(
+                        f"injected torn write before COMMIT "
+                        f"(site=store.torn_write key={fault_key})"
+                    )
             except BaseException:
                 conn.execute("ROLLBACK")
                 raise
             conn.execute("COMMIT")
+        if faults is not None:
+            faults.check_fsync(fault_key)
+
+    # -- manifests (checkpoint/resume ledgers) ---------------------------------
+
+    def save_manifest(self, fingerprint: str, experiment: Optional[str],
+                      payload: str) -> None:
+        """Upsert one campaign manifest ledger (atomic row replace)."""
+        import time as _time
+
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO manifests "
+                "(fingerprint, experiment, updated_at, payload) "
+                "VALUES (?, ?, ?, ?)",
+                (fingerprint, experiment, _time.time(), payload),
+            )
+
+    def load_manifest(self, fingerprint: str) -> Optional[str]:
+        """The stored ledger JSON for ``fingerprint``, or ``None``."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT payload FROM manifests WHERE fingerprint = ?",
+                (fingerprint,),
+            ).fetchone()
+        return None if row is None else row[0]
+
+    def list_manifests(self) -> List[dict]:
+        """Summaries of every stored manifest, newest update last."""
+        out: List[dict] = []
+        with self._connect() as conn:
+            for fingerprint, experiment, updated_at, payload in conn.execute(
+                "SELECT fingerprint, experiment, updated_at, payload "
+                "FROM manifests ORDER BY updated_at"
+            ):
+                data = json.loads(payload)
+                cells = data.get("cells", [])
+                out.append({
+                    "fingerprint": fingerprint,
+                    "experiment": experiment,
+                    "updated_at": updated_at,
+                    "total": len(cells),
+                    "done": sum(1 for c in cells if c.get("status") == "done"),
+                    "quarantined": sum(
+                        1 for c in cells if c.get("status") == "quarantined"
+                    ),
+                })
+        return out
 
     # -- reading ---------------------------------------------------------------
 

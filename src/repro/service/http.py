@@ -28,6 +28,7 @@ consistent snapshots while worker threads append mid-campaign.
 from __future__ import annotations
 
 import json
+import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -42,6 +43,14 @@ from .query import parse_predicate, query_runs
 __all__ = ["CampaignServer", "build_server"]
 
 _MAX_BODY_BYTES = 1 << 20  # campaign specs are small; refuse megabyte bodies
+
+
+class _HttpError(Exception):
+    """An error with a specific HTTP status (413, 404, ...)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
 
 
 class CampaignServer(ThreadingHTTPServer):
@@ -114,11 +123,20 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json({"error": message}, status=status)
 
     def _read_body(self) -> Dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ExperimentError(
+                "malformed Content-Length header (expected an integer)"
+            ) from None
         if length <= 0:
             raise ExperimentError("request body required (a JSON object)")
         if length > _MAX_BODY_BYTES:
-            raise ExperimentError("request body too large")
+            raise _HttpError(
+                413,
+                f"request body too large ({length} bytes; the limit is "
+                f"{_MAX_BODY_BYTES}) — campaign specs are small JSON objects",
+            )
         raw = self.rfile.read(length)
         try:
             data = json.loads(raw)
@@ -152,10 +170,14 @@ class _Handler(BaseHTTPRequestHandler):
                 if len(parts) == 3 and parts[2] == "figure":
                     return self._get_figure(job, params)
             self._error(404, f"no such endpoint: {url.path}")
+        except _HttpError as exc:
+            self._error(exc.status, str(exc))
         except (ReproError, ValueError) as exc:
             self._error(400, str(exc))
         except (BrokenPipeError, ConnectionResetError):
             pass  # streaming client went away — nothing to answer
+        except Exception as exc:  # noqa: BLE001 - no tracebacks to clients
+            self._internal_error(exc)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         url = urlparse(self.path)
@@ -166,8 +188,27 @@ class _Handler(BaseHTTPRequestHandler):
                 record = self.server.manager.submit(spec)
                 return self._send_json(record.snapshot(), status=202)
             self._error(404, f"no such endpoint: {url.path}")
+        except _HttpError as exc:
+            self._error(exc.status, str(exc))
         except (ReproError, ValueError) as exc:
             self._error(400, str(exc))
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - no tracebacks to clients
+            self._internal_error(exc)
+
+    def _internal_error(self, exc: Exception) -> None:
+        """A 500 as structured JSON — never an unhandled traceback.
+
+        The traceback goes to the server log (unless quiet); the client
+        gets the exception type and message only.
+        """
+        if not self.server.quiet:
+            traceback.print_exc()
+        try:
+            self._error(500, f"internal error: {type(exc).__name__}: {exc}")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # headers already sent or client gone — nothing to add
 
     # -- endpoints -------------------------------------------------------------
 

@@ -25,6 +25,7 @@ an NDJSON stream.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import queue
 import threading
@@ -33,30 +34,53 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from ..api import Campaign, Scenario, get_experiment, use_run_cache
+from ..api import (
+    Campaign,
+    CampaignIncompleteError,
+    Scenario,
+    SupervisorConfig,
+    get_experiment,
+    use_run_cache,
+    use_supervisor,
+)
 from ..errors import ExperimentError
 from .cache import RunCache
 from .db import DbResultStore
 
 __all__ = ["JobRecord", "JobManager"]
 
-_TERMINAL = ("done", "failed")
+_TERMINAL = ("done", "failed", "incomplete", "aborted")
 
 
 @dataclass
 class JobRecord:
-    """One submitted campaign: spec, status, progress events, result."""
+    """One submitted campaign: spec, status, progress events, result.
+
+    Terminal statuses: ``done`` (every cell completed), ``failed`` (the
+    job itself errored), ``incomplete`` (supervised run finished with
+    quarantined cells — ``report`` holds the manifest's ledger), and
+    ``aborted`` (server shut down before/while the job ran).  Whatever
+    the path out, the condition is notified, so ``wait``/``wait_events``
+    long-pollers are never stranded.
+    """
 
     job_id: str
     spec: Dict[str, Any]
-    status: str = "queued"  # queued | running | done | failed
+    status: str = "queued"  # queued | running | done | failed |
+    #                         incomplete | aborted
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     total_cells: int = 0
     completed_cells: int = 0
+    #: Worker attempts beyond the first, across all cells (supervised).
+    retries: int = 0
+    #: Cells that exhausted their retry budget (supervised).
+    quarantined: int = 0
     cache: Dict[str, Any] = field(default_factory=dict)
     error: Optional[str] = None
+    #: Manifest status report (supervised jobs that end incomplete).
+    report: Optional[Dict[str, Any]] = None
     #: Rendered figure text (experiment specs only).
     figure_text: Optional[str] = None
     events: List[Dict[str, Any]] = field(default_factory=list)
@@ -79,6 +103,10 @@ class JobRecord:
                 self.total_cells = int(event.get("total", 0))
             elif event.get("type") == "cell":
                 self.completed_cells += 1
+            elif event.get("type") == "retry":
+                self.retries += 1
+            elif event.get("type") == "quarantine":
+                self.quarantined += 1
             self._cond.notify_all()
 
     def wait_events(self, after_seq: int, timeout: float
@@ -114,18 +142,38 @@ class JobRecord:
                 "finished_at": self.finished_at,
                 "total_cells": self.total_cells,
                 "completed_cells": self.completed_cells,
+                "retries": self.retries,
+                "quarantined": self.quarantined,
                 "cache": dict(self.cache),
                 "error": self.error,
+                "report": self.report,
                 "has_figure": self.figure_text is not None,
                 "events": len(self.events),
             }
 
     def _finish(self, status: str, error: Optional[str] = None) -> None:
         with self._cond:
+            if self.status in _TERMINAL:
+                return  # first terminal transition wins (abort vs worker)
             self.status = status
             self.error = error
             self.finished_at = time.time()
             self._cond.notify_all()
+
+    def abort(self, reason: str) -> None:
+        """Force a terminal ``aborted`` state and wake every waiter.
+
+        Used by :meth:`JobManager.shutdown` so a job that never ran (or
+        was still running when the server stopped) cannot strand
+        ``wait_events`` long-pollers on a status that will never change.
+        Idempotent; a job that already reached a terminal state is left
+        untouched.
+        """
+        with self._cond:
+            if self.status in _TERMINAL:
+                return
+        self.emit({"type": "aborted", "error": reason})
+        self._finish("aborted", error=reason)
 
 
 class JobManager:
@@ -188,19 +236,66 @@ class JobManager:
             return [self._jobs[job_id] for job_id in self._order]
 
     def shutdown(self) -> None:
-        """Stop the workers after their current job (used by tests/serve)."""
+        """Stop the workers; abort anything that will never finish.
+
+        Queued jobs are drained and marked ``aborted`` immediately (their
+        worker will never pick them up), then each worker gets a stop
+        sentinel and a bounded join.  Any job still non-terminal after
+        that — a worker hung mid-campaign, or a join that timed out — is
+        force-aborted too, so every ``wait``/``wait_events`` long-poller
+        wakes with a terminal status instead of blocking forever.
+        """
+        pending: List[str] = []
+        try:
+            while True:
+                item = self._queue.get_nowait()
+                if item is not None:
+                    pending.append(item)
+        except queue.Empty:
+            pass
         for _ in self._workers:
             self._queue.put(None)
+        for job_id in pending:
+            self.get(job_id).abort("server shut down before the job started")
         for thread in self._workers:
             thread.join(timeout=5.0)
+        for record in self.list():
+            if not record.finished:
+                record.abort("server shut down while the job was running")
 
     # -- execution -------------------------------------------------------------
+
+    @staticmethod
+    def _supervisor_for(spec: Dict[str, Any]) -> Optional[SupervisorConfig]:
+        """The fault-tolerance policy a spec asks for, or ``None``.
+
+        Supervision is opt-in per job: any of ``supervise`` (truthy),
+        ``cell_timeout_s``, or ``max_attempts`` switches the job's cells
+        to the watchdog/retry/quarantine executor.  Quarantined cells
+        surface as :class:`~repro.api.CampaignIncompleteError`, which
+        ``_run_job`` converts to an explicit ``incomplete`` terminal
+        status — never a silent partial figure.
+        """
+        keys = ("supervise", "cell_timeout_s", "max_attempts")
+        if not any(spec.get(key) for key in keys):
+            return None
+        try:
+            timeout = spec.get("cell_timeout_s")
+            return SupervisorConfig(
+                cell_timeout_s=float(timeout) if timeout is not None else None,
+                max_attempts=int(spec.get("max_attempts", 3)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ExperimentError(
+                f"bad supervision settings in campaign spec: {exc}"
+            ) from None
 
     @staticmethod
     def _build_plan(spec: Dict[str, Any]) -> Dict[str, Any]:
         """Normalise/validate a spec into an execution plan."""
         if not isinstance(spec, dict):
             raise ExperimentError("campaign spec must be a JSON object")
+        JobManager._supervisor_for(spec)  # fail fast on bad settings
         if "experiment" in spec:
             name = spec["experiment"]
             get_experiment(name)  # raises with the known-names list
@@ -257,21 +352,44 @@ class JobManager:
     def _run_job(self, record: JobRecord) -> None:
         spec = record.spec
         plan = self._build_plan(spec)
-        cache = RunCache(self.db, on_event=record.emit)
-        with use_run_cache(cache):
-            if plan["kind"] == "experiment":
-                exp = get_experiment(plan["name"])
-                figure = exp.run(
-                    preset=spec.get("preset", "smoke"),
-                    seeds=tuple(int(s) for s in spec.get("seeds", (1,))),
-                    loads_pps=(
-                        tuple(float(v) for v in spec["loads"])
-                        if spec.get("loads") else None
-                    ),
-                    jobs=int(spec.get("jobs", self.sim_jobs)),
-                )
-                record.figure_text = figure.render()
-            else:
-                plan["campaign"].run(jobs=int(spec.get("jobs", self.sim_jobs)))
+        supervise = self._supervisor_for(spec)
+        cache = RunCache(self.db, on_event=record.emit, manifest=True)
+        supervision = (
+            use_supervisor(supervise) if supervise is not None
+            else contextlib.nullcontext()
+        )
+        try:
+            with use_run_cache(cache), supervision:
+                if plan["kind"] == "experiment":
+                    exp = get_experiment(plan["name"])
+                    figure = exp.run(
+                        preset=spec.get("preset", "smoke"),
+                        seeds=tuple(int(s) for s in spec.get("seeds", (1,))),
+                        loads_pps=(
+                            tuple(float(v) for v in spec["loads"])
+                            if spec.get("loads") else None
+                        ),
+                        jobs=int(spec.get("jobs", self.sim_jobs)),
+                    )
+                    record.figure_text = figure.render()
+                else:
+                    plan["campaign"].run(
+                        jobs=int(spec.get("jobs", self.sim_jobs))
+                    )
+        except CampaignIncompleteError as exc:
+            # Quarantined cells: an explicit partial outcome, not a crash.
+            # Completed cells are already persisted; resubmitting the same
+            # spec resumes from the manifest and retries only the rest.
+            record.cache = cache.stats.as_dict()
+            record.report = exc.report
+            record.emit({
+                "type": "incomplete",
+                "quarantined": len(exc.failures),
+                "error": str(exc),
+                "report": exc.report,
+                "cache": record.cache,
+            })
+            record._finish("incomplete", error=str(exc))
+            return
         record.cache = cache.stats.as_dict()
         record.emit({"type": "done", "cache": record.cache})

@@ -1,0 +1,357 @@
+"""Campaign manifests: the durable work-unit ledger behind ``--resume``.
+
+A :class:`CampaignManifest` records one campaign grid as chunked work
+units — one cell per scenario, keyed by the :mod:`repro.api.pairing`
+pairing key — and tracks each cell through
+``pending → done | quarantined``.  Together with the content-addressed
+run cache (which pairs *completed* cells against the result store), it
+gives an interrupted sweep exact resume semantics: restart the same
+campaign against the same store and only the missing cells are
+re-simulated, while the manifest carries the operational record —
+attempt counts, quarantine tracebacks, timestamps — that the raw rows
+cannot.
+
+Two storage backends, chosen by the result store the campaign writes
+to:
+
+* **SQLite** (:class:`~repro.service.db.DbResultStore`): a ``manifests``
+  table in the same database file (schema v3), one row per campaign
+  fingerprint — transactional, travels with the rows;
+* **sidecar JSON** (flat JSONL/CSV stores): ``<store>.manifest.json``
+  next to the store, written atomically (tmp + fsync + rename) so a
+  crash mid-save can never tear it.
+
+The *fingerprint* identifies a campaign by content, not by name: the
+SHA-256 of the experiment id plus every cell's pairing key.  Resuming
+the identical grid maps onto the identical manifest row; a different
+grid (one more seed, a changed config) gets its own ledger and can
+never corrupt another campaign's bookkeeping.
+
+Quarantine is per-execution: loading a manifest for a fresh execution
+resets ``quarantined`` cells back to ``pending`` with their attempt
+counters cleared, so an operator can fix the cause (or just rely on
+fresh retry draws) and ``--resume`` — terminal quarantine means "gave
+up *this* run", not "poisoned forever".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..api.pairing import PairKey, describe_key, scenario_key
+
+__all__ = [
+    "CellRecord",
+    "CampaignManifest",
+    "manifest_for_store",
+    "sidecar_path",
+]
+
+#: Cell lifecycle states.
+PENDING = "pending"
+DONE = "done"
+QUARANTINED = "quarantined"
+
+
+@dataclass
+class CellRecord:
+    """One work unit: a grid cell and its execution bookkeeping."""
+
+    #: The pairing key (protocol, load, seed, horizon, config digest).
+    key: PairKey
+    #: Occurrence index among identical keys in one grid (grids normally
+    #: have unique cells; replicated cells stay distinguishable).
+    ordinal: int = 0
+    status: str = PENDING
+    attempts: int = 0
+    #: Traceback / reason recorded when the cell was quarantined.
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": list(self.key),
+            "ordinal": self.ordinal,
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CellRecord":
+        return cls(
+            key=tuple(data["key"]),  # type: ignore[arg-type]
+            ordinal=int(data.get("ordinal", 0)),
+            status=str(data.get("status", PENDING)),
+            attempts=int(data.get("attempts", 0)),
+            error=data.get("error"),
+        )
+
+
+def _fingerprint(experiment: Optional[str],
+                 keys: Sequence[PairKey]) -> str:
+    payload = json.dumps(
+        {"experiment": experiment, "cells": sorted(map(list, keys))},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def sidecar_path(store_path: Path) -> Path:
+    """Where the JSON manifest ledger for a flat store lives."""
+    return store_path.with_name(store_path.name + ".manifest.json")
+
+
+class CampaignManifest:
+    """The in-memory manifest for one campaign grid, backed durably.
+
+    Obtain one via :func:`manifest_for_store` (which picks the storage
+    backend) or :meth:`for_grid`.  Every mutation
+    (:meth:`record_attempt` / :meth:`record_done` /
+    :meth:`record_quarantine`) persists immediately — the ledger on disk
+    is never more than one cell behind reality, which is the whole
+    point.
+    """
+
+    def __init__(
+        self,
+        backend: "_ManifestBackend",
+        experiment: Optional[str],
+        cells: List[CellRecord],
+        created_at: Optional[float] = None,
+    ):
+        self._backend = backend
+        self.experiment = experiment
+        self.cells = cells
+        self.created_at = created_at if created_at is not None else time.time()
+        self.fingerprint = _fingerprint(experiment, [c.key for c in cells])
+        self._index: Dict[Tuple[PairKey, int], CellRecord] = {}
+        for cell in cells:
+            self._index[(cell.key, cell.ordinal)] = cell
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def for_grid(
+        cls,
+        backend: "_ManifestBackend",
+        scenarios: Sequence,
+        experiment: Optional[str] = None,
+    ) -> "CampaignManifest":
+        """Plan (or re-open) the manifest for this exact scenario grid.
+
+        If the backend already holds a ledger with the same fingerprint
+        — the same campaign, interrupted earlier — its ``done`` states
+        and attempt history are adopted; ``quarantined`` cells reset to
+        ``pending`` for a fresh round of attempts.
+        """
+        keys: List[PairKey] = [scenario_key(sc) for sc in scenarios]
+        occurrence: Dict[PairKey, int] = {}
+        cells = []
+        for key in keys:
+            ordinal = occurrence.get(key, 0)
+            occurrence[key] = ordinal + 1
+            cells.append(CellRecord(key=key, ordinal=ordinal))
+        manifest = cls(backend, experiment, cells)
+        stored = backend.load(manifest.fingerprint)
+        if stored is not None:
+            previous = {
+                (cell.key, cell.ordinal): cell
+                for cell in map(CellRecord.from_dict, stored.get("cells", []))
+            }
+            manifest.created_at = float(
+                stored.get("created_at", manifest.created_at)
+            )
+            for cell in manifest.cells:
+                old = previous.get((cell.key, cell.ordinal))
+                if old is None:
+                    continue
+                if old.status == DONE:
+                    cell.status = DONE
+                    cell.attempts = old.attempts
+                # QUARANTINED deliberately resets to PENDING/0 attempts:
+                # a new execution earns a fresh retry budget.
+        manifest.save()
+        return manifest
+
+    # -- cell lookup / mutation ------------------------------------------------
+
+    def _cell(self, key: PairKey, ordinal: int = 0) -> CellRecord:
+        return self._index[(key, ordinal)]
+
+    def record_attempt(self, key: PairKey, ordinal: int = 0) -> None:
+        cell = self._cell(key, ordinal)
+        cell.attempts += 1
+        self.save()
+
+    def record_done(self, key: PairKey, ordinal: int = 0) -> None:
+        cell = self._cell(key, ordinal)
+        cell.status = DONE
+        cell.error = None
+        self.save()
+
+    def record_quarantine(self, key: PairKey, error: str,
+                          ordinal: int = 0) -> None:
+        cell = self._cell(key, ordinal)
+        cell.status = QUARANTINED
+        cell.error = error
+        self.save()
+
+    # -- reporting -------------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        out = {PENDING: 0, DONE: 0, QUARANTINED: 0}
+        for cell in self.cells:
+            out[cell.status] = out.get(cell.status, 0) + 1
+        return out
+
+    @property
+    def complete(self) -> bool:
+        return all(cell.status == DONE for cell in self.cells)
+
+    def quarantined(self) -> List[CellRecord]:
+        return [c for c in self.cells if c.status == QUARANTINED]
+
+    def report(self) -> Dict[str, Any]:
+        """The JSON-safe status report (``incomplete`` when not all done)."""
+        counts = self.counts()
+        return {
+            "fingerprint": self.fingerprint,
+            "experiment": self.experiment,
+            "total": len(self.cells),
+            "done": counts[DONE],
+            "pending": counts[PENDING],
+            "quarantined": counts[QUARANTINED],
+            "incomplete": not self.complete,
+            "quarantined_cells": [
+                {
+                    "cell": describe_key(cell.key),
+                    "attempts": cell.attempts,
+                    "error": cell.error,
+                }
+                for cell in self.quarantined()
+            ],
+        }
+
+    def describe(self) -> str:
+        counts = self.counts()
+        text = (
+            f"manifest {self.fingerprint[:12]}: {counts[DONE]}/"
+            f"{len(self.cells)} cells done, {counts[PENDING]} pending, "
+            f"{counts[QUARANTINED]} quarantined"
+        )
+        for cell in self.quarantined():
+            reason = (cell.error or "").strip().splitlines()
+            text += (
+                f"\n  quarantined after {cell.attempts} attempts: "
+                f"{describe_key(cell.key)}"
+                + (f" — {reason[-1]}" if reason else "")
+            )
+        return text
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "experiment": self.experiment,
+            "created_at": self.created_at,
+            "updated_at": time.time(),
+            "total": len(self.cells),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def save(self) -> None:
+        self._backend.save(self.fingerprint, self.experiment, self.to_dict())
+
+
+# -- storage backends ----------------------------------------------------------
+
+
+class _ManifestBackend:
+    """Interface: persist/load manifest payloads by fingerprint."""
+
+    def save(self, fingerprint: str, experiment: Optional[str],
+             payload: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def load(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+
+class JsonManifestBackend(_ManifestBackend):
+    """Sidecar ledger for flat stores: ``<store>.manifest.json``.
+
+    Holds every campaign fingerprint that ever ran against the store in
+    one file, written atomically — a crash mid-save leaves the previous
+    ledger intact, never a torn one.
+    """
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+
+    def _read_all(self) -> Dict[str, Any]:
+        if not self.path.exists():
+            return {"manifests": {}}
+        try:
+            data = json.loads(self.path.read_text())
+        except ValueError:
+            # A damaged ledger must not brick resume: the rows in the
+            # store are the source of truth for what is done; start a
+            # fresh ledger.
+            return {"manifests": {}}
+        if not isinstance(data, dict) or "manifests" not in data:
+            return {"manifests": {}}
+        return data
+
+    def save(self, fingerprint: str, experiment: Optional[str],
+             payload: Dict[str, Any]) -> None:
+        data = self._read_all()
+        data["manifests"][fingerprint] = payload
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("w") as fh:
+            json.dump(data, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    def load(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        return self._read_all()["manifests"].get(fingerprint)
+
+
+class DbManifestBackend(_ManifestBackend):
+    """Ledger rows in the result database's ``manifests`` table."""
+
+    def __init__(self, store):
+        self.store = store  # a DbResultStore
+
+    def save(self, fingerprint: str, experiment: Optional[str],
+             payload: Dict[str, Any]) -> None:
+        self.store.save_manifest(fingerprint, experiment,
+                                 json.dumps(payload))
+
+    def load(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        text = self.store.load_manifest(fingerprint)
+        return None if text is None else json.loads(text)
+
+
+def manifest_for_store(store, scenarios: Sequence,
+                       experiment: Optional[str] = None
+                       ) -> CampaignManifest:
+    """Plan/re-open the manifest for ``scenarios`` against ``store``.
+
+    Picks the backend from the store type: ``manifests`` table for a
+    :class:`~repro.service.db.DbResultStore`, sidecar JSON for flat
+    stores.
+    """
+    if hasattr(store, "save_manifest"):
+        backend: _ManifestBackend = DbManifestBackend(store)
+    else:
+        backend = JsonManifestBackend(sidecar_path(Path(store.path)))
+    return CampaignManifest.for_grid(backend, scenarios, experiment)

@@ -61,6 +61,24 @@ MIGRATIONS: List[Tuple[int, Sequence[str]]] = [
             """,
         ],
     ),
+    (
+        3,
+        [
+            # Campaign manifests (checkpoint/resume ledgers): one row
+            # per campaign fingerprint, the full JSON ledger in
+            # `payload` (see repro.service.manifest).  Kept in the same
+            # file as the rows so a result database carries its own
+            # resume state.
+            """
+            CREATE TABLE manifests (
+                fingerprint TEXT PRIMARY KEY,
+                experiment  TEXT,
+                updated_at  REAL NOT NULL,
+                payload     TEXT NOT NULL
+            )
+            """,
+        ],
+    ),
 ]
 
 #: The version a fully migrated database reports.

@@ -26,8 +26,18 @@ is enforced by :mod:`repro.vector.equivalence`:
 
 Select it per run with ``cfg.with_scale(backend="vector")``; the default
 ``"event"`` leaves every existing output byte-identical.
+``backend="auto"`` resolves per config — vector for populations of
+:data:`~repro.vector.support.AUTO_VECTOR_MIN_NODES` and up whose channel
+model the engine supports, event otherwise (see
+:func:`~repro.vector.support.resolve_backend`).
 """
 
 from .engine import simulate_vector
+from .support import AUTO_VECTOR_MIN_NODES, resolve_backend, vector_refusal
 
-__all__ = ["simulate_vector"]
+__all__ = [
+    "AUTO_VECTOR_MIN_NODES",
+    "resolve_backend",
+    "simulate_vector",
+    "vector_refusal",
+]

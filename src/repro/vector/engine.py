@@ -63,6 +63,7 @@ from ..phy import AbicmTable
 from ..rng import RngRegistry
 from ..routing import plan_routes
 from .state import ArStep, BatchReservoir, PerTables, SeriesRecorder
+from .support import vector_refusal
 
 __all__ = ["simulate_vector", "VectorNetwork"]
 
@@ -78,16 +79,9 @@ _EPS = 1e-12
 
 
 def _check_supported(cfg: NetworkConfig) -> None:
-    if cfg.channel.fading_kernel != "exponential":
-        raise ConfigError(
-            "vector backend supports the exponential fading kernel only "
-            f"(got {cfg.channel.fading_kernel!r}); use backend='event'"
-        )
-    if cfg.channel.rician_k != 0.0:
-        raise ConfigError(
-            "vector backend supports Rayleigh fading only "
-            f"(rician_k={cfg.channel.rician_k!r}); use backend='event'"
-        )
+    reason = vector_refusal(cfg)
+    if reason is not None:
+        raise ConfigError(reason)
 
 
 class _DynamicsReplay:

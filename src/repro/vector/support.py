@@ -1,0 +1,62 @@
+"""Backend eligibility and selection — importable without numpy.
+
+The vector engine supports a subset of the channel model (the paper's
+Rayleigh/exponential configuration); anything outside it must run on the
+event kernel.  This module is the single source of truth for that refuse
+list — :func:`vector_refusal` — and for resolving the ``"auto"`` backend
+choice (:func:`resolve_backend`), kept dependency-light so the config
+layer can consult it during serialisation without dragging in the
+numpy-heavy engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["AUTO_VECTOR_MIN_NODES", "resolve_backend", "vector_refusal"]
+
+#: Population size at which ``backend="auto"`` switches to the vector
+#: engine.  Below this the event kernel is fast enough that exact
+#: per-packet behaviour wins; at and above it the structure-of-arrays
+#: engine's throughput dominates (see ``benchmarks/bench_scale.py``).
+AUTO_VECTOR_MIN_NODES = 1000
+
+
+def vector_refusal(cfg) -> Optional[str]:
+    """Why ``cfg`` cannot run on the vector engine, or ``None`` if it can.
+
+    The refuse list mirrors the engine's support envelope: only the
+    exponential (Gauss-Markov) fading kernel and pure Rayleigh fading
+    (``rician_k == 0``) are vectorised.  Returns a human-readable reason
+    suitable for a :class:`~repro.errors.ConfigError` message.
+    """
+    if cfg.channel.fading_kernel != "exponential":
+        return (
+            "vector backend supports the exponential fading kernel only "
+            f"(got {cfg.channel.fading_kernel!r}); use backend='event'"
+        )
+    if cfg.channel.rician_k != 0.0:
+        return (
+            "vector backend supports Rayleigh fading only "
+            f"(rician_k={cfg.channel.rician_k!r}); use backend='event'"
+        )
+    return None
+
+
+def resolve_backend(cfg) -> str:
+    """The concrete engine for ``cfg``: ``"event"`` or ``"vector"``.
+
+    Explicit choices pass through; ``"auto"`` picks the vector engine
+    exactly when the population is large enough to benefit
+    (:data:`AUTO_VECTOR_MIN_NODES`) *and* nothing on the refuse list
+    applies — a Jakes-fading or Rician-K config always resolves to the
+    event kernel, never to an engine that would refuse it.  A pure
+    function of the config, so auto-selection is deterministic and safe
+    to consult from :meth:`~repro.config.NetworkConfig.to_dict`.
+    """
+    backend = cfg.scale.backend
+    if backend != "auto":
+        return backend
+    if cfg.n_nodes >= AUTO_VECTOR_MIN_NODES and vector_refusal(cfg) is None:
+        return "vector"
+    return "event"

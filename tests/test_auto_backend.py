@@ -1,0 +1,139 @@
+"""``backend="auto"`` — engine selection as a pure function of config.
+
+Auto must (a) pick the vector engine only for populations large enough
+to benefit, (b) *never* pick it for a channel on the refuse list (Jakes
+fading, Rician K > 0) — resolving to an engine that would refuse the
+config is a bug by definition — and (c) resolve before digesting, so an
+auto config pairs/caches identically to its explicit equivalent.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import NetworkConfig, Protocol
+from repro.errors import ExperimentError
+from repro.vector import (
+    AUTO_VECTOR_MIN_NODES,
+    resolve_backend,
+    vector_refusal,
+)
+
+
+def _cfg(n_nodes, backend="auto", **channel):
+    cfg = NetworkConfig(
+        n_nodes=n_nodes, protocol=Protocol.PURE_LEACH, seed=1
+    ).with_scale(backend=backend)
+    if channel:
+        cfg = dataclasses.replace(
+            cfg, channel=dataclasses.replace(cfg.channel, **channel)
+        )
+    return cfg
+
+
+class TestResolution:
+    def test_small_population_resolves_to_event(self):
+        assert resolve_backend(_cfg(100)) == "event"
+        assert resolve_backend(_cfg(AUTO_VECTOR_MIN_NODES - 1)) == "event"
+
+    def test_large_population_resolves_to_vector(self):
+        assert resolve_backend(_cfg(AUTO_VECTOR_MIN_NODES)) == "vector"
+        assert resolve_backend(_cfg(5000)) == "vector"
+
+    def test_explicit_backends_pass_through(self):
+        assert resolve_backend(_cfg(10, backend="event")) == "event"
+        assert resolve_backend(_cfg(5000, backend="vector")) == "vector"
+        # Pass-through is unconditional: an explicit (unsupported) choice
+        # is the engine's ConfigError to raise, not ours to silently fix.
+        assert resolve_backend(
+            _cfg(10, backend="vector", fading_kernel="jakes")
+        ) == "vector"
+
+    def test_auto_never_selects_vector_for_jakes(self):
+        for n in (100, AUTO_VECTOR_MIN_NODES, 100_000):
+            cfg = _cfg(n, fading_kernel="jakes")
+            assert vector_refusal(cfg) is not None
+            assert resolve_backend(cfg) == "event"
+
+    def test_auto_never_selects_vector_for_rician(self):
+        for k in (0.5, 4.0, 10.0):
+            cfg = _cfg(100_000, rician_k=k)
+            assert vector_refusal(cfg) is not None
+            assert resolve_backend(cfg) == "event"
+
+    def test_rayleigh_exponential_has_no_refusal(self):
+        assert vector_refusal(_cfg(100)) is None
+
+
+class TestDigestTransparency:
+    def test_auto_digests_like_its_explicit_equivalent(self):
+        big = _cfg(AUTO_VECTOR_MIN_NODES)
+        assert big.digest() == _cfg(
+            AUTO_VECTOR_MIN_NODES, backend="vector"
+        ).digest()
+        small = _cfg(100)
+        assert small.digest() == _cfg(100, backend="event").digest()
+        # Refused channel: auto == event even at population scale.
+        jakes = _cfg(100_000, fading_kernel="jakes")
+        explicit = _cfg(100_000, backend="event", fading_kernel="jakes")
+        assert jakes.digest() == explicit.digest()
+
+    def test_to_dict_never_serialises_auto(self):
+        big = _cfg(AUTO_VECTOR_MIN_NODES).to_dict()
+        assert big["scale"]["backend"] == "vector"
+        small = _cfg(100).to_dict()
+        # "event" is the sparse default: the key is omitted entirely.
+        assert "backend" not in small.get("scale", {})
+
+    def test_round_trip_preserves_resolution(self):
+        cfg = _cfg(AUTO_VECTOR_MIN_NODES)
+        back = NetworkConfig.from_dict(cfg.to_dict())
+        assert back.scale.backend == "vector"
+        assert back.digest() == cfg.digest()
+
+
+class TestDispatch:
+    def test_auto_runs_on_the_resolved_engine(self, monkeypatch):
+        """Drop the threshold so a 20-node run exercises the real
+        auto -> vector dispatch path without population-scale cost."""
+        from repro.api import RunOptions, simulate
+        from repro.vector import support
+
+        opts = RunOptions(horizon_s=5.0, sample_interval_s=2.5)
+        explicit = simulate(_cfg(20, backend="vector"), opts)
+        monkeypatch.setattr(support, "AUTO_VECTOR_MIN_NODES", 20)
+        auto = simulate(_cfg(20), opts)
+        da, db = auto.to_dict(), explicit.to_dict()
+        da.pop("wall_time_s"), db.pop("wall_time_s")
+        assert da == db
+
+    def test_auto_runs_on_event_below_threshold(self):
+        from repro.api import RunOptions, simulate
+
+        opts = RunOptions(horizon_s=5.0, sample_interval_s=2.5)
+        auto = simulate(_cfg(20), opts)
+        explicit = simulate(_cfg(20, backend="event"), opts)
+        da, db = auto.to_dict(), explicit.to_dict()
+        da.pop("wall_time_s"), db.pop("wall_time_s")
+        assert da == db
+
+    def test_ext_scale_accepts_auto(self):
+        from repro.api import get_experiment
+
+        with pytest.raises(ExperimentError, match="unknown backend"):
+            get_experiment("ext-scale").run(preset="smoke", backend="warp")
+        # "auto" is in the accepted list: building scenarios must not
+        # raise (running the smoke ladder here would be redundant with
+        # test_scale.py; validation is the contract under test).
+        from repro.experiments.scale import _BACKENDS
+
+        assert "auto" in _BACKENDS
+
+    def test_scale_config_accepts_auto(self):
+        from repro.experiments.scale import scale_config
+
+        cfg = scale_config(2000, Protocol.PURE_LEACH, backend="auto")
+        assert cfg.scale.backend == "auto"
+        assert resolve_backend(cfg) == "vector"
+        small = scale_config(30, Protocol.PURE_LEACH, backend="auto")
+        assert resolve_backend(small) == "event"

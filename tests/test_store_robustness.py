@@ -1,11 +1,17 @@
 """Crash-safety and forward-compatibility of the result stores.
 
-Satellite coverage for the service PR: torn-tail JSONL tolerance,
-row-level ``format_version`` gating, and the full missing-cell report
-``run --from`` gives on a partial store.
+Satellite coverage for the service PRs: torn-tail JSONL tolerance,
+row-level ``format_version`` gating, the full missing-cell report
+``run --from`` gives on a partial store, and WAL crash recovery when a
+database writer is SIGKILLed mid-batch.
 """
 
 import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -149,3 +155,89 @@ class TestMissingCellReport:
         runs[0].experiment = "somebody-else"
         _, missing = pair_stored_runs(scenarios, runs, "exp-x")
         assert len(missing) == 1
+
+
+_WRITER_SCRIPT = """\
+import json, sqlite3, sys, time
+
+from repro.api.result import RunResult
+from repro.api.store import STORE_FORMAT_VERSION
+from repro.service import DbResultStore
+
+db_path, runs_json = sys.argv[1], sys.argv[2]
+runs = [RunResult.from_dict(d)
+        for d in json.loads(open(runs_json).read())]
+
+store = DbResultStore(db_path)
+store.extend(runs[:2])  # a committed batch: must survive the crash
+
+# Now die "mid-batch": rows INSERTed inside an open transaction, no
+# COMMIT ever issued — exactly the window DbResultStore.extend is in
+# when a box loses power.
+conn = sqlite3.connect(db_path, isolation_level=None)
+conn.execute("BEGIN IMMEDIATE")
+for run in runs[2:]:
+    conn.execute(
+        "INSERT INTO runs (experiment, config_digest, seed, protocol, "
+        "load_pps, horizon_s, n_nodes, format_version, payload) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        (run.experiment, run.config_digest, run.seed, run.protocol,
+         run.load_pps, run.horizon_s, run.n_nodes,
+         STORE_FORMAT_VERSION, json.dumps(run.to_dict())),
+    )
+print("MIDBATCH", flush=True)
+time.sleep(120)  # the parent SIGKILLs us here
+"""
+
+
+class TestWriterCrash:
+    def test_sigkilled_writer_mid_batch_recovers_and_resumes(
+        self, tmp_path
+    ):
+        """SIGKILL a database writer inside an uncommitted batch: WAL
+        recovery keeps every committed batch and discards the torn one,
+        and a manifest-tracked resume completes the campaign without
+        re-simulating the survivors."""
+        from repro.api import run_scenarios
+        from repro.service import DbResultStore, RunCache
+
+        scenarios = _scenarios(n_seeds=2)  # 4 cells
+        runs = run_scenarios(scenarios)
+        runs_json = tmp_path / "runs.json"
+        runs_json.write_text(json.dumps([r.to_dict() for r in runs]))
+        script = tmp_path / "writer.py"
+        script.write_text(_WRITER_SCRIPT)
+        db = tmp_path / "crash.sqlite"
+
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(db), str(runs_json)],
+            env=dict(os.environ, PYTHONPATH=src),
+            stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            line = proc.stdout.readline()  # blocks until mid-batch
+            assert line.strip() == "MIDBATCH"
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        # Reopen: the committed batch is there, the torn one is not.
+        store = DbResultStore(db)
+        survivors = store.load()
+        assert [r.to_dict() for r in survivors] == \
+            [r.to_dict() for r in runs[:2]]
+
+        # Resume: the survivors are cache hits, only the torn batch's
+        # cells re-simulate, and the manifest closes complete.
+        cache = RunCache(store, manifest=True)
+        resumed = cache.execute(scenarios)
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 2
+        assert cache.last_manifest.complete
+        for a, b in zip(runs, resumed):
+            da, db_ = a.to_dict(), b.to_dict()
+            da.pop("wall_time_s"), db_.pop("wall_time_s")
+            assert da == db_
