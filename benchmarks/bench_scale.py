@@ -58,7 +58,7 @@ HORIZON_S = 40.0  # two full 20 s LEACH rounds (matches BENCH_scale.json)
 
 
 def _measure_single(n_nodes: int, rounds: int, brute: bool,
-                    backend: str) -> dict:
+                    backend: str, profile_dir: str = None) -> dict:
     """One size, in-process: best-of-``rounds`` wall seconds + peak RSS."""
     from repro.config import Protocol
     from repro.experiments.scale import scale_config
@@ -75,9 +75,13 @@ def _measure_single(n_nodes: int, rounds: int, brute: bool,
     if backend == "vector":
         from repro.api import RunOptions, simulate
 
+        profile_path = None
+        if profile_dir is not None:
+            Path(profile_dir).mkdir(parents=True, exist_ok=True)
+            profile_path = str(Path(profile_dir) / f"rounds_n{n_nodes}.json")
         opts = RunOptions(
             horizon_s=HORIZON_S, sample_interval_s=5.0,
-            max_series_samples=64,
+            max_series_samples=64, profile_rounds=profile_path,
         )
         for _ in range(rounds):
             t0 = time.perf_counter()
@@ -121,7 +125,7 @@ def _vm_hwm_kb(pid: int) -> int:
 
 
 def _measure_subprocess(n_nodes: int, rounds: int, brute: bool,
-                        backend: str) -> dict:
+                        backend: str, profile_dir: str = None) -> dict:
     """Run one size in a fresh interpreter (clean per-size peak RSS).
 
     The parent polls the child's ``VmHWM`` while it runs and keeps the
@@ -136,6 +140,8 @@ def _measure_subprocess(n_nodes: int, rounds: int, brute: bool,
     ]
     if brute:
         cmd.append("--brute")
+    if profile_dir is not None:
+        cmd += ["--profile-rounds", profile_dir]
     proc = subprocess.Popen(
         cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
         cwd=str(REPO_ROOT),
@@ -208,6 +214,15 @@ def main(argv=None) -> int:
                              "BENCH_vector.json for the vector backend)")
     parser.add_argument("--no-trajectory", action="store_true",
                         help="skip appending to BENCH_run.json")
+    parser.add_argument("--profile-rounds", default=None, metavar="DIR",
+                        help="write each vector run's per-round phase "
+                             "timeline (JSON, see repro.vector.profile) "
+                             "into DIR as rounds_n<N>.json")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        metavar="S",
+                        help="fail unless the largest size's wall time is "
+                             "at most S seconds (the nightly N=1e5 "
+                             "under-a-minute gate)")
     parser.add_argument("--single", type=int, default=None,
                         help=argparse.SUPPRESS)  # subprocess worker mode
     parser.add_argument("--brute", action="store_true",
@@ -217,7 +232,7 @@ def main(argv=None) -> int:
     if args.single is not None:
         print(json.dumps(
             _measure_single(args.single, args.rounds, args.brute,
-                            args.backend)
+                            args.backend, profile_dir=args.profile_rounds)
         ))
         return 0
 
@@ -237,8 +252,11 @@ def main(argv=None) -> int:
     print(header)
     for n in args.nodes:
         for backend in backends:
-            r = _measure_subprocess(n, args.rounds, brute=False,
-                                    backend=backend)
+            r = _measure_subprocess(
+                n, args.rounds, brute=False, backend=backend,
+                profile_dir=(args.profile_rounds
+                             if backend == "vector" else None),
+            )
             results.append(r)
             base = baselines[backend].get(n)
             base_s = f"{base['seconds']:.3f}s" if base else "—"
@@ -277,6 +295,14 @@ def main(argv=None) -> int:
         print(f"speedup gate [{gate_backend}] at N={top['nodes']}: "
               f"{speedup:.2f}x (required {args.require_speedup:g}x) "
               f"-> {verdict}")
+        if verdict == "FAIL":
+            return 1
+
+    if args.max_seconds is not None:
+        top = max(results, key=lambda r: r["nodes"])
+        verdict = "OK" if top["seconds"] <= args.max_seconds else "FAIL"
+        print(f"wall-time gate at N={top['nodes']}: {top['seconds']:.2f}s "
+              f"(budget {args.max_seconds:g}s) -> {verdict}")
         if verdict == "FAIL":
             return 1
     return 0

@@ -39,6 +39,11 @@ class RunOptions:
     ``max_series_samples`` bounds every collected time series by halving
     decimation (scale tier: a 5000-node run's per-node queue snapshots
     would otherwise grow without bound); ``None`` keeps exact series.
+    ``profile_rounds`` names a JSON path for the vector engine's
+    per-round phase timeline (membership assignment, channel advance,
+    MAC/uplink mirrors, energy settle — see :mod:`repro.vector.profile`);
+    the event kernel has no phase structure and ignores it.  Purely
+    observational: results are bit-identical with it on or off.
     """
 
     horizon_s: float = 60.0
@@ -46,6 +51,7 @@ class RunOptions:
     stop_when_dead: bool = False
     collect_queues: bool = False
     max_series_samples: Optional[int] = None
+    profile_rounds: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:

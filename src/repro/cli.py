@@ -175,6 +175,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under cProfile; dump pstats data to PATH and print the "
         "hottest functions to stderr (stdout stays byte-identical)",
     )
+    run_p.add_argument(
+        "--profile-rounds",
+        default=None,
+        metavar="DIR",
+        help="write per-round phase timelines (JSON, one file per "
+        "vector-backend cell) into DIR, for experiments that support it "
+        "(ext-scale): names the dominant engine phases — membership "
+        "assignment, CSMA mirrors, channel advance — round by round "
+        "(stdout stays byte-identical; event-backend cells write nothing)",
+    )
 
     bench_p = sub.add_parser(
         "bench",
@@ -480,6 +490,7 @@ def _cmd_run_body(args: argparse.Namespace) -> int:
                 loads_pps=tuple(args.loads),
                 jobs=args.jobs,
                 backend=args.backend,
+                profile_rounds=args.profile_rounds,
                 runs=stored_runs,
             )
             sys.stdout.write(figure.render())

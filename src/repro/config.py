@@ -537,9 +537,10 @@ class ScaleConfig:
     #: Simulation engine: "event" (the per-node discrete-event kernel,
     #: every paper figure), "vector" (the numpy structure-of-arrays
     #: population engine in :mod:`repro.vector` for N = 10⁴–10⁵ fields),
-    #: or "auto" (vector for large populations whose channel model the
-    #: vector engine supports, event otherwise — see
-    #: :func:`repro.vector.resolve_backend`).
+    #: or "auto" (vector for large populations, event otherwise — see
+    #: :func:`repro.vector.resolve_backend`; the vector engine covers
+    #: every channel model, including Jakes and Rician K>0, so the
+    #: refuse list consulted by auto is currently empty).
     #: The vector engine reuses the event kernel's topology, election and
     #: dynamics streams — so placements, head sets and churn timelines
     #: match exactly — while the per-packet channel/MAC micro-behaviour is

@@ -22,6 +22,7 @@ machine, stored with the run.
 from __future__ import annotations
 
 import math
+import os
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..api import RunOptions, RunResult, Scenario, experiment
@@ -73,16 +74,32 @@ def scale_config(
 
 
 def _scale_scenario(
-    n_nodes: int, proto: Protocol, seed: int, backend: str
+    n_nodes: int,
+    proto: Protocol,
+    seed: int,
+    backend: str,
+    profile_rounds: Optional[str] = None,
 ) -> Scenario:
     cfg = scale_config(n_nodes, proto, seed, backend=backend)
     round_s = cfg.leach.round_duration_s
+    profile_path = None
+    if profile_rounds is not None:
+        from ..vector.support import resolve_backend
+
+        if resolve_backend(cfg) == "vector":
+            # One timeline file per vector cell; the event kernel has no
+            # phase structure, so event cells write nothing.
+            profile_path = os.path.join(
+                profile_rounds,
+                f"rounds_n{n_nodes}_{proto.value}_s{seed}.json",
+            )
     return Scenario(
         config=cfg,
         options=RunOptions(
             horizon_s=_HORIZON_ROUNDS * round_s,
             sample_interval_s=round_s / 4.0,
             max_series_samples=_MAX_SERIES_SAMPLES,
+            profile_rounds=profile_path,
         ),
         tags={"protocol": proto.value, "nodes": n_nodes, "seed": seed},
     )
@@ -99,13 +116,22 @@ def ext_scale(
     node_counts: Optional[Sequence[int]] = None,
     jobs: int = 1,
     backend: str = "event",
+    profile_rounds: Optional[str] = None,
     runs: Optional[Sequence[RunResult]] = None,
 ) -> FigureResult:
-    """Workload and wall-clock scaling of the three protocols with N."""
+    """Workload and wall-clock scaling of the three protocols with N.
+
+    ``profile_rounds`` names a directory: every cell that resolves to
+    the vector backend writes its per-round phase timeline there (see
+    :mod:`repro.vector.profile`).  Observational only — rows and digests
+    are identical with it on or off.
+    """
     if backend not in _BACKENDS:
         raise ExperimentError(
             f"unknown backend {backend!r}; have {_BACKENDS}"
         )
+    if profile_rounds is not None:
+        os.makedirs(profile_rounds, exist_ok=True)
     if node_counts is None:
         try:
             node_counts = DEFAULT_NODE_COUNTS[preset]
@@ -136,7 +162,7 @@ def ext_scale(
         ),
     )
     scenarios = [
-        _scale_scenario(n, proto, seed, backend)
+        _scale_scenario(n, proto, seed, backend, profile_rounds)
         for proto in _PROTOCOLS
         for n in node_counts
         for seed in seeds

@@ -168,12 +168,14 @@ class RunCache:
         for run in paired:
             if run is not None:
                 self.stats.bytes_saved += sizes.get(id(run), 0)
-        self._emit({
-            "type": "plan",
-            "total": total,
-            "cached": hits,
-            "to_simulate": len(miss_indices),
-        })
+        self._emit(
+            {
+                "type": "plan",
+                "total": total,
+                "cached": hits,
+                "to_simulate": len(miss_indices),
+            }
+        )
         for i, run in enumerate(paired):
             if run is not None:
                 self._emit(self._cell_event(i, total, scenarios[i], "cache"))
@@ -216,9 +218,7 @@ class RunCache:
                     fresh.append(run)
                     self.store.append(run)
                     index = miss_indices[len(fresh) - 1]
-                    self._emit(
-                        self._cell_event(index, total, scenarios[index], "sim")
-                    )
+                    self._emit(self._cell_event(index, total, scenarios[index], "sim"))
                     if manifest is not None:
                         manifest.record_done(scenario_key(scenarios[index]))
 

@@ -88,8 +88,7 @@ class DbResultStore:
         (``isolation_level=None``) with explicit transactions where
         atomicity matters.
         """
-        conn = sqlite3.connect(str(self.path), timeout=30.0,
-                               isolation_level=None)
+        conn = sqlite3.connect(str(self.path), timeout=30.0, isolation_level=None)
         try:
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
@@ -193,16 +192,18 @@ class DbResultStore:
             ):
                 data = json.loads(payload)
                 cells = data.get("cells", [])
-                out.append({
-                    "fingerprint": fingerprint,
-                    "experiment": experiment,
-                    "updated_at": updated_at,
-                    "total": len(cells),
-                    "done": sum(1 for c in cells if c.get("status") == "done"),
-                    "quarantined": sum(
-                        1 for c in cells if c.get("status") == "quarantined"
-                    ),
-                })
+                out.append(
+                    {
+                        "fingerprint": fingerprint,
+                        "experiment": experiment,
+                        "updated_at": updated_at,
+                        "total": len(cells),
+                        "done": sum(1 for c in cells if c.get("status") == "done"),
+                        "quarantined": sum(
+                            1 for c in cells if c.get("status") == "quarantined"
+                        ),
+                    }
+                )
         return out
 
     # -- reading ---------------------------------------------------------------
@@ -262,8 +263,13 @@ class DbResultStore:
     #: Scalar key columns that aggregation can GROUP BY / filter without
     #: touching the JSON payload.
     KEY_COLUMNS = (
-        "experiment", "protocol", "load_pps", "seed", "horizon_s",
-        "n_nodes", "config_digest",
+        "experiment",
+        "protocol",
+        "load_pps",
+        "seed",
+        "horizon_s",
+        "n_nodes",
+        "config_digest",
     )
 
     def aggregate(
@@ -350,7 +356,7 @@ class DbResultStore:
         with self._connect() as conn:
             # SQLite caps bound parameters (999 historically); chunk.
             for start in range(0, len(digests), 500):
-                chunk = digests[start:start + 500]
+                chunk = digests[start : start + 500]
                 marks = ",".join("?" * len(chunk))
                 cursor = conn.execute(
                     f"SELECT format_version, payload FROM runs "
@@ -358,9 +364,7 @@ class DbResultStore:
                     chunk,
                 )
                 for fv, payload in cursor:
-                    out.append(
-                        (self._decode(fv, payload), len(payload.encode()))
-                    )
+                    out.append((self._decode(fv, payload), len(payload.encode())))
         return out
 
     # -- import / export -------------------------------------------------------

@@ -98,9 +98,7 @@ class FaultPlan:
             if f.name.endswith("_rate"):
                 value = getattr(self, f.name)
                 if not 0.0 <= value <= 1.0:
-                    raise ReproError(
-                        f"fault rate {f.name}={value!r} must be in [0, 1]"
-                    )
+                    raise ReproError(f"fault rate {f.name}={value!r} must be in [0, 1]")
         if self.hang_s < 0:
             raise ReproError("hang_s must be >= 0")
 
@@ -155,7 +153,7 @@ class FaultInjector:
         digest = hashlib.sha256(
             f"{self.plan.seed}|{site}|{key}".encode()
         ).digest()
-        return int.from_bytes(digest[:8], "big") / 2.0 ** 64 < rate
+        return int.from_bytes(digest[:8], "big") / 2.0**64 < rate
 
     # -- worker sites (run inside supervised worker processes) -----------------
 
@@ -179,9 +177,7 @@ class FaultInjector:
 
     def check_fsync(self, key: str) -> None:
         if self.roll("store.fsync", key, self.plan.fsync_fail_rate):
-            raise InjectedFault(
-                f"injected fsync failure (site=store.fsync key={key})"
-            )
+            raise InjectedFault(f"injected fsync failure (site=store.fsync key={key})")
 
 
 def active_faults() -> Optional[FaultInjector]:

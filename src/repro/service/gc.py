@@ -30,7 +30,11 @@ __all__ = ["collect_garbage", "describe_gc"]
 #: stamp is part of identity: fig11/fig12 rows never fill each other's
 #: slot, so they must not evict each other either).
 _GROUP_COLUMNS = (
-    "experiment", "protocol", "load_pps", "seed", "horizon_s",
+    "experiment",
+    "protocol",
+    "load_pps",
+    "seed",
+    "horizon_s",
     "config_digest",
 )
 
@@ -85,11 +89,9 @@ def collect_garbage(
             try:
                 # SQLite caps bound parameters (999 historically); chunk.
                 for start in range(0, len(doomed), 500):
-                    chunk = doomed[start:start + 500]
+                    chunk = doomed[start : start + 500]
                     marks = ",".join("?" * len(chunk))
-                    conn.execute(
-                        f"DELETE FROM runs WHERE id IN ({marks})", chunk
-                    )
+                    conn.execute(f"DELETE FROM runs WHERE id IN ({marks})", chunk)
             except BaseException:
                 conn.execute("ROLLBACK")
                 raise

@@ -213,23 +213,29 @@ class _Handler(BaseHTTPRequestHandler):
     # -- endpoints -------------------------------------------------------------
 
     def _get_health(self) -> None:
-        self._send_json({
-            "ok": True,
-            "db": str(self.server.db.path),
-            "rows": len(self.server.db),
-            "schema_version": SCHEMA_VERSION,
-            "jobs": len(self.server.manager.list()),
-        })
+        self._send_json(
+            {
+                "ok": True,
+                "db": str(self.server.db.path),
+                "rows": len(self.server.db),
+                "schema_version": SCHEMA_VERSION,
+                "jobs": len(self.server.manager.list()),
+            }
+        )
 
     def _get_experiments(self) -> None:
-        self._send_json({
-            "experiments": [spec.to_dict() for spec in list_experiments()],
-        })
+        self._send_json(
+            {
+                "experiments": [spec.to_dict() for spec in list_experiments()],
+            }
+        )
 
     def _get_campaigns(self) -> None:
-        self._send_json({
-            "jobs": [job.snapshot() for job in self.server.manager.list()],
-        })
+        self._send_json(
+            {
+                "jobs": [job.snapshot() for job in self.server.manager.list()],
+            }
+        )
 
     def _get_events(self, job, params: Dict[str, List[str]]) -> None:
         """NDJSON progress stream: replay from ``after``, then follow.
@@ -309,10 +315,11 @@ class _Handler(BaseHTTPRequestHandler):
             limit=int(limit) if limit is not None else None,
         )
         full = one("full") in ("1", "true")
-        self._send_json({
-            "count": len(rows),
-            "rows": [
-                run.to_dict() if full else run.scalar_summary()
-                for run in rows
-            ],
-        })
+        self._send_json(
+            {
+                "count": len(rows),
+                "rows": [
+                    run.to_dict() if full else run.scalar_summary() for run in rows
+                ],
+            }
+        )

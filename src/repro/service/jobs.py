@@ -216,9 +216,7 @@ class JobManager:
         self._build_plan(spec)  # raises ExperimentError on a bad spec
         with self._lock:
             job_id = f"job-{next(self._ids)}"
-            record = JobRecord(
-                job_id=job_id, spec=dict(spec), submitted_at=time.time()
-            )
+            record = JobRecord(job_id=job_id, spec=dict(spec), submitted_at=time.time())
             self._jobs[job_id] = record
             self._order.append(job_id)
         self._queue.put(job_id)
@@ -339,14 +337,17 @@ class JobManager:
                 self._run_job(record)
                 record._finish("done")
             except Exception as exc:  # noqa: BLE001 - job isolation barrier
-                record.emit({
-                    "type": "failed",
-                    "error": f"{type(exc).__name__}: {exc}",
-                })
+                record.emit(
+                    {
+                        "type": "failed",
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                )
                 record._finish(
                     "failed",
-                    error="".join(traceback.format_exception_only(
-                        type(exc), exc)).strip(),
+                    error="".join(
+                        traceback.format_exception_only(type(exc), exc)
+                    ).strip(),
                 )
 
     def _run_job(self, record: JobRecord) -> None:
@@ -373,22 +374,22 @@ class JobManager:
                     )
                     record.figure_text = figure.render()
                 else:
-                    plan["campaign"].run(
-                        jobs=int(spec.get("jobs", self.sim_jobs))
-                    )
+                    plan["campaign"].run(jobs=int(spec.get("jobs", self.sim_jobs)))
         except CampaignIncompleteError as exc:
             # Quarantined cells: an explicit partial outcome, not a crash.
             # Completed cells are already persisted; resubmitting the same
             # spec resumes from the manifest and retries only the rest.
             record.cache = cache.stats.as_dict()
             record.report = exc.report
-            record.emit({
-                "type": "incomplete",
-                "quarantined": len(exc.failures),
-                "error": str(exc),
-                "report": exc.report,
-                "cache": record.cache,
-            })
+            record.emit(
+                {
+                    "type": "incomplete",
+                    "quarantined": len(exc.failures),
+                    "error": str(exc),
+                    "report": exc.report,
+                    "cache": record.cache,
+                }
+            )
             record._finish("incomplete", error=str(exc))
             return
         record.cache = cache.stats.as_dict()

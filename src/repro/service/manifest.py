@@ -93,8 +93,7 @@ class CellRecord:
         )
 
 
-def _fingerprint(experiment: Optional[str],
-                 keys: Sequence[PairKey]) -> str:
+def _fingerprint(experiment: Optional[str], keys: Sequence[PairKey]) -> str:
     payload = json.dumps(
         {"experiment": experiment, "cells": sorted(map(list, keys))},
         sort_keys=True,
@@ -164,9 +163,7 @@ class CampaignManifest:
                 (cell.key, cell.ordinal): cell
                 for cell in map(CellRecord.from_dict, stored.get("cells", []))
             }
-            manifest.created_at = float(
-                stored.get("created_at", manifest.created_at)
-            )
+            manifest.created_at = float(stored.get("created_at", manifest.created_at))
             for cell in manifest.cells:
                 old = previous.get((cell.key, cell.ordinal))
                 if old is None:
@@ -331,10 +328,10 @@ class DbManifestBackend(_ManifestBackend):
     def __init__(self, store):
         self.store = store  # a DbResultStore
 
-    def save(self, fingerprint: str, experiment: Optional[str],
-             payload: Dict[str, Any]) -> None:
-        self.store.save_manifest(fingerprint, experiment,
-                                 json.dumps(payload))
+    def save(
+        self, fingerprint: str, experiment: Optional[str], payload: Dict[str, Any]
+    ) -> None:
+        self.store.save_manifest(fingerprint, experiment, json.dumps(payload))
 
     def load(self, fingerprint: str) -> Optional[Dict[str, Any]]:
         text = self.store.load_manifest(fingerprint)

@@ -28,14 +28,25 @@ __all__ = [
 
 #: What ``repro-caem query`` prints when no --columns are given.
 DEFAULT_COLUMNS = (
-    "experiment", "protocol", "load_pps", "seed", "n_nodes", "horizon_s",
-    "delivery_rate", "energy_per_packet_j", "lifetime_s", "config_digest",
+    "experiment",
+    "protocol",
+    "load_pps",
+    "seed",
+    "n_nodes",
+    "horizon_s",
+    "delivery_rate",
+    "energy_per_packet_j",
+    "lifetime_s",
+    "config_digest",
 )
 
 #: What ``--agg`` reduces when no --columns are given.
 DEFAULT_AGG_METRICS = (
-    "delivery_rate", "throughput_bps", "mean_delay_s",
-    "energy_per_packet_j", "total_consumed_j",
+    "delivery_rate",
+    "throughput_bps",
+    "mean_delay_s",
+    "energy_per_packet_j",
+    "total_consumed_j",
 )
 
 #: CLI shorthand for group keys: ``--group-by protocol,load``.
@@ -45,8 +56,13 @@ GROUP_ALIASES = {"load": "load_pps", "nodes": "n_nodes"}
 #: table); the Python fallback accepts the same set so JSONL/CSV stores
 #: and databases answer identically.
 _GROUP_COLUMNS = (
-    "experiment", "protocol", "load_pps", "seed", "horizon_s",
-    "n_nodes", "config_digest",
+    "experiment",
+    "protocol",
+    "load_pps",
+    "seed",
+    "horizon_s",
+    "n_nodes",
+    "config_digest",
 )
 
 _AGG_FUNCS: Dict[str, Callable[[List[float]], float]] = {
@@ -224,16 +240,24 @@ def aggregate_runs(
 
         try:
             return store.aggregate(
-                group_by, metrics, agg=agg,
-                experiment=experiment, config_digest=config_digest,
-                seed=seed, protocol=protocol,
+                group_by,
+                metrics,
+                agg=agg,
+                experiment=experiment,
+                config_digest=config_digest,
+                seed=seed,
+                protocol=protocol,
             )
         except sqlite3.OperationalError:
             # SQLite built without JSON1 — reduce in Python instead.
             pass
     runs = query_runs(
-        store, experiment=experiment, config_digest=config_digest,
-        seed=seed, protocol=protocol, where=where,
+        store,
+        experiment=experiment,
+        config_digest=config_digest,
+        seed=seed,
+        protocol=protocol,
+        where=where,
     )
     groups: Dict[tuple, List[RunResult]] = {}
     for run in runs:
@@ -242,17 +266,12 @@ def aggregate_runs(
     reduce = _AGG_FUNCS[agg]
     out: List[dict] = []
     # NULL-first ordering, matching SQLite's ORDER BY.
-    for key in sorted(
-        groups, key=lambda k: tuple((v is not None, v) for v in k)
-    ):
+    for key in sorted(groups, key=lambda k: tuple((v is not None, v) for v in k)):
         rows = groups[key]
         record = dict(zip(group_by, key))
         record["n"] = len(rows)
         for field in metrics:
-            values = [
-                getattr(r, field) for r in rows
-                if getattr(r, field) is not None
-            ]
+            values = [getattr(r, field) for r in rows if getattr(r, field) is not None]
             record[field] = reduce(values) if values else None
         out.append(record)
     return out

@@ -24,12 +24,15 @@ is enforced by :mod:`repro.vector.equivalence`:
   energy-per-packet agree within calibrated tolerance bands, not
   bit-for-bit.
 
+The engine covers the full channel envelope — exponential and
+Jakes-Doppler fading kernels, Rayleigh and Rician K>0 — so the refuse
+list (:func:`~repro.vector.support.vector_refusal`) is currently empty.
+
 Select it per run with ``cfg.with_scale(backend="vector")``; the default
 ``"event"`` leaves every existing output byte-identical.
 ``backend="auto"`` resolves per config — vector for populations of
-:data:`~repro.vector.support.AUTO_VECTOR_MIN_NODES` and up whose channel
-model the engine supports, event otherwise (see
-:func:`~repro.vector.support.resolve_backend`).
+:data:`~repro.vector.support.AUTO_VECTOR_MIN_NODES` and up, event
+otherwise (see :func:`~repro.vector.support.resolve_backend`).
 """
 
 from .engine import simulate_vector

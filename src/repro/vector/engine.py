@@ -30,9 +30,12 @@ statistically equivalent to the event kernel, not bit-identical:
 * traffic is drawn as per-step batch counts (Poisson / CBR accumulator /
   two-state on-off), with arrivals stamped mid-step;
 * per cluster and step, contenders race once per sub-iteration with the
-  event MAC's backoff law (``u · 2^retry · slot · CW``); the two
-  smallest backoffs collide iff they fall within the radio's 20 µs
-  startup blind window, mirroring the CSMA vulnerable period;
+  event MAC's backoff law (``u · 2^retry · slot · CW``); collisions are
+  resolved by an exact fine-structure pass — a sorted-interval overlap
+  count inside the radio's 20 µs startup blind window — so episodes are
+  k-way, exactly one sensor (the winner, mid-transmission when the
+  collision tone fires) counts a heard collision, and the later
+  colliders hold the channel for their full corrupted-burst airtime;
 * burst size, per-mode airtime, per-packet PER Bernoulli draws, and the
   energy charges per attempt reproduce the event MAC's arithmetic on
   arrays;
@@ -40,9 +43,11 @@ statistically equivalent to the event kernel, not bit-identical:
   accumulated ``M`` accepted arrivals in a step takes one sample at the
   step's end (the event kernel samples at the exact M-th arrival).
 
-Unsupported channel variants (Jakes kernel, Rician fading) raise
-:class:`~repro.errors.ConfigError` — the vector engine implements the
-paper's exponential-Rayleigh model only.
+The full channel envelope is vectorised: the exponential (Gauss-Markov)
+and Jakes-Doppler AR(1) fading bridges (:class:`repro.vector.state.ArStep`
+mirrors :class:`repro.channel.fading.RayleighFading`'s per-gap
+arithmetic) and Rician K>0 LOS/scatter mixing, all held to the
+equivalence contract by :mod:`repro.vector.equivalence`.
 """
 
 from __future__ import annotations
@@ -62,6 +67,7 @@ from ..metrics.lifetime import death_spread_s, first_death_s, network_lifetime_s
 from ..phy import AbicmTable
 from ..rng import RngRegistry
 from ..routing import plan_routes
+from .profile import attach as _attach_profiler
 from .state import ArStep, BatchReservoir, PerTables, SeriesRecorder
 from .support import vector_refusal
 
@@ -73,9 +79,61 @@ __all__ = ["simulate_vector", "VectorNetwork"]
 #: few iterations the clock has left the step window anyway.
 _MAC_SUB_ITERS = 8
 
+#: Probability that a ready member joins a given race (see the
+#: pulse-eligibility comment in :meth:`VectorNetwork._mac_step`).
+_MAC_JOIN_P = 0.75
+
 #: Barrier bookkeeping epsilon for merging pre-played dynamics events
 #: into the step agenda (barrier times themselves compare exactly).
 _EPS = 1e-12
+
+#: Head-set size at which membership assignment switches from the brute
+#: chunked distance matrix to the KD-tree path (below it the matrix is
+#: already small, and the paper-scale populations the equivalence
+#: harness golden-checks stay on the original code verbatim).
+_KD_MIN_HEADS = 64
+
+
+def _nearest_heads_kd(
+    mem_pos: np.ndarray, head_pos: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Nearest-head assignment, bit-identical to the brute distance row.
+
+    Same contract as the chunked matrix in ``_start_round``: for each
+    member, the head minimising ``sqrt(dx**2 + dy**2)`` (the exact float
+    sequence of :meth:`repro.cluster.topology.Topology.nearest`), ties
+    broken by earliest position in the head array.  The KD tree only
+    *proposes* the ``k`` nearest candidates; picks and distances are
+    re-derived with the reference arithmetic, and any row whose k-th
+    candidate ties the minimum — the one case where an equally near
+    head could hide beyond the candidate set — falls back to the full
+    brute row.  (cKDTree's own p=2 metric accumulates ``dx*dx + dy*dy``
+    in the same double-precision order, so its squared-distance ranking
+    is exact; ``sqrt`` is monotone, so a head outside the candidate set
+    can only tie the minimum if the k-th candidate does too.)
+    """
+    from scipy.spatial import cKDTree
+
+    h = head_pos.shape[0]
+    k = min(4, h)
+    _, ii = cKDTree(head_pos).query(mem_pos, k=k)
+    if ii.ndim == 1:
+        ii = ii[:, None]
+    diff = head_pos[ii] - mem_pos[:, None, :]
+    drow = np.sqrt((diff**2).sum(axis=2))
+    dmin = drow.min(axis=1)
+    # Earliest head order among the our-metric ties within the k.
+    pick = np.where(drow == dmin[:, None], ii, h).min(axis=1)
+    if k < h:
+        unsure = drow[:, -1] <= dmin
+        if unsure.any():
+            rows = np.flatnonzero(unsure)
+            diff_f = head_pos[None, :, :] - mem_pos[rows, None, :]
+            row_f = np.sqrt((diff_f**2).sum(axis=2))
+            full = np.argmin(row_f, axis=1)
+            pick[rows] = full
+            dmin[rows] = row_f[np.arange(rows.size), full]
+    return pick.astype(np.int64), dmin
 
 
 def _check_supported(cfg: NetworkConfig) -> None:
@@ -159,6 +217,7 @@ class VectorNetwork:
         self.cfg = cfg
         self.opts = opts
         self.tracer = tracer
+        self._prof = _attach_profiler(opts)
         n = cfg.n_nodes
         self.n = n
         self.rngs = RngRegistry(cfg.seed)
@@ -292,7 +351,15 @@ class VectorNetwork:
             cfg.channel.shadowing_sigma_db,
             cfg.channel.shadowing_tau_s,
             cfg.channel.fading_coherence_s,
+            cfg.channel.fading_kernel,
         )
+        # Rician LOS mixing (RayleighFading._los / _scatter_scale): the
+        # scatter quadratures are scaled so total mean power stays 1.
+        # K=0 degenerates to pure Rayleigh with los=0, scatter=1 — the
+        # SNR arithmetic below is then bit-identical to the old path.
+        k_ric = cfg.channel.rician_k
+        self._los = math.sqrt(k_ric / (k_ric + 1.0))
+        self._scatter = math.sqrt(1.0 / (k_ric + 1.0))
         self.dt = cfg.channel.fading_coherence_s
 
         # Per-round cluster state (filled by _start_round).
@@ -352,15 +419,11 @@ class VectorNetwork:
         # Series recorder: one shared cadence, decimated together (the
         # event kernel's collectors decimate independently but
         # identically, so one multi-track recorder is equivalent).
-        self.recorder = SeriesRecorder(
-            opts.sample_interval_s, opts.max_series_samples
-        )
+        self.recorder = SeriesRecorder(opts.sample_interval_s, opts.max_series_samples)
         self._tr_energy = self.recorder.add_track()
         self._tr_alive = self.recorder.add_track()
         self._tr_queues = self.recorder.add_track() if opts.collect_queues else None
-        self._tr_up = (
-            self.recorder.add_track() if cfg.dynamics.enabled else None
-        )
+        self._tr_up = self.recorder.add_track() if cfg.dynamics.enabled else None
 
     # -- derived masks -------------------------------------------------------
 
@@ -394,9 +457,10 @@ class VectorNetwork:
         the event loop pops anything.
         """
         opts = self.opts
+        prof = self._prof
         horizon = opts.horizon_s
         t = 0.0
-        self._start_round(0.0)
+        self._round_at(0.0)
         for ev_t, kind, payload in self._drain_dynamics(0.0):
             self._apply_dynamics(ev_t, kind, payload)
         self._sample(0.0)
@@ -405,14 +469,15 @@ class VectorNetwork:
         interval0 = opts.sample_interval_s
         next_check = interval0 if opts.stop_when_dead else math.inf
         while t < horizon:
-            t_next = min(next_round, next_sample, next_check, horizon,
-                         self.replay.next_time())
+            t_next = min(
+                next_round, next_sample, next_check, horizon, self.replay.next_time()
+            )
             self._advance(t, t_next)
             t = t_next
             for ev_t, kind, payload in self._drain_dynamics(t):
                 self._apply_dynamics(ev_t, kind, payload)
             if t == next_round:
-                self._start_round(t)
+                self._round_at(t)
                 next_round += self.cfg.leach.round_duration_s
             if t == next_sample:
                 self._sample(t)
@@ -421,7 +486,20 @@ class VectorNetwork:
                 if self.is_dead:
                     break
                 next_check = min(next_check + interval0, horizon)
+        if prof is not None:
+            prof.flush(t)
         return t
+
+    def _round_at(self, t: float) -> None:
+        """Start the round at ``t``, flushing/charging the profiler."""
+        prof = self._prof
+        if prof is None:
+            self._start_round(t)
+            return
+        prof.flush(t)  # close the round that just elapsed
+        w0 = time.perf_counter()
+        self._start_round(t)
+        prof.lap("membership", w0)
 
     def _drain_dynamics(self, t: float):
         out = []
@@ -518,9 +596,7 @@ class VectorNetwork:
         alive_ids = np.flatnonzero(self.up)
         if alive_ids.size == 0:
             return
-        heads = self.election.elect(
-            self.round_index, [int(i) for i in alive_ids]
-        )
+        heads = self.election.elect(self.round_index, [int(i) for i in alive_ids])
         if self.tracer is not None:
             self.tracer.annotate(
                 now, "leach.round", index=self.round_index, heads=list(heads)
@@ -550,9 +626,7 @@ class VectorNetwork:
                     if nxt is None
                     else self.topology.distance(hd, nxt)
                 )
-            self.u_mean = (
-                self.uplink_budget.mean_snr_db(dist) + self._regime_offset
-            )
+            self.u_mean = self.uplink_budget.mean_snr_db(dist) + self._regime_offset
             z = self._up_rng.standard_normal((3, h))
             sigma = self.cfg.channel.shadowing_sigma_db
             self.u_sh = sigma * z[0] if sigma > 0 else np.zeros(h)
@@ -585,20 +659,28 @@ class VectorNetwork:
         mem = np.flatnonzero(member_mask)
         m = mem.size
         self.m_ids = mem
-        self.m_cl = np.empty(m, dtype=np.int64)
-        d = np.empty(m)
         head_pos = self.positions[self.heads]
-        chunk = 4096
-        for lo in range(0, m, chunk):
-            hi = min(lo + chunk, m)
-            # positions[cand] - positions[node], squared, summed, sqrt —
-            # the exact FP sequence of Topology.nearest, so argmin ties
-            # break identically (first occurrence = lowest head index).
-            diff = head_pos[None, :, :] - self.positions[mem[lo:hi], None, :]
-            row = np.sqrt((diff ** 2).sum(axis=2))
-            pick = np.argmin(row, axis=1)
-            self.m_cl[lo:hi] = pick
-            d[lo:hi] = row[np.arange(hi - lo), pick]
+        if m and h >= _KD_MIN_HEADS:
+            # Large head sets: the brute m x h distance matrix is the
+            # dominant phase of the whole run at N = 1e5 (~80% of wall
+            # time, see repro.vector.profile), so route through the
+            # KD-tree assignment — same picks and distances bit-for-bit.
+            self.m_cl, d = _nearest_heads_kd(self.positions[mem], head_pos)
+        else:
+            self.m_cl = np.empty(m, dtype=np.int64)
+            d = np.empty(m)
+            chunk = 4096
+            for lo in range(0, m, chunk):
+                hi = min(lo + chunk, m)
+                # positions[cand] - positions[node], squared, summed,
+                # sqrt — the exact FP sequence of Topology.nearest, so
+                # argmin ties break identically (first occurrence =
+                # earliest elected head).
+                diff = head_pos[None, :, :] - self.positions[mem[lo:hi], None, :]
+                row = np.sqrt((diff**2).sum(axis=2))
+                pick = np.argmin(row, axis=1)
+                self.m_cl[lo:hi] = pick
+                d[lo:hi] = row[np.arange(hi - lo), pick]
         self.m_mean = self.budget.mean_snr_db(d) + self._regime_offset
         z = self._chan_rng.standard_normal((3, m))
         sigma = self.cfg.channel.shadowing_sigma_db
@@ -670,15 +752,36 @@ class VectorNetwork:
         t1 = t0 + sdt
         self._charges = []
         up = self.up
+        prof = self._prof
+        if prof is None:
+            self._advance_channel(sdt)
+            acc = self._traffic_step(t0, sdt, up)
+            if self.cfg.protocol is Protocol.CAEM_ADAPTIVE:
+                self._policy_step(acc)
+            if self.heads.size:
+                self._mac_step(t0, t1)
+                if self.cfg.routing.enabled:
+                    self._uplink_step(t0, t1)
+            self._energy_settle(t0, sdt, up)
+            return
+        # Profiled variant: same calls, a perf_counter lap per phase.
+        prof.step()
+        w = time.perf_counter()
         self._advance_channel(sdt)
+        w = prof.lap("channel", w)
         acc = self._traffic_step(t0, sdt, up)
+        w = prof.lap("traffic", w)
         if self.cfg.protocol is Protocol.CAEM_ADAPTIVE:
             self._policy_step(acc)
+            w = prof.lap("policy", w)
         if self.heads.size:
             self._mac_step(t0, t1)
+            w = prof.lap("mac", w)
             if self.cfg.routing.enabled:
                 self._uplink_step(t0, t1)
+                w = prof.lap("uplink", w)
         self._energy_settle(t0, sdt, up)
+        prof.lap("energy", w)
 
     def _advance_channel(self, sdt: float) -> None:
         rho_s, sig_s, rho_f, sig_f = self._ar.coeffs(sdt)
@@ -698,16 +801,16 @@ class VectorNetwork:
             self.u_fy = rho_f * self.u_fy + sig_f * z[2]
 
     def _member_snr(self) -> np.ndarray:
-        power = self.m_fx ** 2 + self.m_fy ** 2
-        return self.m_mean + self.m_sh + 10.0 * np.log10(
-            np.maximum(power, 1e-300)
-        )
+        re = self._los + self._scatter * self.m_fx
+        im = self._scatter * self.m_fy
+        power = re**2 + im**2
+        return self.m_mean + self.m_sh + 10.0 * np.log10(np.maximum(power, 1e-300))
 
     def _uplink_snr(self) -> np.ndarray:
-        power = self.u_fx ** 2 + self.u_fy ** 2
-        return self.u_mean + self.u_sh + 10.0 * np.log10(
-            np.maximum(power, 1e-300)
-        )
+        re = self._los + self._scatter * self.u_fx
+        im = self._scatter * self.u_fy
+        power = re**2 + im**2
+        return self.u_mean + self.u_sh + 10.0 * np.log10(np.maximum(power, 1e-300))
 
     # -- traffic -------------------------------------------------------------
 
@@ -844,20 +947,43 @@ class VectorNetwork:
         mac = self.cfg.mac
         h = self.heads.size
         head_of = self.heads
+        ids = self.m_ids
+        # Step-invariant eligibility, hoisted out of the race loop:
+        # deaths and head outages land at the dynamics/energy barriers
+        # and class updates in the policy phase, so within one step only
+        # queue state and the cluster busy clocks move.  The working set
+        # also only shrinks (busy clocks are monotone within a step), so
+        # each sub-iteration re-evaluates the queues of a dwindling
+        # candidate list instead of the whole population.
+        base = self.attached[ids] & self.up[ids] & self.head_up[self.m_cl]
+        if self.gated:
+            base &= snr >= self.thr[self.cls[ids]]
+        rows = np.flatnonzero(base)
         for _ in range(_MAC_SUB_ITERS):
-            ids = self.m_ids
-            q = self.qlen[ids]
-            oldest = self.qbirth[ids, self.qstart[ids] % self.B]
+            if rows.size:
+                rows = rows[self.busy[self.m_cl[rows]] < t1]
+            if rows.size == 0:
+                break
+            nodes = ids[rows]
+            q = self.qlen[nodes]
+            oldest = self.qbirth[nodes, self.qstart[nodes] % self.B]
             ready = (q >= mac.min_burst_packets) | (
                 (q > 0) & (t1 - oldest >= mac.min_burst_wait_s)
             )
-            ready &= self.attached[ids] & self.up[ids] & self.head_up[self.m_cl]
-            ready &= self.busy[self.m_cl] < t1
-            if self.gated:
-                ready &= snr >= self.thr[self.cls[ids]]
-            cidx = np.flatnonzero(ready)
-            if cidx.size == 0:
+            ridx = rows[ready]
+            if ridx.size == 0:
                 break
+            # Pulse-eligibility flicker: a ready sensor only joins the
+            # race if it has accumulated the 8 ms sensing delay by the
+            # time the idle pulse fires — losers cancelled mid-backoff
+            # usually haven't and sit that pulse out.  Calibrated so the
+            # per-race collision probability matches the event kernel
+            # (without it every ready member races every sub-iteration
+            # and episodes over-count ~1.4x).
+            join = self._mac_rng.random(ridx.size) < _MAC_JOIN_P
+            cidx = ridx[join]
+            if cidx.size == 0:
+                continue
             cl = self.m_cl[cidx]
             u = self._mac_rng.random(cidx.size)
             dly = (
@@ -878,37 +1004,59 @@ class VectorNetwork:
             if sub.any():
                 np.minimum.at(d2, cl[sub], dly[sub])
             contested = winner >= 0
-            collide = contested.copy()
-            ci = np.flatnonzero(contested)
-            collide[ci] = d2[ci] - d1[ci] < self._blind_s
+            # Exact fine-structure: sorted-interval overlap inside the
+            # winner's startup blind window.  Every contender whose
+            # backoff expires before the winner's radio is audible keys
+            # up too — the collision is k-way, not pairwise.
+            in_window = dly < d1[cl] + self._blind_s
+            count = np.zeros(h, dtype=np.int64)
+            np.add.at(count, cl[in_window], 1)
+            collide = contested & (count >= 2)
             clean = contested & ~collide
             if collide.any():
-                runner = np.full(h, -1, dtype=np.int64)
-                order2 = np.argsort(-dly[sub], kind="stable")
-                sidx, scl = cidx[sub], cl[sub]
-                runner[scl[order2]] = sidx[order2]
+                coll = in_window & collide[cl]
                 self._mac_collide(
-                    np.flatnonzero(collide), winner, runner, d1, t0
+                    np.flatnonzero(collide),
+                    winner,
+                    cidx[coll],
+                    cl[coll],
+                    d1,
+                    d2,
+                    snr,
+                    t0,
                 )
             if clean.any():
-                self._mac_transmit(
-                    np.flatnonzero(clean), winner, d1, snr, t0, head_of
-                )
+                self._mac_transmit(np.flatnonzero(clean), winner, d1, snr, t0, head_of)
 
     def _mac_collide(
         self,
         cc: np.ndarray,
         winner: np.ndarray,
-        runner: np.ndarray,
+        rows: np.ndarray,
+        rcl: np.ndarray,
         d1: np.ndarray,
+        d2: np.ndarray,
+        snr: np.ndarray,
         t0: float,
     ) -> None:
+        """Resolve k-way collision episodes exactly.
+
+        ``cc`` are the collided cluster indices; ``rows``/``rcl`` name
+        every collider (member row, cluster) whose backoff landed inside
+        the winner's blind window.  The event kernel's fine structure,
+        reproduced here: the head's collision tone fires when the second
+        radio keys up, at which instant only the *winner* is audible
+        mid-transmission — it hears the tone, aborts, and is the one
+        sensor that counts a collision (``collisions_heard``).  The
+        later colliders are still in radio startup when the tone fires,
+        so they transmit their full burst corrupted, holding the channel
+        for the whole airtime.
+        """
         mac = self.cfg.mac
         coll_dur = self.cfg.tone.collision_duration_s
-        colliders = np.concatenate(
-            [self.m_ids[winner[cc]], self.m_ids[runner[cc]]]
-        )
-        self.collisions += 2 * cc.size
+        colliders = self.m_ids[rows]
+        w_nodes = self.m_ids[winner[cc]]
+        self.collisions += cc.size
         self.retry[colliders] += 1
         # Exhausted retry budgets shed one burst's worth of packets.
         exhausted = colliders[self.retry[colliders] > mac.max_retries]
@@ -918,7 +1066,8 @@ class VectorNetwork:
             self.qstart[exhausted] = (self.qstart[exhausted] + shed) % self.B
             self.qlen[exhausted] -= shed
             self.retry[exhausted] = 0
-        # Energy: both colliders key up and hear the collision tone.
+        # Energy: every collider keys up and paid the CSI classify
+        # listen before its backoff (mirrors the clean-attempt charge).
         nc = colliders.size
         self._charges.append(
             (
@@ -931,9 +1080,52 @@ class VectorNetwork:
             (
                 "tone_rx",
                 colliders,
-                np.full(nc, self.model.power_w("tone_rx") * coll_dur),
+                np.full(
+                    nc,
+                    self.model.power_w("tone_rx")
+                    * self.cfg.tone.sensing_delay_s,
+                ),
             )
         )
+        # The winner transmits until the tone fires (d2 - d1 into its
+        # burst), hears the 0.5 ms collision tone, and aborts.
+        self._charges.append(
+            (
+                "data_tx",
+                w_nodes,
+                self.model.power_w("data_tx") * (d2[cc] - d1[cc]),
+            )
+        )
+        self._charges.append(
+            (
+                "tone_rx",
+                w_nodes,
+                np.full(cc.size, self.model.power_w("tone_rx") * coll_dur),
+            )
+        )
+        # Runners never hear the tone: full corrupted-burst airtime at
+        # their own measured SNR's mode, channel held until the longest
+        # one drains.
+        is_win = rows == winner[rcl]
+        run_rows = rows[~is_win]
+        air_max = np.zeros(self.heads.size)
+        if run_rows.size:
+            run_cl = rcl[~is_win]
+            run_nodes = self.m_ids[run_rows]
+            b = np.minimum(self.qlen[run_nodes], mac.max_burst_packets)
+            mode = np.maximum(
+                np.searchsorted(self.thr, snr[run_rows], side="right") - 1,
+                0,
+            )
+            airtime = (b * self.bits + self.overhead_bits) / self.rates[mode]
+            np.maximum.at(air_max, run_cl, airtime)
+            self._charges.append(
+                (
+                    "data_tx",
+                    run_nodes,
+                    self.model.power_w("data_tx") * airtime,
+                )
+            )
         heads = self.heads[cc]
         self._charges.append(
             (
@@ -942,13 +1134,22 @@ class VectorNetwork:
                 np.full(cc.size, self.model.power_w("tone_tx") * coll_dur),
             )
         )
+        # Head data radio is in RX for the (corrupted) reception, like
+        # the event kernel's state-time metering.
+        self._charges.append(
+            (
+                "data_rx",
+                heads,
+                self.model.power_w("data_rx") * air_max[cc],
+            )
+        )
         entry = np.where(self.busy[cc] < t0, self._idle_entry_s, 0.0)
         self.busy[cc] = (
             np.maximum(self.busy[cc], t0)
             + entry
-            + d1[cc]
+            + d2[cc]
             + self._blind_s
-            + coll_dur
+            + air_max[cc]
         )
 
     def _mac_transmit(
@@ -971,12 +1172,7 @@ class VectorNetwork:
         mode = np.maximum(mode, 0)
         airtime = (b * self.bits + self.overhead_bits) / self.rates[mode]
         entry = np.where(self.busy[sc] < t0, self._idle_entry_s, 0.0)
-        start = (
-            np.maximum(self.busy[sc], t0)
-            + entry
-            + d1[sc]
-            + self._blind_s
-        )
+        start = np.maximum(self.busy[sc], t0) + entry + d1[sc] + self._blind_s
         end = start + airtime
         self.busy[sc] = end
         self.retry[nodes] = 0
@@ -1056,9 +1252,7 @@ class VectorNetwork:
         q = self.relay_q[c]
         b = min(len(q), self.cfg.routing.max_burst_packets)
         entries, self.relay_q[c] = q[:b], q[b:]
-        airtime = float(
-            (b * self.bits + self.overhead_bits) / self.rates[mode_u[c]]
-        )
+        airtime = float((b * self.bits + self.overhead_bits) / self.rates[mode_u[c]])
         self._charges.append(
             (
                 "uplink_tx",
@@ -1095,15 +1289,11 @@ class VectorNetwork:
         snr_u = self._uplink_snr()
         # In outage the relay still transmits at the most robust mode and
         # eats the PER (UplinkRelay: ``mode_for_snr(snr) or lowest``).
-        mode_u = np.maximum(
-            np.searchsorted(self.thr, snr_u, side="right") - 1, 0
-        )
+        mode_u = np.maximum(np.searchsorted(self.thr, snr_u, side="right") - 1, 0)
         rcfg = self.cfg.routing
         t = max(self._ubusy, t0)
         while t < t1:
-            elig = [
-                c for c in range(h) if self.head_up[c] and self.relay_q[c]
-            ]
+            elig = [c for c in range(h) if self.head_up[c] and self.relay_q[c]]
             if not elig:
                 break
             # Residual time until each backlogged relay's already-armed
@@ -1132,9 +1322,7 @@ class VectorNetwork:
             self.u_retry[c] = 0
             self._rr = c
             per = float(
-                self.pertab.per(
-                    np.asarray([mode_u[c]]), np.asarray([snr_u[c]])
-                )[0]
+                self.pertab.per(np.asarray([mode_u[c]]), np.asarray([snr_u[c]]))[0]
             )
             uu = self._up_rng.random(len(entries))
             nxt = int(self.next_hop[c])
@@ -1170,9 +1358,7 @@ class VectorNetwork:
                     (
                         "uplink_rx",
                         np.asarray([nh]),
-                        np.asarray(
-                            [self.model.power_w("uplink_rx") * airtime]
-                        ),
+                        np.asarray([self.model.power_w("uplink_rx") * airtime]),
                     )
                 )
                 keep_b, keep_h, keep_s = [], [], []
@@ -1208,7 +1394,22 @@ class VectorNetwork:
                     ),
                 )
             )
-        att = np.flatnonzero(self.attached & up)
+        # Tone-radio monitoring is paid only while the queue qualifies
+        # for channel access: the event MAC sends a sensor back to sleep
+        # the moment its buffer drops below the burst minimum
+        # (CaemSensorMac._consider_access -> _go_sleep), so idle-queue
+        # members spend the step at sleep power, not monitor power.
+        if self.m_ids.size:
+            mac = self.cfg.mac
+            ids = self.m_ids
+            q = self.qlen[ids]
+            oldest = self.qbirth[ids, self.qstart[ids] % self.B]
+            qual = (q >= mac.min_burst_packets) | (
+                (q > 0) & (t0 + sdt - oldest >= mac.min_burst_wait_s)
+            )
+            att = ids[qual & self.attached[ids] & up[ids]]
+        else:
+            att = np.empty(0, dtype=np.int64)
         if att.size:
             self._charges.append(
                 (
@@ -1230,9 +1431,7 @@ class VectorNetwork:
                     (
                         "ch_idle",
                         hd,
-                        np.full(
-                            hd.size, self.model.power_w("ch_idle") * sdt
-                        ),
+                        np.full(hd.size, self.model.power_w("ch_idle") * sdt),
                     )
                 )
                 self._charges.append(
@@ -1293,6 +1492,14 @@ def simulate_vector(cfg: NetworkConfig, options=None, tracer=None):
     wall_start = time.perf_counter()
     net = VectorNetwork(cfg, opts, tracer=tracer)
     elapsed = net.run()
+    if net._prof is not None:
+        net._prof.dump(
+            opts.profile_rounds,
+            n_nodes=cfg.n_nodes,
+            seed=cfg.seed,
+            backend="vector",
+            horizon_s=opts.horizon_s,
+        )
 
     result = RunResult(
         protocol=cfg.protocol.value,
@@ -1312,9 +1519,7 @@ def simulate_vector(cfg: NetworkConfig, options=None, tracer=None):
     if net._tr_up is not None:
         result.up_counts = [int(v) for v in rec.series[net._tr_up]]
 
-    deaths = [
-        None if math.isnan(t) else float(t) for t in net.death_time
-    ]
+    deaths = [None if math.isnan(t) else float(t) for t in net.death_time]
     result.death_times_s = deaths
     result.lifetime_s = network_lifetime_s(deaths, cfg.n_nodes, cfg.dead_fraction)
     result.first_death_s = first_death_s(deaths)

@@ -23,6 +23,7 @@ for the CI backend-parity gate (``python -m repro.vector.equivalence
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Dict, List, Optional, Tuple
 
@@ -81,6 +82,14 @@ STAT_BANDS: Dict[str, Tuple] = {
     "total_consumed_j": ("ratio", 0.75, 1.30),
     "mean_delay_s": ("ratio", 0.40, 2.50),
     "generated": ("ratio", 0.85, 1.18),
+    # Collision-episode parity: the vector MAC's exact fine-structure
+    # pass (k-way sorted-interval overlap in the startup blind window,
+    # one tone heard per episode, corrupted-burst channel hold) lands at
+    # 0.88-1.27x the event kernel's collisions_heard across all five
+    # scenarios x seeds {3,4,5} x N {50,200}; the band flags both the
+    # old pairwise double-count (2.5-3.0x) and a broken busy-clock
+    # model (episodes collapsing toward 0).
+    "collisions": ("ratio", 0.55, 1.70),
 }
 
 #: Per-packet bands are skipped when *both* backends delivered fewer
@@ -91,27 +100,36 @@ STAT_BANDS: Dict[str, Tuple] = {
 SPARSE_DELIVERED = 50
 SPARSE_SKIP = ("throughput_bps", "mean_delay_s")
 
-SCENARIOS = ("static", "uplink", "dynamics")
+SCENARIOS = ("static", "uplink", "dynamics", "jakes", "rician")
 
 
 def scenario_config(name: str, n_nodes: int, seed: int = 3) -> NetworkConfig:
-    """One of the three canonical comparison scenarios at size ``n_nodes``.
+    """One of the canonical comparison scenarios at size ``n_nodes``.
 
     The field grows with sqrt(N) (constant density), matching the
     ``ext-scale`` experiment, so cluster geometry — and with it the SNR
-    operating point — is size-invariant.
+    operating point — is size-invariant.  ``jakes`` and ``rician`` are
+    the static scenario on the Jakes-Doppler kernel and a K=4 Rician
+    channel respectively — the fading-kernel half of the CI parity
+    matrix.
     """
     field = 100.0 * (n_nodes / 100.0) ** 0.5
     cfg = NetworkConfig(n_nodes=n_nodes, field_size_m=field, seed=seed)
     if name == "static":
         return cfg
+    if name == "jakes":
+        return dataclasses.replace(
+            cfg, channel=dataclasses.replace(cfg.channel, fading_kernel="jakes")
+        )
+    if name == "rician":
+        return dataclasses.replace(
+            cfg, channel=dataclasses.replace(cfg.channel, rician_k=4.0)
+        )
     if name == "uplink":
         # Lighter load keeps the run out of the head-death cascade
         # regime, where delivery becomes chaotically sensitive to death
         # *times* (statistical on both backends) and no band is stable.
-        return cfg.with_routing(mode="multihop").with_traffic(
-            packets_per_second=2.0
-        )
+        return cfg.with_routing(mode="multihop").with_traffic(packets_per_second=2.0)
     if name == "dynamics":
         return cfg.with_dynamics(
             failure_rate_hz=0.005,
@@ -126,9 +144,7 @@ def scenario_config(name: str, n_nodes: int, seed: int = 3) -> NetworkConfig:
 
 def default_options() -> RunOptions:
     """The harness observation window (mirrors ``ext-scale``)."""
-    return RunOptions(
-        horizon_s=40.0, sample_interval_s=5.0, max_series_samples=64
-    )
+    return RunOptions(horizon_s=40.0, sample_interval_s=5.0, max_series_samples=64)
 
 
 def _death_free(result) -> bool:
@@ -164,9 +180,7 @@ def compare_backends(
         if getattr(ev, field) != getattr(vec, field):
             mismatches.append(field)
 
-    sparse = (
-        ev.delivered < SPARSE_DELIVERED and vec.delivered < SPARSE_DELIVERED
-    )
+    sparse = ev.delivered < SPARSE_DELIVERED and vec.delivered < SPARSE_DELIVERED
     stat_failures: List[str] = []
     stats: Dict[str, Tuple] = {}
     for field, band in STAT_BANDS.items():
@@ -208,20 +222,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Diff the event and vector backends (CI parity gate).",
     )
     parser.add_argument(
-        "--nodes", type=int, nargs="+", default=[200],
+        "--nodes",
+        type=int,
+        nargs="+",
+        default=[200],
         help="population sizes to compare (default: 200)",
     )
     parser.add_argument(
-        "--seeds", type=int, nargs="+", default=[3],
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[3],
         help="seeds per size (default: 3)",
     )
     parser.add_argument(
-        "--scenarios", nargs="+", default=list(SCENARIOS),
+        "--scenarios",
+        nargs="+",
+        default=list(SCENARIOS),
         choices=list(SCENARIOS),
-        help="scenarios to run (default: all three)",
+        help="scenarios to run (default: all five)",
     )
     parser.add_argument(
-        "--stats-strict", action="store_true",
+        "--stats-strict",
+        action="store_true",
         help="fail (exit 1) on statistical-band misses too, not just golden",
     )
     args = parser.parse_args(argv)
@@ -231,9 +254,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         for seed in args.seeds:
             for scenario in args.scenarios:
                 report = compare_backends(scenario, n, seed)
-                speedup = report["event_wall_s"] / max(
-                    report["vector_wall_s"], 1e-9
-                )
+                speedup = report["event_wall_s"] / max(report["vector_wall_s"], 1e-9)
                 status = "ok"
                 if report["golden_mismatches"]:
                     status = "GOLDEN MISMATCH"

@@ -13,6 +13,7 @@ import math
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+from scipy.special import j0
 
 __all__ = [
     "ArStep",
@@ -25,17 +26,31 @@ __all__ = [
 class ArStep:
     """Memoized AR(1) step coefficients for one correlation time.
 
-    Mirrors the per-``dt`` arithmetic of :class:`repro.channel.link.Link`:
-    ``rho = exp(-dt/tau)`` with innovation std scaled so the process stays
-    stationary.  Shadowing innovations carry ``sigma`` (dB); each fading
+    Mirrors the per-``dt`` arithmetic of
+    :class:`repro.channel.fading.RayleighFading`: the fading
+    autocorrelation is ``rho = exp(-dt/tau)`` for the exponential
+    (Gauss-Markov) kernel or ``rho = J0(2*pi*f_d*dt)`` with
+    ``f_d = 0.423/tau`` for Jakes/Clarke Doppler, with innovation std
+    scaled so the process stays stationary.  Shadowing innovations carry
+    ``sigma`` (dB) and are always exponential-kernel; each fading
     quadrature carries ``sqrt(0.5)`` so the complex envelope has unit
     power.
     """
 
-    def __init__(self, shadow_sigma_db: float, shadow_tau_s: float, fading_tau_s: float):
+    def __init__(
+        self,
+        shadow_sigma_db: float,
+        shadow_tau_s: float,
+        fading_tau_s: float,
+        fading_kernel: str = "exponential",
+    ):
         self.sigma = float(shadow_sigma_db)
         self.shadow_tau = float(shadow_tau_s)
         self.fading_tau = float(fading_tau_s)
+        self.kernel = fading_kernel
+        # Jakes: classic coherence-time relation T_c ~= 0.423 / f_d
+        # (identical constant to RayleighFading._doppler_hz).
+        self._doppler_hz = 0.423 / self.fading_tau if self.fading_tau > 0.0 else 0.0
         self._cache: dict = {}
 
     def coeffs(self, dt: float) -> Tuple[float, float, float, float]:
@@ -48,7 +63,12 @@ class ArStep:
             sig_s = self.sigma * math.sqrt(max(0.0, 1.0 - rho_s * rho_s))
         else:
             rho_s, sig_s = 1.0, 0.0
-        rho_f = math.exp(-dt / self.fading_tau) if self.fading_tau > 0.0 else 0.0
+        if self.fading_tau <= 0.0:
+            rho_f = 0.0
+        elif self.kernel == "jakes":
+            rho_f = float(j0(2.0 * math.pi * self._doppler_hz * dt))
+        else:
+            rho_f = math.exp(-dt / self.fading_tau)
         sig_f = math.sqrt(max(0.0, 1.0 - rho_f * rho_f)) * math.sqrt(0.5)
         out = (rho_s, sig_s, rho_f, sig_f)
         self._cache[dt] = out
@@ -164,7 +184,8 @@ class BatchReservoir:
             # j ~ Uniform{0..seen+i} for the i-th remaining value; keep
             # when j lands inside the reservoir — chunked Algorithm R.
             base = self.seen + fill
-            j = (self.rng.random(rest.size) * (base + 1 + np.arange(rest.size))).astype(np.int64)
+            span = base + 1 + np.arange(rest.size)
+            j = (self.rng.random(rest.size) * span).astype(np.int64)
             hit = j < cap
             if hit.any():
                 self._buf[j[hit]] = rest[hit]

@@ -1,12 +1,15 @@
 """Backend eligibility and selection — importable without numpy.
 
-The vector engine supports a subset of the channel model (the paper's
-Rayleigh/exponential configuration); anything outside it must run on the
-event kernel.  This module is the single source of truth for that refuse
-list — :func:`vector_refusal` — and for resolving the ``"auto"`` backend
-choice (:func:`resolve_backend`), kept dependency-light so the config
-layer can consult it during serialisation without dragging in the
-numpy-heavy engine.
+The vector engine covers the full channel envelope — exponential
+(Gauss-Markov) and Jakes-Doppler fading kernels, Rayleigh and Rician
+K>0 envelopes — so the refuse list (:func:`vector_refusal`) is
+currently empty.  The function remains the single source of truth for
+backend eligibility: any future config axis the engine cannot vectorise
+gets its reason added here, and both the engine's constructor guard and
+the ``"auto"`` resolver (:func:`resolve_backend`) pick it up without
+further plumbing.  Kept dependency-light so the config layer can
+consult it during serialisation without dragging in the numpy-heavy
+engine.
 """
 
 from __future__ import annotations
@@ -25,21 +28,17 @@ AUTO_VECTOR_MIN_NODES = 1000
 def vector_refusal(cfg) -> Optional[str]:
     """Why ``cfg`` cannot run on the vector engine, or ``None`` if it can.
 
-    The refuse list mirrors the engine's support envelope: only the
-    exponential (Gauss-Markov) fading kernel and pure Rayleigh fading
-    (``rician_k == 0``) are vectorised.  Returns a human-readable reason
-    suitable for a :class:`~repro.errors.ConfigError` message.
+    The refuse list mirrors the engine's support envelope.  Since the
+    Jakes kernel and Rician K>0 were vectorised (batched AR(1) Doppler
+    bridge and LOS/scatter mixing, held to the same equivalence bands as
+    the exponential-Rayleigh model by :mod:`repro.vector.equivalence`),
+    every channel configuration is supported and this returns ``None``
+    unconditionally.  It stays in the call path so a future unsupported
+    axis only needs a reason string here; return values must be
+    human-readable and suitable for a :class:`~repro.errors.ConfigError`
+    message.
     """
-    if cfg.channel.fading_kernel != "exponential":
-        return (
-            "vector backend supports the exponential fading kernel only "
-            f"(got {cfg.channel.fading_kernel!r}); use backend='event'"
-        )
-    if cfg.channel.rician_k != 0.0:
-        return (
-            "vector backend supports Rayleigh fading only "
-            f"(rician_k={cfg.channel.rician_k!r}); use backend='event'"
-        )
+    del cfg  # every channel configuration is currently vectorised
     return None
 
 
@@ -49,10 +48,11 @@ def resolve_backend(cfg) -> str:
     Explicit choices pass through; ``"auto"`` picks the vector engine
     exactly when the population is large enough to benefit
     (:data:`AUTO_VECTOR_MIN_NODES`) *and* nothing on the refuse list
-    applies — a Jakes-fading or Rician-K config always resolves to the
-    event kernel, never to an engine that would refuse it.  A pure
-    function of the config, so auto-selection is deterministic and safe
-    to consult from :meth:`~repro.config.NetworkConfig.to_dict`.
+    applies — with the refuse list empty, that means every channel
+    model (exponential/Jakes, Rayleigh/Rician) rides the vector engine
+    at population scale.  A pure function of the config, so
+    auto-selection is deterministic and safe to consult from
+    :meth:`~repro.config.NetworkConfig.to_dict`.
     """
     backend = cfg.scale.backend
     if backend != "auto":

@@ -1,10 +1,12 @@
 """``backend="auto"`` — engine selection as a pure function of config.
 
 Auto must (a) pick the vector engine only for populations large enough
-to benefit, (b) *never* pick it for a channel on the refuse list (Jakes
-fading, Rician K > 0) — resolving to an engine that would refuse the
-config is a bug by definition — and (c) resolve before digesting, so an
-auto config pairs/caches identically to its explicit equivalent.
+to benefit, (b) route *every* channel model there at scale now that the
+refuse list is empty (Jakes fading and Rician K > 0 are vectorised and
+equivalence-checked), and (c) resolve before digesting, so an auto
+config pairs/caches identically to its explicit equivalent — and runs
+stored before the envelope closed still re-render from their stores
+without re-simulation.
 """
 
 import dataclasses
@@ -43,26 +45,33 @@ class TestResolution:
     def test_explicit_backends_pass_through(self):
         assert resolve_backend(_cfg(10, backend="event")) == "event"
         assert resolve_backend(_cfg(5000, backend="vector")) == "vector"
-        # Pass-through is unconditional: an explicit (unsupported) choice
-        # is the engine's ConfigError to raise, not ours to silently fix.
         assert resolve_backend(
             _cfg(10, backend="vector", fading_kernel="jakes")
         ) == "vector"
 
-    def test_auto_never_selects_vector_for_jakes(self):
-        for n in (100, AUTO_VECTOR_MIN_NODES, 100_000):
+    def test_auto_selects_vector_for_jakes_at_scale(self):
+        # Flipped when the Jakes AR(1)-Doppler bridge was vectorised:
+        # the kernel no longer keeps a large population on the event
+        # engine.
+        for n in (AUTO_VECTOR_MIN_NODES, 100_000):
             cfg = _cfg(n, fading_kernel="jakes")
-            assert vector_refusal(cfg) is not None
-            assert resolve_backend(cfg) == "event"
+            assert vector_refusal(cfg) is None
+            assert resolve_backend(cfg) == "vector"
+        assert resolve_backend(_cfg(100, fading_kernel="jakes")) == "event"
 
-    def test_auto_never_selects_vector_for_rician(self):
+    def test_auto_selects_vector_for_rician_at_scale(self):
         for k in (0.5, 4.0, 10.0):
             cfg = _cfg(100_000, rician_k=k)
-            assert vector_refusal(cfg) is not None
-            assert resolve_backend(cfg) == "event"
+            assert vector_refusal(cfg) is None
+            assert resolve_backend(cfg) == "vector"
+        assert resolve_backend(_cfg(100, rician_k=4.0)) == "event"
 
-    def test_rayleigh_exponential_has_no_refusal(self):
+    def test_refuse_list_is_empty(self):
+        # The whole channel envelope is supported; any future refusal
+        # reason re-enters through vector_refusal, not ad-hoc checks.
         assert vector_refusal(_cfg(100)) is None
+        assert vector_refusal(_cfg(100, fading_kernel="jakes")) is None
+        assert vector_refusal(_cfg(100, rician_k=10.0)) is None
 
 
 class TestDigestTransparency:
@@ -73,10 +82,19 @@ class TestDigestTransparency:
         ).digest()
         small = _cfg(100)
         assert small.digest() == _cfg(100, backend="event").digest()
-        # Refused channel: auto == event even at population scale.
-        jakes = _cfg(100_000, fading_kernel="jakes")
-        explicit = _cfg(100_000, backend="event", fading_kernel="jakes")
-        assert jakes.digest() == explicit.digest()
+
+    def test_fading_kernels_digest_like_explicit_vector(self):
+        # Jakes/Rician at scale now resolve to vector, so their auto
+        # digests moved from the event equivalent to the vector one.
+        for channel in (
+            {"fading_kernel": "jakes"},
+            {"rician_k": 4.0},
+        ):
+            auto = _cfg(100_000, **channel)
+            vector = _cfg(100_000, backend="vector", **channel)
+            event = _cfg(100_000, backend="event", **channel)
+            assert auto.digest() == vector.digest()
+            assert auto.digest() != event.digest()
 
     def test_to_dict_never_serialises_auto(self):
         big = _cfg(AUTO_VECTOR_MIN_NODES).to_dict()
@@ -103,6 +121,20 @@ class TestDispatch:
         explicit = simulate(_cfg(20, backend="vector"), opts)
         monkeypatch.setattr(support, "AUTO_VECTOR_MIN_NODES", 20)
         auto = simulate(_cfg(20), opts)
+        da, db = auto.to_dict(), explicit.to_dict()
+        da.pop("wall_time_s"), db.pop("wall_time_s")
+        assert da == db
+
+    def test_auto_dispatches_jakes_to_vector(self, monkeypatch):
+        from repro.api import RunOptions, simulate
+        from repro.vector import support
+
+        opts = RunOptions(horizon_s=5.0, sample_interval_s=2.5)
+        explicit = simulate(
+            _cfg(20, backend="vector", fading_kernel="jakes"), opts
+        )
+        monkeypatch.setattr(support, "AUTO_VECTOR_MIN_NODES", 20)
+        auto = simulate(_cfg(20, fading_kernel="jakes"), opts)
         da, db = auto.to_dict(), explicit.to_dict()
         da.pop("wall_time_s"), db.pop("wall_time_s")
         assert da == db
@@ -137,3 +169,27 @@ class TestDispatch:
         assert resolve_backend(cfg) == "vector"
         small = scale_config(30, Protocol.PURE_LEACH, backend="auto")
         assert resolve_backend(small) == "event"
+
+
+class TestStoredRunCompatibility:
+    def test_event_backend_store_re_renders_without_resimulation(
+        self, tmp_path, capsys
+    ):
+        """Runs stored before the envelope closed (explicit event
+        backend, any channel) still re-render from ``--from`` — the
+        pairing key carries the resolved backend, so widening auto's
+        reach never orphans old rows."""
+        from repro.api import get_experiment
+        from repro.service import open_store
+
+        store = open_store(tmp_path / "old.jsonl")
+        figure = get_experiment("ext-scale").run(
+            preset="smoke", seeds=(1,), backend="event"
+        )
+        store.extend(figure.runs)
+
+        rendered = get_experiment("ext-scale").run(
+            preset="smoke", seeds=(1,), backend="event",
+            runs=store.load(),
+        )
+        assert rendered.rows == figure.rows

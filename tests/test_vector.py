@@ -4,19 +4,21 @@ The contract under test is the one :mod:`repro.vector.equivalence`
 formalises — golden ``RunResult`` fields (run identity, sampling
 timeline, RNG-driven placement/election/dynamics replay, death
 bookkeeping on death-free runs) are *equal*; per-packet statistics agree
-within calibrated bands.  Tier-1 covers N in {50, 200} across all three
-canonical scenarios; the N=1000 golden sweep and the N=5000 statistical
-check run under ``-m slow``.
+within calibrated bands.  Tier-1 covers N in {50, 200} across all five
+canonical scenarios (static/uplink/dynamics plus the Jakes-Doppler and
+Rician K=4 fading kernels); the N=1000 golden sweep and the N=5000
+statistical check run under ``-m slow``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
 
 import pytest
 
 from repro.config import NetworkConfig
-from repro.errors import ConfigError, ExperimentError
+from repro.errors import ExperimentError
 from repro.vector.equivalence import (
     SCENARIOS,
     STAT_BANDS,
@@ -97,8 +99,11 @@ class TestBackendSelection:
         (back,) = store.load()
         assert back.to_dict() == run.to_dict()
 
-    def test_unsupported_channel_refused(self):
+    def test_full_channel_envelope_accepted(self):
+        # The refuse list is empty: Jakes and Rician K>0 run on the
+        # vector engine directly (they used to raise ConfigError).
         from repro.api import RunOptions, simulate
+        from repro.vector.support import vector_refusal
 
         base = NetworkConfig(n_nodes=10, seed=1).with_scale(backend="vector")
         jakes = dataclasses.replace(
@@ -106,13 +111,15 @@ class TestBackendSelection:
                 base.channel, fading_kernel="jakes"
             )
         )
-        with pytest.raises(ConfigError):
-            simulate(jakes, RunOptions(horizon_s=1.0, sample_interval_s=0.5))
         rician = dataclasses.replace(
             base, channel=dataclasses.replace(base.channel, rician_k=4.0)
         )
-        with pytest.raises(ConfigError):
-            simulate(rician, RunOptions(horizon_s=1.0, sample_interval_s=0.5))
+        opts = RunOptions(horizon_s=1.0, sample_interval_s=0.5)
+        for cfg in (jakes, rician):
+            assert vector_refusal(cfg) is None
+            run = simulate(cfg, opts)
+            assert run.n_nodes == 10
+            assert run.generated > 0
 
     def test_ext_scale_rejects_unknown_backend(self):
         from repro.api import get_experiment
@@ -131,6 +138,128 @@ class TestBackendSelection:
         )
         assert "backend=vector" in figure.notes
         assert all(row[3] is not None for row in figure.rows)  # delivery
+
+
+class TestKdMembership:
+    """The KD-tree nearest-head path must equal the brute row bit-for-bit."""
+
+    @staticmethod
+    def _brute(mem_pos, head_pos):
+        import numpy as np
+
+        diff = head_pos[None, :, :] - mem_pos[:, None, :]
+        row = np.sqrt((diff ** 2).sum(axis=2))
+        pick = np.argmin(row, axis=1)
+        return pick.astype(np.int64), row[
+            np.arange(mem_pos.shape[0]), pick
+        ]
+
+    def test_uniform_placement_matches_brute(self):
+        import numpy as np
+
+        from repro.vector.engine import _nearest_heads_kd
+
+        rng = np.random.default_rng(11)
+        head_pos = rng.uniform(0.0, 500.0, size=(300, 2))
+        mem_pos = rng.uniform(0.0, 500.0, size=(4000, 2))
+        pk, dk = _nearest_heads_kd(mem_pos, head_pos)
+        pb, db = self._brute(mem_pos, head_pos)
+        assert (pk == pb).all()
+        assert (dk == db).all()
+
+    def test_lattice_ties_match_brute(self):
+        # Grid placements produce exact float ties (a member at a cell
+        # centre is equidistant to four heads; distance 0 when it sits
+        # on one) — the fallback must keep first-occurrence tie order.
+        import numpy as np
+
+        from repro.vector.engine import _nearest_heads_kd
+
+        rng = np.random.default_rng(5)
+        gx, gy = np.meshgrid(
+            np.arange(15, dtype=float), np.arange(15, dtype=float)
+        )
+        head_pos = np.column_stack([gx.ravel(), gy.ravel()])
+        rng.shuffle(head_pos)
+        mem_pos = np.concatenate([
+            head_pos[:60] + 0.5,   # 4-way ties at cell centres
+            head_pos[:30],         # distance-0 ties
+            rng.uniform(0.0, 14.0, size=(200, 2)),
+        ])
+        pk, dk = _nearest_heads_kd(mem_pos, head_pos)
+        pb, db = self._brute(mem_pos, head_pos)
+        assert (pk == pb).all()
+        assert (dk == db).all()
+
+    def test_engine_paths_agree_end_to_end(self):
+        # Force both membership paths through a full run: identical
+        # RunResult either way (the KD threshold only picks the faster
+        # of two bit-equal implementations).
+        import repro.vector.engine as eng
+        from repro.api import RunOptions, simulate
+
+        cfg = scenario_config("static", 400, seed=4).with_scale(
+            backend="vector"
+        )
+        opts = RunOptions(horizon_s=10.0, sample_interval_s=5.0)
+        old = eng._KD_MIN_HEADS
+        try:
+            eng._KD_MIN_HEADS = 10 ** 9
+            brute = simulate(cfg, opts).to_dict()
+            eng._KD_MIN_HEADS = 1
+            kd = simulate(cfg, opts).to_dict()
+        finally:
+            eng._KD_MIN_HEADS = old
+        brute.pop("wall_time_s")
+        kd.pop("wall_time_s")
+        assert brute == kd
+
+
+class TestRoundProfiling:
+    def test_profile_rounds_writes_timeline(self, tmp_path):
+        from repro.api import RunOptions, simulate
+
+        path = tmp_path / "rounds.json"
+        cfg = scenario_config("static", 60, seed=3).with_scale(
+            backend="vector"
+        )
+        opts = RunOptions(
+            horizon_s=40.0, sample_interval_s=5.0,
+            profile_rounds=str(path),
+        )
+        run = simulate(cfg, opts)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "profile_rounds/v1"
+        assert doc["n_nodes"] == 60
+        assert doc["steps"] == run.events_processed
+        assert doc["rounds"] == len(doc["timeline"])
+        # Every per-step phase shows up in the totals, and the timeline
+        # rows carry the same keys.
+        for phase in ("membership", "channel", "traffic", "mac", "energy"):
+            assert phase in doc["phase_totals_s"]
+        # A round that forms exactly at the horizon records its
+        # membership cost with zero steps; every earlier round stepped.
+        assert all(r["steps"] > 0 for r in doc["timeline"][:-1])
+
+    def test_profiling_is_observational(self, tmp_path):
+        from repro.api import RunOptions, simulate
+
+        cfg = scenario_config("static", 60, seed=3).with_scale(
+            backend="vector"
+        )
+        plain = simulate(
+            cfg, RunOptions(horizon_s=10.0, sample_interval_s=5.0)
+        ).to_dict()
+        profiled = simulate(
+            cfg,
+            RunOptions(
+                horizon_s=10.0, sample_interval_s=5.0,
+                profile_rounds=str(tmp_path / "p.json"),
+            ),
+        ).to_dict()
+        plain.pop("wall_time_s")
+        profiled.pop("wall_time_s")
+        assert plain == profiled
 
 
 class TestHarnessCli:
