@@ -36,11 +36,14 @@ from .campaign import (
     CampaignIncompleteError,
     CampaignResult,
     CellFailure,
+    ExecutorSpec,
     SupervisorConfig,
+    active_executor,
     active_run_cache,
     active_supervisor,
     default_jobs,
     run_scenarios,
+    use_executor,
     use_run_cache,
     use_supervisor,
 )
@@ -62,12 +65,14 @@ __all__ = [
     "CampaignIncompleteError",
     "CampaignResult",
     "CellFailure",
+    "ExecutorSpec",
     "ExperimentSpec",
     "ResultStore",
     "RunOptions",
     "RunResult",
     "Scenario",
     "SupervisorConfig",
+    "active_executor",
     "active_run_cache",
     "active_supervisor",
     "default_jobs",
@@ -77,6 +82,7 @@ __all__ = [
     "run_bench",
     "run_scenarios",
     "simulate",
+    "use_executor",
     "use_run_cache",
     "use_supervisor",
 ]

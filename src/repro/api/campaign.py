@@ -2,13 +2,16 @@
 
 A :class:`Campaign` turns one template :class:`~repro.api.Scenario` plus a
 set of axes (protocol × load × seed × any config field) into an ordered
-work list, and runs it through a pluggable executor — in-process serial or
-a :class:`~concurrent.futures.ProcessPoolExecutor` fan-out (``jobs=N``).
+work list, and runs it through a pluggable executor — anything an
+:class:`~repro.exec.ExecutorSpec` can name: in-process serial, a
+process-pool fan-out, the fault-tolerant supervised executor, or the
+multi-host distributed backend.
 
 Because every work item is fully specified by its frozen scenario (all
 randomness derives from ``config.seed``), the results are **bit-identical
-at any parallelism**: ``jobs=4`` returns exactly what ``jobs=1`` returns,
-in the same order, only faster.
+at any parallelism**: ``executor="pool:4"`` returns exactly what serial
+returns, in the same order, only faster — and the distributed executor
+returns the same bytes again, whatever set of workers ran the cells.
 
 >>> from repro.api import Campaign, Scenario
 >>> from repro.config import Protocol
@@ -18,7 +21,15 @@ in the same order, only faster.
 ...         .seeds([1, 2]))
 >>> len(camp)
 8
->>> result = camp.run(jobs=4)  # doctest: +SKIP
+>>> result = camp.run(executor="pool:4")  # doctest: +SKIP
+
+The legacy spellings (``jobs=N``, ``supervise=SupervisorConfig(...)``)
+remain first-class: they are mapped onto the equivalent spec by
+:meth:`~repro.exec.ExecutorSpec.from_legacy` and are pinned equivalent
+by tests.  The execution machinery itself lives in :mod:`repro.exec`;
+this module re-exports the historical names (``SupervisorConfig``,
+``CellFailure``, ``CampaignIncompleteError``) so existing imports keep
+working.
 """
 
 from __future__ import annotations
@@ -26,13 +37,8 @@ from __future__ import annotations
 import contextlib
 import contextvars
 import dataclasses
-import heapq
 import itertools
 import os
-import random
-import time
-from collections import deque
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field as dc_field
 from typing import (
     Any,
@@ -47,6 +53,22 @@ from typing import (
 
 from ..config import NetworkConfig, Protocol
 from ..errors import ExperimentError
+from ..exec.base import (
+    CampaignExecutor,
+    CampaignIncompleteError,
+    CellFailure,
+    ExecutionHooks,
+    get_executor,
+)
+# _execute / _supervised_child / _consult_worker_faults were private
+# here before the machinery moved to repro.exec; keep them resolvable.
+from ..exec.local import execute_scenario as _execute  # noqa: F401
+from ..exec.spec import ExecutorSpec, active_executor, use_executor
+from ..exec.supervised import (  # noqa: F401
+    SupervisorConfig,
+    _supervised_child,
+    consult_worker_faults as _consult_worker_faults,
+)
 from .result import RunResult
 from .scenario import Scenario, _SECTIONS
 
@@ -55,6 +77,7 @@ __all__ = [
     "CampaignResult",
     "CampaignIncompleteError",
     "CellFailure",
+    "ExecutorSpec",
     "SupervisorConfig",
     "run_scenarios",
     "default_jobs",
@@ -62,6 +85,8 @@ __all__ = [
     "active_run_cache",
     "use_supervisor",
     "active_supervisor",
+    "use_executor",
+    "active_executor",
     "NO_CACHE",
 ]
 
@@ -106,59 +131,6 @@ _ACTIVE_SUPERVISOR: contextvars.ContextVar = contextvars.ContextVar(
 )
 
 
-@dataclass(frozen=True)
-class SupervisorConfig:
-    """Fault-tolerant execution policy for :func:`run_scenarios`.
-
-    When a supervisor is active, every grid cell runs in its **own
-    worker process** under a wall-clock watchdog: a worker that crashes
-    (any hard death — segfault, OOM kill, injected ``os._exit``), raises,
-    or exceeds ``cell_timeout_s`` is retried with capped exponential
-    backoff (+deterministic jitter, so tests replay exactly), up to
-    ``max_attempts`` total attempts.  A cell that exhausts its attempts
-    is *quarantined*: recorded (with its traceback) in the campaign
-    manifest when one is attached, and either reported via
-    :class:`CampaignIncompleteError` (the default) or returned as a
-    ``None`` slot when ``allow_partial`` — never silently dropped,
-    never an infinite hang.
-    """
-
-    #: Per-cell wall-clock watchdog; ``None`` = no timeout.
-    cell_timeout_s: Optional[float] = None
-    #: Total attempts per cell (first try + retries).
-    max_attempts: int = 3
-    #: First retry delay; doubles per retry up to :attr:`backoff_cap_s`.
-    backoff_base_s: float = 0.25
-    backoff_cap_s: float = 8.0
-    #: Seed for the deterministic backoff jitter.
-    seed: int = 0
-    #: Return ``None`` slots for quarantined cells instead of raising.
-    allow_partial: bool = False
-
-    def __post_init__(self) -> None:
-        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
-            raise ExperimentError("cell_timeout_s must be > 0 (or None)")
-        if self.max_attempts < 1:
-            raise ExperimentError("max_attempts must be >= 1")
-        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
-            raise ExperimentError("backoff delays must be >= 0")
-
-    def backoff_delay(self, index: int, attempt: int) -> float:
-        """The deterministic retry delay after ``attempt`` failed.
-
-        Capped exponential with jitter in [50%, 100%] of the nominal
-        delay; a pure function of ``(seed, index, attempt)`` so recovery
-        schedules replay identically in tests.
-        """
-        nominal = min(
-            self.backoff_cap_s, self.backoff_base_s * (2 ** (attempt - 1))
-        )
-        rng = random.Random(
-            self.seed * 1_000_003 + index * 10_007 + attempt
-        )
-        return nominal * (0.5 + rng.random() / 2)
-
-
 @contextlib.contextmanager
 def use_supervisor(config: SupervisorConfig):
     """Route every :func:`run_scenarios` call in this context through the
@@ -167,6 +139,10 @@ def use_supervisor(config: SupervisorConfig):
     the campaign server install one of these, so registered experiments
     gain crash recovery without signature changes — the same ambient
     pattern as :func:`use_run_cache`.
+
+    Legacy shim: equivalent to ``use_executor(ExecutorSpec.from_legacy(
+    supervise=config))`` except that the caller's ``jobs`` argument still
+    selects the worker-process concurrency.
     """
     token = _ACTIVE_SUPERVISOR.set(config)
     try:
@@ -180,58 +156,6 @@ def active_supervisor() -> Optional[SupervisorConfig]:
     return _ACTIVE_SUPERVISOR.get()
 
 
-@dataclass
-class CellFailure:
-    """One quarantined grid cell: where, how often, and why it failed."""
-
-    index: int
-    scenario: Scenario
-    attempts: int
-    error: str
-
-    def describe(self) -> str:
-        tail = self.error.strip().splitlines()
-        reason = tail[-1] if tail else "unknown failure"
-        return (
-            f"cell {self.index} ({self.scenario.describe()}): quarantined "
-            f"after {self.attempts} attempts — {reason}"
-        )
-
-
-class CampaignIncompleteError(ExperimentError):
-    """A supervised campaign finished with quarantined cells.
-
-    Raised instead of returning a silent partial result: every completed
-    cell was already persisted to the attached store, so fixing the
-    cause and re-running with resume re-simulates only the quarantined
-    remainder.  ``failures`` lists the quarantined cells with their
-    tracebacks; ``results`` is the index-aligned partial result list
-    (``None`` in quarantined slots); ``report`` carries the manifest's
-    status report when a manifest was attached.
-    """
-
-    def __init__(
-        self,
-        failures: List[CellFailure],
-        results: List[Optional[RunResult]],
-        total: int,
-        report: Optional[Dict[str, Any]] = None,
-    ):
-        self.failures = failures
-        self.results = results
-        self.report = report
-        lines = [
-            f"campaign incomplete: {len(failures)} of {total} cells "
-            f"quarantined after exhausting retries"
-        ]
-        lines.extend(f"  {failure.describe()}" for failure in failures)
-        lines.append(
-            "  completed cells are persisted; re-run with resume to retry "
-            "only the quarantined remainder"
-        )
-        super().__init__("\n".join(lines))
-
-
 def default_jobs() -> int:
     """Honour ``REPRO_JOBS`` if set, else 1 (serial — always safe)."""
     try:
@@ -240,246 +164,44 @@ def default_jobs() -> int:
         return 1
 
 
-def _execute(scenario: Scenario) -> RunResult:
-    """Top-level (picklable) worker body: run one scenario."""
-    return scenario.run()
+def resolve_executor(
+    jobs: int = 1,
+    supervise: Optional[SupervisorConfig] = None,
+    executor=None,
+):
+    """Pick the executor one :func:`run_scenarios` call should use.
 
-
-def _supervised_child(conn, scenario: Scenario, attempt: int) -> None:
-    """Body of one supervised worker process: run one cell, one attempt.
-
-    Sends ``("ok", RunResult)`` or ``("error", traceback_text)`` back
-    over ``conn``.  A hard death (crash injection, SIGKILL, OOM) sends
-    nothing — the parent reads EOF and treats it as a crash.
+    Precedence, most explicit first: an ``executor`` argument (spec,
+    compact string, JSON dict, or live :class:`CampaignExecutor`); an
+    explicit ``supervise`` config (the legacy spelling — callers who
+    pass it are asking for supervision); the ambient
+    :func:`use_executor` context; the ambient :func:`use_supervisor`
+    context; finally the ``jobs`` count (``>1`` → process pool, else
+    serial).  Returns a spec or a live executor — callers instantiate
+    specs via :func:`~repro.exec.base.get_executor` and own the
+    resulting instance's lifetime.
     """
-    try:
-        _consult_worker_faults(scenario, attempt)
-        run = _execute(scenario)
-        conn.send(("ok", run))
-    except BaseException:  # noqa: BLE001 - full isolation barrier
-        import traceback
-
-        try:
-            conn.send(("error", traceback.format_exc()))
-        except Exception:
-            pass
-    finally:
-        try:
-            conn.close()
-        except Exception:
-            pass
+    if executor is not None:
+        if isinstance(executor, CampaignExecutor):
+            return executor
+        return ExecutorSpec.normalize(executor)
+    if supervise is not None:
+        return ExecutorSpec.from_legacy(jobs=jobs, supervise=supervise)
+    ambient = active_executor()
+    if ambient is not None:
+        return ambient
+    ambient_sup = active_supervisor()
+    if ambient_sup is not None:
+        return ExecutorSpec.from_legacy(jobs=jobs, supervise=ambient_sup)
+    return ExecutorSpec.from_legacy(jobs=jobs)
 
 
-def _consult_worker_faults(scenario: Scenario, attempt: int) -> None:
-    """Chaos hook: let an active fault plan crash/stall this worker.
-
-    The key includes the cell's pairing key *and* the attempt number, so
-    "crash on attempt 1, succeed on attempt 2" is a deterministic,
-    replayable scenario (see :mod:`repro.service.faults`).
-    """
-    if not os.environ.get("REPRO_FAULTS"):
-        return
-    from ..service.faults import active_faults
-
-    faults = active_faults()
-    if faults is None:
-        return
-    from .pairing import scenario_key
-
-    key = "|".join(map(str, scenario_key(scenario))) + f"|attempt={attempt}"
-    faults.worker_entry(key)
-
-
-def _run_supervised(
-    scenarios: List[Scenario],
-    jobs: int,
-    supervise: SupervisorConfig,
-    store=None,
-    progress: Optional[Callable[[int, int, Scenario], None]] = None,
-    experiment: Optional[str] = None,
-    manifest=None,
-    on_cell_event: Optional[Callable[[Dict[str, Any]], None]] = None,
-) -> Tuple[List[Optional[RunResult]], List[CellFailure]]:
-    """The fault-tolerant executor: one worker process per cell attempt.
-
-    Unlike the plain process-pool path, every cell gets its own worker
-    process, which is what makes the recovery guarantees possible: a
-    hung cell can be SIGKILLed without collateral damage, and a crashed
-    worker takes down exactly one attempt.  Results are flushed to
-    ``store`` (and ``progress``) strictly in grid order as the completed
-    prefix grows, so persisted output is byte-identical to serial
-    execution; the manifest records ``done`` only after the row is
-    flushed, keeping the ledger honest about what the store holds.
-    """
-    import multiprocessing as mp
-    from multiprocessing.connection import wait as conn_wait
-
-    from .pairing import scenario_key
-
-    ctx = mp.get_context()
-    total = len(scenarios)
-    keys = [scenario_key(sc) for sc in scenarios]
-    results: List[Optional[RunResult]] = [None] * total
-    settled = [False] * total  # done or quarantined
-    attempts = [0] * total
-    failures: List[CellFailure] = []
-    ready: deque = deque(range(total))
-    delayed: List[Tuple[float, int]] = []  # (not_before, index) heap
-    active: Dict[Any, Dict[str, Any]] = {}  # recv-conn -> task
-    flushed = 0
-    workers = max(1, jobs)
-
-    def emit(event: Dict[str, Any]) -> None:
-        if on_cell_event is not None:
-            on_cell_event(event)
-
-    def flush() -> None:
-        """Advance the settled prefix: persist + report in grid order."""
-        nonlocal flushed
-        while flushed < total and settled[flushed]:
-            run = results[flushed]
-            if run is not None:
-                if experiment is not None:
-                    run.experiment = experiment
-                if store is not None:
-                    store.append(run)
-                if manifest is not None:
-                    manifest.record_done(keys[flushed])
-            if progress is not None:
-                progress(flushed, total, scenarios[flushed])
-            flushed += 1
-
-    def launch(index: int) -> None:
-        attempts[index] += 1
-        recv_conn, send_conn = ctx.Pipe(duplex=False)
-        proc = ctx.Process(
-            target=_supervised_child,
-            args=(send_conn, scenarios[index], attempts[index]),
-            daemon=True,
-        )
-        proc.start()
-        send_conn.close()
-        deadline = (
-            time.monotonic() + supervise.cell_timeout_s
-            if supervise.cell_timeout_s is not None
-            else None
-        )
-        active[recv_conn] = {"index": index, "proc": proc,
-                             "deadline": deadline}
-
-    def settle_ok(index: int, run: RunResult) -> None:
-        results[index] = run
-        settled[index] = True
-        emit({
-            "type": "cell",
-            "index": index,
-            "total": total,
-            "source": "sim",
-            "attempts": attempts[index],
-            "scenario": scenarios[index].describe(),
-        })
-        flush()
-
-    def settle_fail(index: int, error_text: str, kind: str) -> None:
-        if attempts[index] < supervise.max_attempts:
-            delay = supervise.backoff_delay(index, attempts[index])
-            emit({
-                "type": "retry",
-                "index": index,
-                "total": total,
-                "attempt": attempts[index],
-                "max_attempts": supervise.max_attempts,
-                "delay_s": delay,
-                "kind": kind,
-            })
-            heapq.heappush(delayed, (time.monotonic() + delay, index))
-            return
-        settled[index] = True
-        failures.append(CellFailure(
-            index=index,
-            scenario=scenarios[index],
-            attempts=attempts[index],
-            error=error_text,
-        ))
-        if manifest is not None:
-            manifest.record_quarantine(keys[index], error_text)
-        emit({
-            "type": "quarantine",
-            "index": index,
-            "total": total,
-            "attempts": attempts[index],
-            "error": error_text,
-        })
-        flush()
-
-    while ready or delayed or active:
-        now = time.monotonic()
-        while delayed and delayed[0][0] <= now:
-            _, index = heapq.heappop(delayed)
-            ready.append(index)
-        while ready and len(active) < workers:
-            launch(ready.popleft())
-        if not active:
-            # Only backoff-delayed cells remain: sleep toward the next.
-            if delayed:
-                time.sleep(
-                    min(0.05, max(0.0, delayed[0][0] - time.monotonic()))
-                )
-            continue
-
-        waits = []
-        deadlines = [
-            task["deadline"] for task in active.values()
-            if task["deadline"] is not None
-        ]
-        if deadlines:
-            waits.append(min(deadlines) - now)
-        if delayed:
-            waits.append(delayed[0][0] - now)
-        timeout = max(0.0, min(waits)) if waits else None
-        fired = conn_wait(list(active), timeout=timeout)
-
-        for conn in fired:
-            task = active.pop(conn)
-            index, proc = task["index"], task["proc"]
-            message = None
-            try:
-                message = conn.recv()
-            except (EOFError, OSError):
-                message = None
-            conn.close()
-            proc.join()
-            if message is not None and message[0] == "ok":
-                settle_ok(index, message[1])
-            elif message is not None and message[0] == "error":
-                settle_fail(index, message[1], "error")
-            else:
-                settle_fail(
-                    index,
-                    f"worker process died without a result on attempt "
-                    f"{attempts[index]} (exit code {proc.exitcode}) — "
-                    f"crash, OOM kill, or SIGKILL",
-                    "crash",
-                )
-
-        # Watchdog: kill anything past its wall-clock deadline.
-        now = time.monotonic()
-        for conn, task in list(active.items()):
-            if task["deadline"] is not None and now >= task["deadline"]:
-                task["proc"].kill()
-                task["proc"].join()
-                active.pop(conn)
-                conn.close()
-                settle_fail(
-                    task["index"],
-                    f"cell exceeded the wall-clock watchdog "
-                    f"({supervise.cell_timeout_s:g}s) on attempt "
-                    f"{attempts[task['index']]} and was killed",
-                    "timeout",
-                )
-
-    flush()
-    return results, failures
+def _executor_instance(resolved) -> Tuple[CampaignExecutor, bool]:
+    """A live executor for a :func:`resolve_executor` result, plus
+    whether this call owns (and must close) it."""
+    if isinstance(resolved, CampaignExecutor):
+        return resolved, False
+    return get_executor(resolved), True
 
 
 def run_scenarios(
@@ -492,82 +214,72 @@ def run_scenarios(
     supervise: Optional[SupervisorConfig] = None,
     manifest=None,
     on_cell_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    executor=None,
 ) -> List[RunResult]:
     """Execute ``scenarios`` and return their results **in input order**.
 
-    ``jobs <= 1`` runs serially in-process; ``jobs > 1`` fans out over a
-    process pool.  Either way the returned list lines up index-for-index
+    ``executor`` names the execution backend — an
+    :class:`~repro.exec.ExecutorSpec`, its compact string form
+    (``"pool:4"``, ``"supervised:timeout=30"``,
+    ``"distributed:local=2"``), or a live
+    :class:`~repro.exec.CampaignExecutor`.  When omitted, the legacy
+    arguments pick one: ``supervise`` (a :class:`SupervisorConfig`)
+    selects the fault-tolerant executor, otherwise ``jobs <= 1`` runs
+    serially in-process and ``jobs > 1`` fans out over a process pool;
+    ambient :func:`use_executor` / :func:`use_supervisor` contexts fill
+    the same roles (see :func:`resolve_executor` for the precedence).
+    Whatever the backend, the returned list lines up index-for-index
     with the input, and each result is bit-identical across backends
-    (determinism is per-scenario, not per-schedule).  ``store`` — any
-    object with an ``append(RunResult)`` method, e.g. a
-    :class:`~repro.api.store.ResultStore` — receives every result as it is
-    collected (in order), so an interrupted campaign keeps the runs that
-    finished.
+    (determinism is per-scenario, not per-schedule).
 
-    ``experiment`` stamps every result's :attr:`RunResult.experiment`
-    *before* it reaches the store, so persisted rows carry their
-    provenance.  ``cache`` overrides the ambient run cache: ``None``
-    consults :func:`active_run_cache`, :data:`NO_CACHE` forces plain
-    execution, anything else is used as the cache for this call.
+    ``store`` — any object with an ``append(RunResult)`` method, e.g. a
+    :class:`~repro.api.store.ResultStore` — receives every result as it
+    is collected (in grid order), so an interrupted campaign keeps the
+    runs that finished.  ``experiment`` stamps every result's
+    :attr:`RunResult.experiment` *before* it reaches the store, so
+    persisted rows carry their provenance.  ``cache`` overrides the
+    ambient run cache: ``None`` consults :func:`active_run_cache`,
+    :data:`NO_CACHE` forces plain execution, anything else is used as
+    the cache for this call.
 
-    ``supervise`` — a :class:`SupervisorConfig` (``None`` consults
-    :func:`active_supervisor`) — switches to the fault-tolerant
-    executor: one worker process per cell under a wall-clock watchdog,
-    crash/hang retry with capped exponential backoff, and quarantine
-    after ``max_attempts`` (raising :class:`CampaignIncompleteError`
-    unless ``allow_partial``).  ``manifest`` (a
-    :class:`repro.service.manifest.CampaignManifest`) records the
-    per-cell ledger; ``on_cell_event`` receives progress/retry/
-    quarantine event dicts.  Without a supervisor the executor, results
-    and store behaviour are exactly as before.
+    ``manifest`` (a :class:`repro.service.manifest.CampaignManifest`)
+    records the per-cell ledger; ``on_cell_event`` receives
+    progress/retry/quarantine event dicts.  A fault-tolerant backend
+    that quarantines cells raises :class:`CampaignIncompleteError`
+    (unless its policy says ``allow_partial``); completed cells are
+    already persisted by then, so a resumed re-run only simulates the
+    quarantined remainder.
     """
     scenarios = list(scenarios)
     if cache is None:
         cache = active_run_cache()
-    if supervise is None:
-        supervise = active_supervisor()
+    resolved = resolve_executor(jobs, supervise, executor)
     if cache is not None and cache is not NO_CACHE:
         return cache.execute(
             scenarios, jobs=jobs, store=store, progress=progress,
             experiment=experiment, supervise=supervise,
             manifest=manifest, on_cell_event=on_cell_event,
+            executor=resolved,
         )
-    if supervise is not None:
-        results_s, failures = _run_supervised(
-            scenarios, jobs, supervise, store=store, progress=progress,
-            experiment=experiment, manifest=manifest,
-            on_cell_event=on_cell_event,
+    instance, owned = _executor_instance(resolved)
+    hooks = ExecutionHooks(
+        store=store,
+        progress=progress,
+        experiment=experiment,
+        manifest=manifest,
+        on_cell_event=on_cell_event,
+    )
+    try:
+        results, failures = instance.execute(scenarios, hooks)
+    finally:
+        if owned:
+            instance.close()
+    if failures and not instance.allow_partial:
+        raise CampaignIncompleteError(
+            failures, results, len(scenarios),
+            report=manifest.report() if manifest is not None else None,
         )
-        if failures and not supervise.allow_partial:
-            raise CampaignIncompleteError(
-                failures, results_s, len(scenarios),
-                report=manifest.report() if manifest is not None else None,
-            )
-        return results_s  # type: ignore[return-value]
-    results: List[RunResult] = []
-
-    def collect(run: RunResult) -> None:
-        if experiment is not None:
-            run.experiment = experiment
-        results.append(run)
-        if store is not None:
-            store.append(run)
-
-    if jobs <= 1 or len(scenarios) <= 1:
-        for i, sc in enumerate(scenarios):
-            if progress is not None:
-                progress(i, len(scenarios), sc)
-            collect(_execute(sc))
-    else:
-        workers = min(jobs, len(scenarios))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            # map() preserves input order; chunksize=1 keeps the work
-            # queue balanced when run lengths vary wildly (lifetime runs).
-            for i, run in enumerate(pool.map(_execute, scenarios, chunksize=1)):
-                if progress is not None:
-                    progress(i, len(scenarios), scenarios[i])
-                collect(run)
-    return results
+    return results  # type: ignore[return-value]
 
 
 @dataclass
@@ -683,17 +395,28 @@ class Campaign:
         progress: Optional[Callable[[int, int, Scenario], None]] = None,
         cache=None,
         supervise: Optional[SupervisorConfig] = None,
+        executor=None,
     ) -> CampaignResult:
         """Execute the whole grid and return the index-aligned results.
 
-        ``jobs=None`` falls back to :func:`default_jobs` (the ``REPRO_JOBS``
-        environment variable, else serial).  ``cache`` — a
+        ``executor`` — an :class:`~repro.exec.ExecutorSpec`, its compact
+        string form, or a live executor — names the backend outright and
+        cannot be combined with the legacy ``jobs``/``supervise``
+        arguments it replaces.  Without it, ``jobs=None`` falls back to
+        :func:`default_jobs` (the ``REPRO_JOBS`` environment variable,
+        else serial) and ``supervise`` — a :class:`SupervisorConfig` —
+        runs the grid under the fault-tolerant executor (watchdog,
+        retry, quarantine).  ``cache`` — a
         :class:`repro.service.RunCache` — serves already-stored cells
-        from its result database and simulates only the rest (results are
-        identical either way; see the cache's ``stats``).  ``supervise``
-        — a :class:`SupervisorConfig` — runs the grid under the
-        fault-tolerant executor (watchdog, retry, quarantine).
+        from its result database and simulates only the rest (results
+        are identical either way; see the cache's ``stats``).
         """
+        if executor is not None and (jobs is not None or supervise is not None):
+            raise ExperimentError(
+                "pass either executor= or the legacy jobs=/supervise= "
+                "arguments, not both — the executor spec already carries "
+                "its own concurrency and fault policy"
+            )
         scenarios = self.scenarios()
         if not scenarios:
             raise ExperimentError("campaign has no scenarios")
@@ -704,5 +427,6 @@ class Campaign:
             progress=progress,
             cache=cache,
             supervise=supervise,
+            executor=executor,
         )
         return CampaignResult(scenarios=scenarios, runs=runs)

@@ -106,6 +106,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel simulation processes (results identical to --jobs 1)",
     )
     run_p.add_argument(
+        "--executor",
+        default=None,
+        metavar="SPEC",
+        help="execution backend as one spec: 'serial', 'pool:4', "
+        "'supervised:jobs=2,timeout=30,retries=1', or "
+        "'distributed:bind=127.0.0.1:8400,local=2' (self-hosts a "
+        "coordinator; remote machines join with 'repro-caem worker "
+        "--connect URL'); replaces --jobs, results identical either way",
+    )
+    run_p.add_argument(
         "--backend",
         default=None,
         choices=("event", "vector", "auto"),
@@ -249,6 +259,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_p.add_argument(
         "--quiet", action="store_true", help="suppress per-request logging"
+    )
+    serve_p.add_argument(
+        "--distributed",
+        action="store_true",
+        help="attach a lease board so jobs submitted with "
+        "{\"executor\": \"distributed\"} fan out to remote "
+        "'repro-caem worker --connect' processes via /work/* endpoints",
+    )
+    serve_p.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="distributed lease expiry: a worker that misses heartbeats "
+        "for S seconds forfeits its cell back to the queue (default 30)",
+    )
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="serve a distributed coordinator: lease cells, simulate, "
+        "report results (see run --executor distributed / serve "
+        "--distributed)",
+    )
+    worker_p.add_argument(
+        "--connect",
+        required=True,
+        metavar="URL",
+        help="coordinator base URL, e.g. http://127.0.0.1:8400",
+    )
+    worker_p.add_argument(
+        "--id",
+        dest="worker_id",
+        default=None,
+        help="worker name shown in /work/status (default: host-pid)",
+    )
+    worker_p.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="S",
+        help="idle poll interval when no work is pending (default 0.2)",
+    )
+    worker_p.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="S",
+        help="exit after S seconds with no work (default: serve forever)",
+    )
+    worker_p.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after completing N cells (tests/CI)",
+    )
+    worker_p.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell logging"
     )
 
     query_p = sub.add_parser(
@@ -471,7 +539,25 @@ def _cmd_run_body(args: argparse.Namespace) -> int:
         cache = RunCache(open_store(args.cache))
         cache_ctx = use_run_cache(cache)
     supervise_ctx = contextlib.nullcontext()
-    if args.resume or args.cell_timeout is not None or args.retries is not None:
+    if args.executor is not None:
+        from .api import ExecutorSpec, use_executor
+
+        if args.jobs != 1:
+            raise ExperimentError(
+                "--executor and --jobs are mutually exclusive: say "
+                "--executor pool:4 instead of --jobs 4"
+            )
+        executor_spec = ExecutorSpec.parse(args.executor)
+        # The watchdog/retry flags fold into the spec rather than
+        # installing a second (supervised) policy on top of it.
+        if args.cell_timeout is not None:
+            executor_spec = executor_spec.with_(cell_timeout_s=args.cell_timeout)
+        if args.retries is not None:
+            if args.retries < 0:
+                raise ExperimentError("--retries must be >= 0")
+            executor_spec = executor_spec.with_(retries=args.retries)
+        supervise_ctx = use_executor(executor_spec)
+    elif args.resume or args.cell_timeout is not None or args.retries is not None:
         from .api import SupervisorConfig, use_supervisor
 
         retries = 2 if args.retries is None else args.retries
@@ -522,12 +608,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         sim_jobs=args.jobs,
         quiet=args.quiet,
+        distributed=args.distributed,
+        lease_timeout_s=args.lease_timeout,
     )
     host, port = server.server_address[:2]
     sys.stderr.write(
         f"campaign server on http://{host}:{port} (db={args.db}) — "
         f"POST /campaigns to submit, Ctrl-C to stop\n"
     )
+    if args.distributed:
+        sys.stderr.write(
+            f"distributed lease board attached — workers join with: "
+            f"repro-caem worker --connect http://{host}:{port}\n"
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -623,6 +716,31 @@ def _query_aggregate(args: argparse.Namespace, store) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .exec.worker import run_worker
+
+    sys.stderr.write(
+        f"worker connecting to {args.connect} (Ctrl-C to stop)\n"
+    )
+    try:
+        stats = run_worker(
+            args.connect,
+            worker_id=args.worker_id,
+            poll_s=args.poll,
+            idle_exit_s=args.idle_exit,
+            max_cells=args.max_cells,
+            quiet=args.quiet,
+        )
+    except KeyboardInterrupt:
+        sys.stderr.write("worker interrupted\n")
+        return 0
+    sys.stderr.write(
+        f"worker done: {stats.cells_done} cells completed, "
+        f"{stats.cells_failed} failed\n"
+    )
+    return 0
+
+
 def _cmd_gc(args: argparse.Namespace) -> int:
     from .service import collect_garbage, describe_gc
 
@@ -656,7 +774,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Pre-registry compatibility: "repro-caem fig8 ..." == "run fig8 ...".
     if argv and argv[0] not in (
-        "run", "list", "bench", "serve", "query", "gc", "migrate",
+        "run", "list", "bench", "serve", "worker", "query", "gc", "migrate",
         "-h", "--help"
     ):
         argv.insert(0, "run")
@@ -668,6 +786,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
         if args.command == "query":
             return _cmd_query(args)
         if args.command == "gc":

@@ -1,0 +1,210 @@
+"""The executor contract: what every campaign execution backend implements.
+
+A :class:`CampaignExecutor` takes an ordered scenario list and settles
+every cell exactly once, honouring four invariants that the rest of the
+stack (stores, manifests, the run cache, the campaign server) builds on:
+
+* **input order** — the returned result list lines up index-for-index
+  with the input scenarios, whatever order cells actually executed in;
+* **settled-prefix flush** — ``store`` / ``manifest`` / ``progress``
+  side effects happen strictly in grid order as the completed prefix
+  grows, so persisted output is byte-identical to a serial run even
+  when execution is parallel, supervised, or distributed;
+* **ledger trails store** — ``manifest.record_done`` fires only after
+  the row reached the store, never before;
+* **explicit failure** — a cell that cannot be completed surfaces as a
+  :class:`CellFailure` (and ultimately a
+  :class:`CampaignIncompleteError`), never as a silently missing row.
+
+Backends: :class:`~repro.exec.local.SerialExecutor` (in-process),
+:class:`~repro.exec.local.PoolExecutor` (process pool),
+:class:`~repro.exec.supervised.SupervisedExecutor` (process-per-cell
+watchdog/retry/quarantine), and
+:class:`~repro.exec.distributed.DistributedExecutor` (multi-host
+work-stealing over HTTP).  :func:`get_executor` maps an
+:class:`~repro.exec.spec.ExecutorSpec` to the right one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+
+__all__ = [
+    "CampaignExecutor",
+    "CellFailure",
+    "CampaignIncompleteError",
+    "ExecutionHooks",
+    "get_executor",
+]
+
+
+@dataclass
+class CellFailure:
+    """One quarantined grid cell: where, how often, and why it failed."""
+
+    index: int
+    scenario: Any
+    attempts: int
+    error: str
+
+    def describe(self) -> str:
+        tail = self.error.strip().splitlines()
+        reason = tail[-1] if tail else "unknown failure"
+        return (
+            f"cell {self.index} ({self.scenario.describe()}): quarantined "
+            f"after {self.attempts} attempts — {reason}"
+        )
+
+
+class CampaignIncompleteError(ExperimentError):
+    """A fault-tolerant campaign finished with quarantined cells.
+
+    Raised instead of returning a silent partial result: every completed
+    cell was already persisted to the attached store, so fixing the
+    cause and re-running with resume re-simulates only the quarantined
+    remainder.  ``failures`` lists the quarantined cells with their
+    tracebacks; ``results`` is the index-aligned partial result list
+    (``None`` in quarantined slots); ``report`` carries the manifest's
+    status report when a manifest was attached.
+    """
+
+    def __init__(
+        self,
+        failures: List[CellFailure],
+        results: List[Optional[Any]],
+        total: int,
+        report: Optional[Dict[str, Any]] = None,
+    ):
+        self.failures = failures
+        self.results = results
+        self.report = report
+        lines = [
+            f"campaign incomplete: {len(failures)} of {total} cells "
+            f"quarantined after exhausting retries"
+        ]
+        lines.extend(f"  {failure.describe()}" for failure in failures)
+        lines.append(
+            "  completed cells are persisted; re-run with resume to retry "
+            "only the quarantined remainder"
+        )
+        super().__init__("\n".join(lines))
+
+
+class ExecutionHooks:
+    """The side-effect surface one :meth:`CampaignExecutor.execute` call
+    flushes into: store, manifest, progress callback, event sink.
+
+    Bundling them keeps every executor's signature identical and gives
+    the settled-prefix flush one home (:meth:`flush_done`): stamp the
+    experiment provenance, append to the store, record the manifest
+    ``done`` strictly after the append, then report progress.
+    """
+
+    def __init__(
+        self,
+        store=None,
+        progress: Optional[Callable[[int, int, Any], None]] = None,
+        experiment: Optional[str] = None,
+        manifest=None,
+        on_cell_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ):
+        self.store = store
+        self.progress = progress
+        self.experiment = experiment
+        self.manifest = manifest
+        self.on_cell_event = on_cell_event
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if self.on_cell_event is not None:
+            self.on_cell_event(event)
+
+    def manifest_key(self, scenario) -> Any:
+        from ..api.pairing import scenario_key
+
+        return scenario_key(scenario)
+
+    def flush_done(self, index: int, total: int, scenario, run) -> None:
+        """One settled-prefix step for a completed cell, in grid order."""
+        if run is not None:
+            if self.experiment is not None:
+                run.experiment = self.experiment
+            if self.store is not None:
+                self.store.append(run)
+            if self.manifest is not None:
+                # Strictly after the store append: the ledger trails the
+                # store, never leads it.
+                self.manifest.record_done(self.manifest_key(scenario))
+        if self.progress is not None:
+            self.progress(index, total, scenario)
+
+    def record_quarantine(self, scenario, error: str) -> None:
+        if self.manifest is not None:
+            self.manifest.record_quarantine(self.manifest_key(scenario), error)
+
+
+class CampaignExecutor:
+    """Protocol: execute a scenario grid, settle every cell exactly once.
+
+    ``execute`` returns ``(results, failures)``: the index-aligned result
+    list (``None`` in failed slots) and the quarantined cells.  Backends
+    without a retry/quarantine notion (serial, pool) let cell exceptions
+    propagate and always return an empty failure list.  ``close``
+    releases whatever the executor holds open (process pools, the
+    distributed coordinator server, spawned local workers); it must be
+    idempotent.
+    """
+
+    #: The ExecutorSpec kind this backend answers to.
+    kind: str = "?"
+
+    @property
+    def allow_partial(self) -> bool:
+        """Whether quarantined cells return as ``None`` slots instead of
+        raising :class:`CampaignIncompleteError` (fault-tolerant kinds
+        override this from their policy)."""
+        return False
+
+    def execute(
+        self,
+        scenarios: Sequence,
+        hooks: Optional[ExecutionHooks] = None,
+    ) -> Tuple[List[Optional[Any]], List[CellFailure]]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+
+def get_executor(spec, board=None) -> CampaignExecutor:
+    """Instantiate the executor backend an :class:`ExecutorSpec` names.
+
+    ``spec`` is anything :meth:`ExecutorSpec.normalize` accepts — a
+    spec, its compact string form, or a JSON dict.  ``board`` attaches a
+    distributed executor to an existing
+    :class:`~repro.exec.board.LeaseBoard` (the campaign server's) instead
+    of self-hosting a coordinator.
+    """
+    from .spec import ExecutorSpec
+
+    spec = ExecutorSpec.normalize(spec)
+    kind = spec.kind
+    if kind == "serial":
+        from .local import SerialExecutor
+
+        return SerialExecutor()
+    if kind == "pool":
+        from .local import PoolExecutor
+
+        return PoolExecutor(jobs=spec.jobs)
+    if kind == "supervised":
+        from .supervised import SupervisedExecutor
+
+        return SupervisedExecutor(spec.supervisor(), jobs=spec.jobs)
+    if kind == "distributed":
+        from .distributed import DistributedExecutor
+
+        return DistributedExecutor(spec, board=board)
+    raise ExperimentError(f"unknown executor kind {kind!r}")

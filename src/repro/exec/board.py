@@ -1,0 +1,342 @@
+"""The lease board: pull-based work-stealing state for distributed runs.
+
+The coordinator owns one :class:`LeaseBoard`; remote workers never push
+work to each other — an idle worker *pulls* the next pending cell by
+taking a **lease** on it.  A lease is a time-boxed exclusive claim:
+
+* ``lease()`` hands out the oldest pending item FIFO and starts its
+  expiry clock (``lease_timeout_s``);
+* ``heartbeat()`` renews every lease a worker holds — a healthy worker
+  heartbeats at a fraction of the timeout while simulating;
+* a lease that misses its heartbeat window **expires**: the cell counts
+  one failed attempt (the worker presumably crashed or vanished) and
+  returns to pending for the next idle worker to steal — this is the
+  entire crash-recovery story, there is no other failure detector;
+* ``complete()`` / ``fail()`` settle an attempt; first completion wins,
+  and a straggler's late result for an already-settled item is
+  acknowledged but discarded (results are deterministic, so a duplicate
+  is byte-identical anyway).
+
+Items are keyed by pairing key, so two overlapping campaigns submitted
+to the same board **share** cells: the second ``submit`` of a key
+refcounts the existing item instead of queueing a duplicate simulation,
+and both campaigns observe the one settled result.
+
+Attempts exhausted → ``quarantined`` (the PR 8 vocabulary), carried
+back to the campaign as a :class:`~repro.exec.base.CellFailure`.
+Administrative release (``release_worker`` / ``release_all``, used by
+``JobManager.shutdown``) refunds the attempt: shutdown is not the
+cell's fault, so it must never push a cell toward quarantine.
+
+Thread-safe; everything is guarded by one condition variable, and
+``wait()`` lets the coordinator sleep until something settles.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["LeaseBoard", "WorkItem", "PENDING", "LEASED", "DONE", "QUARANTINED"]
+
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+QUARANTINED = "quarantined"
+
+
+class WorkItem:
+    """One simulation cell on the board, shared across campaigns by key."""
+
+    __slots__ = (
+        "item_id", "key", "payload", "max_attempts", "status", "attempts",
+        "lease_id", "worker", "expires_at", "result", "error", "refs",
+        "describe",
+    )
+
+    def __init__(self, item_id, key, payload, max_attempts, describe=""):
+        self.item_id = item_id
+        self.key = key
+        self.payload = payload
+        self.max_attempts = max_attempts
+        self.describe = describe
+        self.status = PENDING
+        self.attempts = 0
+        self.lease_id: Optional[str] = None
+        self.worker: Optional[str] = None
+        self.expires_at: Optional[float] = None
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+        self.refs = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "item_id": self.item_id,
+            "status": self.status,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "refs": self.refs,
+            "describe": self.describe,
+        }
+
+
+class LeaseBoard:
+    """Shared pending/leased/done ledger behind the coordinator endpoints."""
+
+    def __init__(self, lease_timeout_s: float = 30.0):
+        self.lease_timeout_s = float(lease_timeout_s)
+        self._cond = threading.Condition()
+        self._items: Dict[Any, WorkItem] = {}  # pairing key -> item
+        self._queue: List[Any] = []  # FIFO of pending keys
+        self._leases: Dict[str, Any] = {}  # live lease_id -> key
+        self._expired: Dict[str, Any] = {}  # expired lease_id -> key
+        self._ids = itertools.count(1)
+        self._worker_seen: Dict[str, float] = {}
+        self._worker_cells: Dict[str, int] = {}
+
+    # -- campaign side -------------------------------------------------
+
+    def submit(
+        self, key, payload, max_attempts: int = 3, describe: str = ""
+    ) -> Tuple[WorkItem, bool]:
+        """Queue one cell; dedup by pairing key across campaigns.
+
+        Returns ``(item, shared)`` — ``shared`` is True when the key was
+        already on the board (another campaign's identical cell), in
+        which case this campaign just subscribes to the existing item.
+        """
+        with self._cond:
+            item = self._items.get(key)
+            if item is not None:
+                item.refs += 1
+                # The widest requirement wins: a later campaign asking
+                # for more attempts must not be capped by an earlier one.
+                item.max_attempts = max(item.max_attempts, max_attempts)
+                return item, True
+            item = WorkItem(
+                next(self._ids), key, payload, max_attempts, describe
+            )
+            item.refs = 1
+            self._items[key] = item
+            self._queue.append(key)
+            self._cond.notify_all()
+            return item, False
+
+    def retire(self, item: WorkItem) -> None:
+        """Drop one campaign's subscription; GC the item when unreferenced.
+
+        Only settled items are garbage-collected — an in-flight cell
+        stays on the board so a late lease can still settle it.
+        """
+        with self._cond:
+            item.refs = max(0, item.refs - 1)
+            if item.refs == 0 and item.status in (DONE, QUARANTINED):
+                self._items.pop(item.key, None)
+
+    # -- worker side ---------------------------------------------------
+
+    def lease(self, worker: str) -> Optional[Dict[str, Any]]:
+        """Hand the oldest pending cell to ``worker``, or None if idle."""
+        with self._cond:
+            now = time.monotonic()
+            self._expire_locked(now)
+            self._worker_seen[worker] = now
+            while self._queue:
+                key = self._queue.pop(0)
+                item = self._items.get(key)
+                if item is None or item.status != PENDING:
+                    continue  # settled or GC'd while queued
+                item.status = LEASED
+                item.attempts += 1
+                item.worker = worker
+                item.lease_id = uuid.uuid4().hex
+                item.expires_at = now + self.lease_timeout_s
+                self._leases[item.lease_id] = key
+                return {
+                    "lease_id": item.lease_id,
+                    "attempt": item.attempts,
+                    "key": list(item.key),
+                    "cell": item.payload,
+                    "describe": item.describe,
+                    "lease_timeout_s": self.lease_timeout_s,
+                }
+            return None
+
+    def heartbeat(self, worker: str) -> int:
+        """Renew every lease ``worker`` holds; returns how many."""
+        with self._cond:
+            now = time.monotonic()
+            self._worker_seen[worker] = now
+            renewed = 0
+            for key in self._leases.values():
+                item = self._items.get(key)
+                if item is not None and item.status == LEASED and \
+                        item.worker == worker:
+                    item.expires_at = now + self.lease_timeout_s
+                    renewed += 1
+            return renewed
+
+    def complete(self, lease_id: str, result: Dict[str, Any]) -> bool:
+        """Settle a lease's cell with its result dict; first wins.
+
+        A result arriving after the lease expired (slow worker, not dead)
+        is still accepted if the cell hasn't settled — the work is done
+        and deterministic, so discarding it would only waste a re-run.
+        """
+        with self._cond:
+            key = self._leases.pop(lease_id, None)
+            if key is None:
+                # An expired lease's result is still good (the worker
+                # was slow, not dead) as long as the cell is unsettled.
+                key = self._expired.pop(lease_id, None)
+            if key is None:
+                return False
+            item = self._items.get(key)
+            if item is None or item.status in (DONE, QUARANTINED):
+                return False
+            if item.status == PENDING and key in self._queue:
+                # The lease expired and the cell re-queued, but the
+                # original worker finished anyway: take its result and
+                # pull the cell back off the queue.
+                self._queue.remove(key)
+            item.status = DONE
+            item.result = result
+            item.lease_id = None
+            item.expires_at = None
+            self._purge_expired_locked(key)
+            if item.worker:
+                self._worker_cells[item.worker] = (
+                    self._worker_cells.get(item.worker, 0) + 1
+                )
+            self._cond.notify_all()
+            return True
+
+    def fail(self, lease_id: str, error: str) -> bool:
+        """Record a failed attempt; re-queue or quarantine."""
+        with self._cond:
+            key = self._leases.pop(lease_id, None)
+            if key is None:
+                # A late failure report: the expiry already counted the
+                # attempt, so just forget the stale lease.
+                self._expired.pop(lease_id, None)
+                return False
+            item = self._items.get(key)
+            if item is None or item.status != LEASED:
+                return False
+            self._fail_locked(item, error)
+            self._cond.notify_all()
+            return True
+
+    # -- supervision ---------------------------------------------------
+
+    def sweep(self) -> None:
+        """Expire overdue leases now (the coordinator calls this in its
+        wait loop so recovery does not depend on worker traffic)."""
+        with self._cond:
+            if self._expire_locked(time.monotonic()):
+                self._cond.notify_all()
+
+    def release_worker(self, worker: str) -> int:
+        """Administratively return ``worker``'s leased cells to pending.
+
+        The attempt is refunded: an operator draining a worker (or
+        ``JobManager.shutdown``) must not push cells toward quarantine.
+        """
+        with self._cond:
+            released = 0
+            for lease_id, key in list(self._leases.items()):
+                item = self._items.get(key)
+                if item is not None and item.status == LEASED and \
+                        item.worker == worker:
+                    self._release_locked(item, lease_id)
+                    released += 1
+            if released:
+                self._cond.notify_all()
+            return released
+
+    def release_all(self) -> int:
+        """Return every leased cell to pending (coordinator shutdown)."""
+        with self._cond:
+            released = 0
+            for lease_id, key in list(self._leases.items()):
+                item = self._items.get(key)
+                if item is not None and item.status == LEASED:
+                    self._release_locked(item, lease_id)
+                    released += 1
+            if released:
+                self._cond.notify_all()
+            return released
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        """Block until the board changes (settle/submit) or timeout."""
+        with self._cond:
+            self._cond.wait(timeout)
+
+    def counts(self) -> Dict[str, int]:
+        with self._cond:
+            out = {PENDING: 0, LEASED: 0, DONE: 0, QUARANTINED: 0}
+            for item in self._items.values():
+                out[item.status] += 1
+            return out
+
+    def workers(self) -> Dict[str, Dict[str, Any]]:
+        with self._cond:
+            now = time.monotonic()
+            return {
+                name: {
+                    "cells_done": self._worker_cells.get(name, 0),
+                    "last_seen_s": round(now - seen, 3),
+                }
+                for name, seen in sorted(self._worker_seen.items())
+            }
+
+    # -- internals (call with the lock held) ---------------------------
+
+    def _expire_locked(self, now: float) -> int:
+        expired = 0
+        for lease_id, key in list(self._leases.items()):
+            item = self._items.get(key)
+            if item is None or item.status != LEASED:
+                self._leases.pop(lease_id, None)
+                continue
+            if item.expires_at is not None and now >= item.expires_at:
+                self._leases.pop(lease_id, None)
+                self._expired[lease_id] = key
+                self._fail_locked(
+                    item,
+                    f"lease expired after {self.lease_timeout_s:g}s — "
+                    f"worker {item.worker!r} missed its heartbeat "
+                    f"(crashed, killed, or partitioned)",
+                )
+                expired += 1
+        return expired
+
+    def _fail_locked(self, item: WorkItem, error: str) -> None:
+        item.lease_id = None
+        item.expires_at = None
+        if item.attempts >= item.max_attempts:
+            item.status = QUARANTINED
+            item.error = error
+            self._purge_expired_locked(item.key)
+        else:
+            item.status = PENDING
+            item.error = error
+            self._queue.append(item.key)
+
+    def _purge_expired_locked(self, key) -> None:
+        """A settled cell's expired lease ids can't matter any more."""
+        self._expired = {
+            lid: k for lid, k in self._expired.items() if k != key
+        }
+
+    def _release_locked(self, item: WorkItem, lease_id: str) -> None:
+        self._leases.pop(lease_id, None)
+        item.status = PENDING
+        item.attempts = max(0, item.attempts - 1)  # refund: not a failure
+        item.lease_id = None
+        item.worker = None
+        item.expires_at = None
+        self._queue.append(item.key)

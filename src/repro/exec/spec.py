@@ -1,0 +1,338 @@
+"""``ExecutorSpec``: one value that names *how* a campaign executes.
+
+Before this existed, execution policy was scattered across three
+spellings — ``jobs=N`` picked serial vs process-pool,
+``SupervisorConfig``/``use_supervisor`` switched on fault tolerance, and
+the CLI grew a flag per knob.  An :class:`ExecutorSpec` collapses all of
+it into one declarative record that travels everywhere a campaign does:
+``Campaign.run(executor=...)``, ``run_scenarios(executor=...)``, the CLI
+``--executor`` flag, and the campaign server's JSON specs.
+
+The four kinds::
+
+    ExecutorSpec(kind="serial")                       # in-process, one cell at a time
+    ExecutorSpec(kind="pool", jobs=4)                 # process-pool fan-out
+    ExecutorSpec(kind="supervised", jobs=2,
+                 cell_timeout_s=30.0, retries=2)      # watchdog/retry/quarantine
+    ExecutorSpec(kind="distributed",
+                 bind="127.0.0.1:8400",
+                 lease_timeout_s=30.0, retries=2,
+                 local_workers=2)                     # multi-host work-stealing
+
+Each has a compact string form for the CLI and JSON specs —
+``"serial"``, ``"pool:4"``, ``"supervised:jobs=2,timeout=30,retries=1"``,
+``"distributed:bind=127.0.0.1:8400,local=2"`` — parsed by
+:meth:`ExecutorSpec.parse`.
+
+The legacy spellings keep working: :meth:`ExecutorSpec.from_legacy` maps
+``(jobs, supervise)`` onto the equivalent spec, and the old keyword
+arguments remain accepted (and equivalence-tested) everywhere they were
+before.
+
+:func:`use_executor` installs a spec (or a live executor) ambiently —
+the same ContextVar pattern as ``use_run_cache`` — so the CLI's
+``--executor`` flag reaches every registered experiment without
+signature changes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..errors import ExperimentError
+
+__all__ = [
+    "ExecutorSpec",
+    "EXECUTOR_KINDS",
+    "use_executor",
+    "active_executor",
+]
+
+EXECUTOR_KINDS = ("serial", "pool", "supervised", "distributed")
+
+#: Compact-form key aliases accepted by :meth:`ExecutorSpec.parse`.
+_PARSE_ALIASES = {
+    "jobs": "jobs",
+    "timeout": "cell_timeout_s",
+    "cell_timeout_s": "cell_timeout_s",
+    "retries": "retries",
+    "seed": "seed",
+    "partial": "allow_partial",
+    "allow_partial": "allow_partial",
+    "bind": "bind",
+    "lease": "lease_timeout_s",
+    "lease_timeout_s": "lease_timeout_s",
+    "local": "local_workers",
+    "local_workers": "local_workers",
+}
+
+_FLOAT_FIELDS = ("cell_timeout_s", "lease_timeout_s")
+_INT_FIELDS = ("jobs", "retries", "seed", "local_workers")
+_BOOL_FIELDS = ("allow_partial",)
+
+
+@dataclass(frozen=True)
+class ExecutorSpec:
+    """Declarative execution policy for one campaign (or a whole session).
+
+    Only the fields a kind consults matter to it: ``jobs`` is the pool
+    width (pool) or worker-process concurrency (supervised);
+    ``cell_timeout_s``/``retries``/backoff fields drive the supervised
+    watchdog; ``bind``/``lease_timeout_s``/``local_workers`` configure
+    the distributed coordinator.  ``retries`` counts attempts *beyond*
+    the first (``None`` means the kind's default: 2 for supervised and
+    distributed).
+    """
+
+    kind: str = "serial"
+    #: Process-pool width (pool) / concurrent worker processes (supervised).
+    jobs: int = 1
+    #: Per-cell wall-clock watchdog (supervised); ``None`` = none.
+    cell_timeout_s: Optional[float] = None
+    #: Retries beyond the first attempt (supervised/distributed);
+    #: ``None`` = the kind's default of 2.
+    retries: Optional[int] = None
+    #: Capped-exponential retry backoff (supervised).
+    backoff_base_s: float = 0.25
+    backoff_cap_s: float = 8.0
+    #: Seed for the deterministic backoff jitter.
+    seed: int = 0
+    #: Return ``None`` slots for quarantined cells instead of raising.
+    allow_partial: bool = False
+    #: Distributed: ``host:port`` the self-hosted coordinator binds
+    #: (port 0 picks a free port; ignored when attached to a server).
+    bind: str = "127.0.0.1:0"
+    #: Distributed: a lease not heartbeat-renewed within this window
+    #: expires and its cell returns to pending.
+    lease_timeout_s: float = 30.0
+    #: Distributed: loopback ``repro-caem worker`` subprocesses the
+    #: executor spawns (and reaps) itself — handy for single-command
+    #: multi-core runs and CI smoke tests.
+    local_workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EXECUTOR_KINDS:
+            raise ExperimentError(
+                f"unknown executor kind {self.kind!r}; "
+                f"know {', '.join(EXECUTOR_KINDS)}"
+            )
+        if self.jobs < 1:
+            raise ExperimentError("executor jobs must be >= 1")
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ExperimentError("cell_timeout_s must be > 0 (or None)")
+        if self.retries is not None and self.retries < 0:
+            raise ExperimentError("retries must be >= 0")
+        if self.lease_timeout_s <= 0:
+            raise ExperimentError("lease_timeout_s must be > 0")
+        if self.local_workers < 0:
+            raise ExperimentError("local_workers must be >= 0")
+
+    # -- derived views ---------------------------------------------------------
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts per cell (first try + retries)."""
+        return (2 if self.retries is None else self.retries) + 1
+
+    def supervisor(self):
+        """The :class:`SupervisorConfig` equivalent (supervised kind)."""
+        from .supervised import SupervisorConfig
+
+        return SupervisorConfig(
+            cell_timeout_s=self.cell_timeout_s,
+            max_attempts=self.max_attempts,
+            backoff_base_s=self.backoff_base_s,
+            backoff_cap_s=self.backoff_cap_s,
+            seed=self.seed,
+            allow_partial=self.allow_partial,
+        )
+
+    def with_(self, **changes: Any) -> "ExecutorSpec":
+        """A copy with fields replaced (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+    def bind_address(self) -> Tuple[str, int]:
+        host, _, port = self.bind.rpartition(":")
+        if not host or not port.isdigit():
+            raise ExperimentError(
+                f"bad distributed bind address {self.bind!r} "
+                f"(expected host:port)"
+            )
+        return host, int(port)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def normalize(
+        cls, value: Union["ExecutorSpec", str, Dict[str, Any]]
+    ) -> "ExecutorSpec":
+        """Coerce any accepted spelling — spec, compact string, JSON dict
+        (the campaign server's ``"executor"`` key) — into a spec."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, dict):
+            return cls.from_dict(value)
+        raise ExperimentError(
+            f"cannot interpret {value!r} as an executor (expected an "
+            f"ExecutorSpec, a string like 'pool:4', or a JSON object)"
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "ExecutorSpec":
+        """Parse the compact CLI form: ``kind[:key=value,...]``.
+
+        ``pool:4`` is shorthand for ``pool:jobs=4``.  Keys: ``jobs``,
+        ``timeout`` (cell watchdog seconds), ``retries``, ``seed``,
+        ``partial``, ``bind`` (host:port), ``lease`` (seconds),
+        ``local`` (loopback worker subprocesses).
+        """
+        text = text.strip()
+        kind, _, rest = text.partition(":")
+        kind = kind.strip()
+        if kind not in EXECUTOR_KINDS:
+            raise ExperimentError(
+                f"unknown executor kind {kind!r}; know "
+                f"{', '.join(EXECUTOR_KINDS)} "
+                f"(e.g. 'pool:4', 'distributed:bind=127.0.0.1:8400,local=2')"
+            )
+        fields: Dict[str, Any] = {"kind": kind}
+        rest = rest.strip()
+        if rest and "=" not in rest and "," not in rest:
+            # Bare count shorthand: pool:4 / supervised:2.
+            fields["jobs"] = _coerce("jobs", rest)
+            rest = ""
+        for part in filter(None, (p.strip() for p in rest.split(","))):
+            key, eq, value = part.partition("=")
+            key = key.strip()
+            if not eq or key not in _PARSE_ALIASES:
+                raise ExperimentError(
+                    f"bad executor option {part!r}; know "
+                    f"{', '.join(sorted(set(_PARSE_ALIASES)))}"
+                )
+            field = _PARSE_ALIASES[key]
+            fields[field] = _coerce(field, value.strip())
+        return cls(**fields)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExecutorSpec":
+        """Build from a JSON object (unknown keys rejected loudly)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        bad = set(data) - known
+        if bad:
+            raise ExperimentError(
+                f"unknown executor fields {sorted(bad)}; know "
+                f"{sorted(known)}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_legacy(
+        cls, jobs: int = 1, supervise=None
+    ) -> "ExecutorSpec":
+        """Map the pre-spec ``(jobs, supervise)`` spelling onto a spec.
+
+        This is the deprecation shim behind ``Campaign.run(jobs=...,
+        supervise=...)`` and ``run_scenarios(jobs=..., supervise=...)``:
+        exactly the executor those arguments always selected, now as a
+        value.
+        """
+        if supervise is not None:
+            return cls(
+                kind="supervised",
+                jobs=max(1, jobs),
+                cell_timeout_s=supervise.cell_timeout_s,
+                retries=supervise.max_attempts - 1,
+                backoff_base_s=supervise.backoff_base_s,
+                backoff_cap_s=supervise.backoff_cap_s,
+                seed=supervise.seed,
+                allow_partial=supervise.allow_partial,
+            )
+        if jobs > 1:
+            return cls(kind="pool", jobs=jobs)
+        return cls(kind="serial")
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe view (defaults omitted for compact specs)."""
+        out: Dict[str, Any] = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            if field.name == "kind":
+                continue
+            value = getattr(self, field.name)
+            if value != field.default:
+                out[field.name] = value
+        return out
+
+    def describe(self) -> str:
+        parts = [self.kind]
+        if self.kind == "pool" or (self.kind == "supervised" and self.jobs > 1):
+            parts.append(f"jobs={self.jobs}")
+        if self.kind in ("supervised", "distributed"):
+            parts.append(f"retries={self.max_attempts - 1}")
+            if self.cell_timeout_s is not None:
+                parts.append(f"timeout={self.cell_timeout_s:g}s")
+        if self.kind == "distributed":
+            parts.append(f"lease={self.lease_timeout_s:g}s")
+            if self.local_workers:
+                parts.append(f"local={self.local_workers}")
+        return " ".join(parts)
+
+
+def _coerce(field: str, value: str) -> Any:
+    try:
+        if field in _INT_FIELDS:
+            return int(value)
+        if field in _FLOAT_FIELDS:
+            return float(value)
+        if field in _BOOL_FIELDS:
+            return value.lower() in ("1", "true", "yes", "on")
+    except ValueError:
+        raise ExperimentError(
+            f"bad value {value!r} for executor option {field!r}"
+        ) from None
+    return value
+
+
+#: The ambient executor (see :func:`use_executor`): an ExecutorSpec or a
+#: live CampaignExecutor instance.
+_ACTIVE_EXECUTOR: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_executor", default=None
+)
+
+
+@contextlib.contextmanager
+def use_executor(executor):
+    """Route every campaign execution in this context through
+    ``executor`` — an :class:`ExecutorSpec`, its compact string form, or
+    a live :class:`~repro.exec.base.CampaignExecutor`.
+
+    When given a spec (or string) the executor backend is instantiated
+    once and closed on exit, so a distributed spec keeps one coordinator
+    (and its spawned local workers) alive across every experiment the
+    context runs — this is what the CLI's ``--executor`` flag wraps the
+    whole command in.  A live instance is used as-is and left open.
+    """
+    from .base import CampaignExecutor, get_executor
+
+    created = None
+    if executor is not None and not isinstance(executor, CampaignExecutor):
+        executor = created = get_executor(ExecutorSpec.normalize(executor))
+    token = _ACTIVE_EXECUTOR.set(executor)
+    try:
+        yield executor
+    finally:
+        _ACTIVE_EXECUTOR.reset(token)
+        if created is not None:
+            created.close()
+
+
+def active_executor():
+    """The executor installed by :func:`use_executor`, or ``None``."""
+    return _ACTIVE_EXECUTOR.get()

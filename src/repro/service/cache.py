@@ -129,6 +129,7 @@ class RunCache:
         supervise=None,
         manifest=None,
         on_cell_event=None,
+        executor=None,
     ) -> List[RunResult]:
         """The cache-aware executor body behind :func:`run_scenarios`.
 
@@ -139,16 +140,17 @@ class RunCache:
         (the caller's ``--store`` target, if any) still receives *every*
         result in grid order.
 
-        ``supervise`` (``None`` consults the ambient supervisor) runs
-        the misses under the fault-tolerant executor; with
-        ``manifest=True`` on the cache (or an explicit ``manifest``
-        ledger) every cell's progress is checkpointed durably — hits are
-        marked done immediately, supervised misses record attempts and
-        quarantines — which is what ``--resume`` reads back.
+        ``executor`` (anything :func:`repro.api.campaign.resolve_executor`
+        accepts; ``None`` consults the legacy ``supervise`` argument and
+        the ambient contexts) names the backend the misses run under —
+        the cache itself is backend-agnostic.  With ``manifest=True`` on
+        the cache (or an explicit ``manifest`` ledger) every cell's
+        progress is checkpointed durably — hits are marked done
+        immediately, simulated misses record done/attempts/quarantines —
+        which is what ``--resume`` reads back.
         """
         scenarios = list(scenarios)
-        if supervise is None:
-            supervise = _campaign.active_supervisor()
+        executor = _campaign.resolve_executor(jobs, supervise, executor)
         if manifest is None and self.keep_manifest:
             from .manifest import manifest_for_store
 
@@ -185,50 +187,30 @@ class RunCache:
                     manifest.record_done(scenario_key(scenarios[i]))
 
         if miss_indices:
-            if supervise is not None:
-                # Fault-tolerant path: the supervised executor emits the
-                # per-cell events itself (with attempt counts and retry/
-                # quarantine detail); translate its sub-grid indices back
-                # to grid coordinates and forward.
-                def translate(event):
-                    event = dict(event)
-                    if "index" in event:
-                        event["index"] = miss_indices[event["index"]]
-                    event["total"] = total
-                    if event.get("type") == "cell":
-                        event.setdefault("source", "sim")
-                    self._emit(event)
-                    if on_cell_event is not None:
-                        on_cell_event(event)
+            # Whatever executor runs the misses emits the per-cell events
+            # itself (with attempt counts and retry/quarantine detail)
+            # and records the manifest ledger; translate its sub-grid
+            # indices back to grid coordinates and forward.
+            def translate(event):
+                event = dict(event)
+                if "index" in event:
+                    event["index"] = miss_indices[event["index"]]
+                event["total"] = total
+                if event.get("type") == "cell":
+                    event.setdefault("source", "sim")
+                self._emit(event)
+                if on_cell_event is not None:
+                    on_cell_event(event)
 
-                simulated = _campaign.run_scenarios(
-                    [scenarios[i] for i in miss_indices],
-                    jobs=jobs,
-                    store=_Collector(self.store.append),
-                    experiment=experiment,
-                    cache=_campaign.NO_CACHE,
-                    supervise=supervise,
-                    manifest=manifest,
-                    on_cell_event=translate,
-                )
-            else:
-                fresh: List[RunResult] = []
-
-                def collect_fresh(run: RunResult) -> None:
-                    fresh.append(run)
-                    self.store.append(run)
-                    index = miss_indices[len(fresh) - 1]
-                    self._emit(self._cell_event(index, total, scenarios[index], "sim"))
-                    if manifest is not None:
-                        manifest.record_done(scenario_key(scenarios[index]))
-
-                simulated = _campaign.run_scenarios(
-                    [scenarios[i] for i in miss_indices],
-                    jobs=jobs,
-                    store=_Collector(collect_fresh),
-                    experiment=experiment,
-                    cache=_campaign.NO_CACHE,
-                )
+            simulated = _campaign.run_scenarios(
+                [scenarios[i] for i in miss_indices],
+                store=_Collector(self.store.append),
+                experiment=experiment,
+                cache=_campaign.NO_CACHE,
+                manifest=manifest,
+                on_cell_event=translate,
+                executor=executor,
+            )
             for index, run in zip(miss_indices, simulated):
                 paired[index] = run
 

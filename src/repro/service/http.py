@@ -15,6 +15,12 @@ workflow needs:
 ``GET  /campaigns/<id>/events``     NDJSON progress stream (long-poll)
 ``GET  /campaigns/<id>/figure``     rendered figure; ``?rerender=1``
                                     re-renders from the stored DB rows
+``GET  /campaigns/<id>/agg``        grouped reduction over the job's
+                                    stored rows: ``?agg=mean&group_by=
+                                    protocol,load`` (+ ``metrics=``)
+``POST /work/lease`` etc.           distributed-executor work endpoints
+                                    (``serve --distributed`` only; see
+                                    :mod:`repro.exec.coordinator`)
 ``GET  /runs``                      browse rows: ``experiment`` /
                                     ``digest`` / ``seed`` / ``protocol`` /
                                     repeated ``where=`` predicates /
@@ -35,10 +41,11 @@ from urllib.parse import parse_qs, urlparse
 
 from ..api import get_experiment, list_experiments
 from ..errors import ExperimentError, ReproError
+from ..exec.coordinator import handle_work
 from .db import DbResultStore
 from .jobs import JobManager
 from .migrations import SCHEMA_VERSION
-from .query import parse_predicate, query_runs
+from .query import aggregate_runs, parse_predicate, query_runs
 
 __all__ = ["CampaignServer", "build_server"]
 
@@ -64,11 +71,16 @@ class CampaignServer(ThreadingHTTPServer):
         db: DbResultStore,
         manager: JobManager,
         quiet: bool = False,
+        board=None,
     ):
         super().__init__(address, _Handler)
         self.db = db
         self.manager = manager
         self.quiet = quiet
+        #: The distributed lease board (``serve --distributed``): when
+        #: set, ``/work/*`` routes serve remote ``repro-caem worker``
+        #: processes; when ``None`` those routes 404.
+        self.board = board
 
     def close(self) -> None:
         """Stop serving and drain the worker pool (tests, SIGINT path)."""
@@ -84,11 +96,35 @@ def build_server(
     workers: int = 1,
     sim_jobs: int = 1,
     quiet: bool = False,
+    distributed: bool = False,
+    lease_timeout_s: float = 30.0,
 ) -> CampaignServer:
-    """Wire db + job manager + HTTP server (port 0 picks a free port)."""
+    """Wire db + job manager + HTTP server (port 0 picks a free port).
+
+    ``distributed=True`` attaches a shared
+    :class:`~repro.exec.board.LeaseBoard`: jobs submitted with
+    ``{"executor": "distributed"}`` queue their cells on it, and remote
+    ``repro-caem worker --connect`` processes lease them through the
+    ``/work/*`` endpoints of this same server.
+    """
     db = DbResultStore(db_path)
-    manager = JobManager(db, workers=workers, sim_jobs=sim_jobs)
-    return CampaignServer((host, port), db, manager, quiet=quiet)
+    board = None
+    if distributed:
+        from ..exec.board import LeaseBoard
+
+        board = LeaseBoard(lease_timeout_s=lease_timeout_s)
+    manager = JobManager(db, workers=workers, sim_jobs=sim_jobs, board=board)
+    return CampaignServer((host, port), db, manager, quiet=quiet, board=board)
+
+
+class _MemoryRows:
+    """An in-memory row list behind the plain-store aggregate interface."""
+
+    def __init__(self, rows):
+        self._rows = list(rows)
+
+    def load(self):
+        return list(self._rows)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -159,6 +195,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._get_experiments()
             if parts == ["runs"]:
                 return self._get_runs(params)
+            if parts and parts[0] == "work":
+                return self._work(parts, None, "GET")
             if parts and parts[0] == "campaigns":
                 if len(parts) == 1:
                     return self._get_campaigns()
@@ -169,6 +207,8 @@ class _Handler(BaseHTTPRequestHandler):
                     return self._get_events(job, params)
                 if len(parts) == 3 and parts[2] == "figure":
                     return self._get_figure(job, params)
+                if len(parts) == 3 and parts[2] == "agg":
+                    return self._get_agg(job, params)
             self._error(404, f"no such endpoint: {url.path}")
         except _HttpError as exc:
             self._error(exc.status, str(exc))
@@ -187,6 +227,8 @@ class _Handler(BaseHTTPRequestHandler):
                 spec = self._read_body()
                 record = self.server.manager.submit(spec)
                 return self._send_json(record.snapshot(), status=202)
+            if parts and parts[0] == "work":
+                return self._work(parts, self._read_body(), "POST")
             self._error(404, f"no such endpoint: {url.path}")
         except _HttpError as exc:
             self._error(exc.status, str(exc))
@@ -296,6 +338,75 @@ class _Handler(BaseHTTPRequestHandler):
         if job.figure_text is None:
             return self._error(409, "figure not rendered yet; poll until done")
         self._send_text(job.figure_text)
+
+    def _work(self, parts: List[str], body: Optional[Dict[str, Any]],
+              method: str) -> None:
+        """Delegate ``/work/*`` to the distributed coordinator routes."""
+        board = self.server.board
+        if board is None:
+            return self._error(
+                404,
+                "this server has no distributed lease board — start it "
+                "with 'repro-caem serve --distributed'",
+            )
+        routed = handle_work(board, method, parts, body)
+        if routed is None:
+            return self._error(404, f"no such endpoint: {self.path}")
+        status, payload = routed
+        self._send_json(payload, status=status)
+
+    def _get_agg(self, job, params: Dict[str, List[str]]) -> None:
+        """Grouped reduction over the rows this job put in the database.
+
+        ``GET /campaigns/<id>/agg?agg=mean&group_by=protocol,load`` —
+        the server-side equivalent of ``repro-caem query --agg``,
+        reusing :func:`~repro.service.query.aggregate_runs`: experiment
+        jobs push the whole reduction into SQL via the store's
+        ``aggregate``; grid jobs scope the database to the job's own
+        config digests first (recorded at submit time), then reduce.
+        """
+        def one(name: str, default: Optional[str] = None) -> Optional[str]:
+            values = params.get(name)
+            return values[0] if values else default
+
+        agg = one("agg", "mean")
+        group_by = [
+            key.strip()
+            for key in one("group_by", "protocol").split(",")
+            if key.strip()
+        ]
+        metrics_raw = one("metrics")
+        metrics = (
+            [m.strip() for m in metrics_raw.split(",") if m.strip()]
+            if metrics_raw else None
+        )
+        spec = job.spec
+        if "experiment" in spec:
+            groups = aggregate_runs(
+                self.server.db, group_by, agg=agg, metrics=metrics,
+                experiment=spec["experiment"],
+            )
+        else:
+            if job._digests is None:
+                raise ExperimentError(
+                    "this job has no recorded grid cells to aggregate"
+                )
+            rows = [
+                run for run, _ in
+                self.server.db.rows_for_digests(job._digests)
+            ]
+            groups = aggregate_runs(
+                _MemoryRows(rows), group_by, agg=agg, metrics=metrics,
+            )
+        self._send_json(
+            {
+                "job_id": job.job_id,
+                "agg": agg,
+                "group_by": group_by,
+                "count": len(groups),
+                "groups": groups,
+            }
+        )
 
     def _get_runs(self, params: Dict[str, List[str]]) -> None:
         def one(name: str) -> Optional[str]:

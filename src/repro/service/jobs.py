@@ -37,13 +37,16 @@ from typing import Any, Dict, List, Optional
 from ..api import (
     Campaign,
     CampaignIncompleteError,
+    ExecutorSpec,
     Scenario,
     SupervisorConfig,
     get_experiment,
+    use_executor,
     use_run_cache,
     use_supervisor,
 )
 from ..errors import ExperimentError
+from ..exec.base import get_executor
 from .cache import RunCache
 from .db import DbResultStore
 
@@ -87,6 +90,10 @@ class JobRecord:
 
     def __post_init__(self) -> None:
         self._cond = threading.Condition()
+        #: Config digests of a grid job's cells (set at submit time) —
+        #: lets the aggregation endpoint scope the result database to
+        #: exactly this job's rows.  Not part of the JSON snapshot.
+        self._digests: Optional[set] = None
 
     @property
     def finished(self) -> bool:
@@ -184,6 +191,7 @@ class JobManager:
         db: DbResultStore,
         workers: int = 1,
         sim_jobs: int = 1,
+        board=None,
     ):
         if workers < 1:
             raise ExperimentError("JobManager needs at least one worker")
@@ -191,6 +199,11 @@ class JobManager:
         #: Parallelism handed to run_scenarios for each job's misses —
         #: the existing ``--jobs`` process-pool executor, reused.
         self.sim_jobs = max(1, sim_jobs)
+        #: The distributed lease board (``serve --distributed``): jobs
+        #: whose spec asks for the distributed executor attach to this
+        #: instead of self-hosting a coordinator, and remote workers
+        #: reach it through the server's ``/work/*`` endpoints.
+        self.board = board
         self._jobs: Dict[str, JobRecord] = {}
         self._order: List[str] = []
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
@@ -213,10 +226,15 @@ class JobManager:
         Validation happens *here* so a bad spec fails the submitting HTTP
         request with a clear message instead of a failed background job.
         """
-        self._build_plan(spec)  # raises ExperimentError on a bad spec
+        plan = self._build_plan(spec)  # raises ExperimentError on a bad spec
+        self._executor_for(spec)  # likewise for the executor request
         with self._lock:
             job_id = f"job-{next(self._ids)}"
             record = JobRecord(job_id=job_id, spec=dict(spec), submitted_at=time.time())
+            if plan["kind"] == "grid":
+                record._digests = {
+                    sc.config.digest() for sc in plan["campaign"].scenarios()
+                }
             self._jobs[job_id] = record
             self._order.append(job_id)
         self._queue.put(job_id)
@@ -260,8 +278,44 @@ class JobManager:
         for record in self.list():
             if not record.finished:
                 record.abort("server shut down while the job was running")
+        if self.board is not None:
+            # Release every lease a distributed campaign still holds:
+            # shutdown must never strand a cell in ``leased`` (its worker
+            # may be gone, and nothing would ever expire it once the
+            # coordinator's sweep loop stops).  The attempt is refunded —
+            # shutdown is not the cell's fault.
+            self.board.release_all()
 
     # -- execution -------------------------------------------------------------
+
+    def _executor_for(self, spec: Dict[str, Any]) -> Optional[ExecutorSpec]:
+        """The :class:`ExecutorSpec` a job spec asks for, or ``None``.
+
+        ``{"executor": "pool:4"}`` / ``{"executor": {"kind":
+        "supervised", "retries": 1}}`` is the one spelling; the legacy
+        ``supervise``/``cell_timeout_s``/``max_attempts`` keys keep
+        working through :meth:`_supervisor_for` (and cannot be combined
+        with ``executor`` — the spec already carries that policy).  A
+        distributed request requires the server to own a lease board
+        (``serve --distributed``); rejecting it here fails the submitting
+        HTTP request instead of a background job.
+        """
+        if "executor" not in spec:
+            return None
+        if any(spec.get(k) for k in ("supervise", "cell_timeout_s",
+                                     "max_attempts")):
+            raise ExperimentError(
+                "campaign spec has both 'executor' and legacy supervision "
+                "keys; the executor spec already carries the fault policy"
+            )
+        executor = ExecutorSpec.normalize(spec["executor"])
+        if executor.kind == "distributed" and self.board is None:
+            raise ExperimentError(
+                "spec asks for the distributed executor but this server "
+                "has no lease board — start it with 'repro-caem serve "
+                "--distributed'"
+            )
+        return executor
 
     @staticmethod
     def _supervisor_for(spec: Dict[str, Any]) -> Optional[SupervisorConfig]:
@@ -353,14 +407,24 @@ class JobManager:
     def _run_job(self, record: JobRecord) -> None:
         spec = record.spec
         plan = self._build_plan(spec)
-        supervise = self._supervisor_for(spec)
+        executor_spec = self._executor_for(spec)
+        supervise = None if executor_spec is not None \
+            else self._supervisor_for(spec)
         cache = RunCache(self.db, on_event=record.emit, manifest=True)
-        supervision = (
-            use_supervisor(supervise) if supervise is not None
-            else contextlib.nullcontext()
-        )
+        if executor_spec is not None:
+            # Instantiated here (not inside use_executor) so a
+            # distributed job attaches to the server's shared lease
+            # board; closed in the finally below.
+            executor = get_executor(executor_spec, board=self.board)
+            execution = use_executor(executor)
+        else:
+            executor = None
+            execution = (
+                use_supervisor(supervise) if supervise is not None
+                else contextlib.nullcontext()
+            )
         try:
-            with use_run_cache(cache), supervision:
+            with use_run_cache(cache), execution:
                 if plan["kind"] == "experiment":
                     exp = get_experiment(plan["name"])
                     figure = exp.run(
@@ -392,5 +456,8 @@ class JobManager:
             )
             record._finish("incomplete", error=str(exc))
             return
+        finally:
+            if executor is not None:
+                executor.close()
         record.cache = cache.stats.as_dict()
         record.emit({"type": "done", "cache": record.cache})

@@ -214,6 +214,11 @@ class CampaignManifest:
     def quarantined(self) -> List[CellRecord]:
         return [c for c in self.cells if c.status == QUARANTINED]
 
+    def pending(self) -> List[CellRecord]:
+        """Cells not yet settled — what a ``--resume`` (or a distributed
+        coordinator picking up after a crash) still has to lease out."""
+        return [c for c in self.cells if c.status == PENDING]
+
     def report(self) -> Dict[str, Any]:
         """The JSON-safe status report (``incomplete`` when not all done)."""
         counts = self.counts()

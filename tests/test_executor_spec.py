@@ -1,0 +1,200 @@
+"""ExecutorSpec: one value that names how a campaign executes.
+
+The spec collapses the legacy ``jobs=``/``supervise=`` spellings into a
+single declarative record.  These tests pin the parse grammar, the
+legacy mapping, the resolution precedence, and — the contract that
+matters — that every spelling of the same policy produces bit-identical
+results.
+"""
+
+import pytest
+
+from repro.api import (
+    Campaign,
+    ExecutorSpec,
+    Scenario,
+    SupervisorConfig,
+    use_executor,
+    use_supervisor,
+)
+from repro.api.campaign import resolve_executor
+from repro.config import Protocol
+from repro.errors import ExperimentError
+from repro.exec import (
+    EXECUTOR_KINDS,
+    CampaignExecutor,
+    PoolExecutor,
+    SerialExecutor,
+    SupervisedExecutor,
+    get_executor,
+)
+
+
+def _campaign(n_seeds=1):
+    base = Scenario.from_preset("smoke").with_runtime(
+        horizon_s=2.0, sample_interval_s=1.0
+    )
+    return (
+        Campaign(base, name="spec-equiv")
+        .over(protocol=[Protocol.PURE_LEACH, Protocol.CAEM_FIXED])
+        .seeds(list(range(1, n_seeds + 1)))
+    )
+
+
+def _norm(runs):
+    return [{**r.to_dict(), "wall_time_s": 0} for r in runs]
+
+
+class TestParse:
+    def test_kinds(self):
+        assert EXECUTOR_KINDS == ("serial", "pool", "supervised", "distributed")
+        for kind in EXECUTOR_KINDS:
+            assert ExecutorSpec.parse(kind).kind == kind
+
+    def test_bare_count_shorthand(self):
+        assert ExecutorSpec.parse("pool:4") == ExecutorSpec(kind="pool", jobs=4)
+        assert ExecutorSpec.parse("supervised:2").jobs == 2
+
+    def test_key_value_options(self):
+        spec = ExecutorSpec.parse("supervised:jobs=2,timeout=30,retries=1")
+        assert (spec.jobs, spec.cell_timeout_s, spec.retries) == (2, 30.0, 1)
+        assert spec.max_attempts == 2
+
+    def test_distributed_options(self):
+        spec = ExecutorSpec.parse(
+            "distributed:bind=127.0.0.1:8400,lease=5,local=2"
+        )
+        assert spec.bind_address() == ("127.0.0.1", 8400)
+        assert spec.lease_timeout_s == 5.0
+        assert spec.local_workers == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown executor kind"):
+            ExecutorSpec.parse("threads:4")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ExperimentError, match="bad executor option"):
+            ExecutorSpec.parse("pool:widht=4")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ExperimentError, match="bad value"):
+            ExecutorSpec.parse("pool:jobs=four")
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError, match="jobs must be"):
+            ExecutorSpec(kind="pool", jobs=0)
+        with pytest.raises(ExperimentError, match="retries"):
+            ExecutorSpec(kind="supervised", retries=-1)
+        with pytest.raises(ExperimentError, match="lease_timeout_s"):
+            ExecutorSpec(kind="distributed", lease_timeout_s=0.0)
+        with pytest.raises(ExperimentError, match="bad distributed bind"):
+            ExecutorSpec(kind="distributed", bind="nonsense").bind_address()
+
+    def test_normalize_accepts_every_spelling(self):
+        spec = ExecutorSpec(kind="pool", jobs=3)
+        assert ExecutorSpec.normalize(spec) is spec
+        assert ExecutorSpec.normalize("pool:3") == spec
+        assert ExecutorSpec.normalize({"kind": "pool", "jobs": 3}) == spec
+        with pytest.raises(ExperimentError, match="cannot interpret"):
+            ExecutorSpec.normalize(3)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ExperimentError, match="unknown executor fields"):
+            ExecutorSpec.from_dict({"kind": "pool", "workers": 4})
+
+    def test_to_dict_round_trip_omits_defaults(self):
+        spec = ExecutorSpec.parse("supervised:jobs=2,retries=1")
+        data = spec.to_dict()
+        assert data == {"kind": "supervised", "jobs": 2, "retries": 1}
+        assert ExecutorSpec.from_dict(data) == spec
+        assert ExecutorSpec().to_dict() == {"kind": "serial"}
+
+    def test_from_legacy(self):
+        assert ExecutorSpec.from_legacy() == ExecutorSpec(kind="serial")
+        assert ExecutorSpec.from_legacy(jobs=4) == ExecutorSpec(
+            kind="pool", jobs=4
+        )
+        sup = SupervisorConfig(cell_timeout_s=10.0, max_attempts=2, seed=3)
+        spec = ExecutorSpec.from_legacy(jobs=2, supervise=sup)
+        assert spec.kind == "supervised"
+        assert spec.supervisor() == sup.__class__(
+            cell_timeout_s=10.0, max_attempts=2, seed=3
+        )
+
+    def test_describe_is_compact(self):
+        assert ExecutorSpec.parse("pool:4").describe() == "pool jobs=4"
+        assert "lease=5s" in ExecutorSpec.parse(
+            "distributed:lease=5"
+        ).describe()
+
+
+class TestResolvePrecedence:
+    def test_jobs_fallback(self):
+        assert resolve_executor(1).kind == "serial"
+        assert resolve_executor(4) == ExecutorSpec(kind="pool", jobs=4)
+
+    def test_explicit_executor_wins(self):
+        with use_supervisor(SupervisorConfig()):
+            resolved = resolve_executor(4, None, "serial")
+        assert resolved == ExecutorSpec(kind="serial")
+
+    def test_live_instance_passes_through(self):
+        live = SerialExecutor()
+        assert resolve_executor(4, None, live) is live
+
+    def test_explicit_supervise_beats_ambient_executor(self):
+        sup = SupervisorConfig(max_attempts=5)
+        with use_executor("pool:4"):
+            resolved = resolve_executor(1, sup, None)
+        assert resolved.kind == "supervised"
+        assert resolved.max_attempts == 5
+
+    def test_ambient_executor_beats_jobs(self):
+        with use_executor("pool:3") as live:
+            assert isinstance(live, PoolExecutor)
+            assert resolve_executor(8) is live
+
+    def test_ambient_supervisor_still_honoured(self):
+        with use_supervisor(SupervisorConfig(max_attempts=4)):
+            resolved = resolve_executor(2)
+        assert resolved.kind == "supervised"
+        assert (resolved.jobs, resolved.max_attempts) == (2, 4)
+
+    def test_get_executor_instantiates_each_kind(self):
+        assert isinstance(get_executor(ExecutorSpec()), SerialExecutor)
+        pool = get_executor("pool:2")
+        assert isinstance(pool, PoolExecutor)
+        sup = get_executor({"kind": "supervised", "retries": 1})
+        assert isinstance(sup, SupervisedExecutor)
+        assert isinstance(sup, CampaignExecutor)
+
+
+class TestEquivalence:
+    """Every spelling of the same policy → bit-identical results."""
+
+    def test_pool_spec_matches_legacy_jobs(self):
+        camp = _campaign()
+        legacy = camp.run(jobs=2)
+        spec = camp.run(executor="pool:2")
+        assert _norm(spec.runs) == _norm(legacy.runs)
+
+    def test_supervised_spec_matches_legacy_supervise(self):
+        camp = _campaign()
+        sup = SupervisorConfig(max_attempts=2)
+        legacy = camp.run(supervise=sup)
+        spec = camp.run(executor="supervised:retries=1")
+        assert _norm(spec.runs) == _norm(legacy.runs)
+
+    def test_ambient_executor_reaches_campaign(self):
+        camp = _campaign()
+        serial = camp.run()
+        with use_executor("pool:2"):
+            ambient = camp.run(jobs=1)
+        assert _norm(ambient.runs) == _norm(serial.runs)
+
+    def test_executor_conflicts_with_legacy_arguments(self):
+        camp = _campaign()
+        with pytest.raises(ExperimentError, match="not both"):
+            camp.run(jobs=2, executor="serial")
+        with pytest.raises(ExperimentError, match="not both"):
+            camp.run(supervise=SupervisorConfig(), executor="serial")
